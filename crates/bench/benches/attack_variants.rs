@@ -1,0 +1,38 @@
+//! Criterion bench for the §4.3/§4.4 variant matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specrun::attack::{run_btb_poc, run_pht_poc, run_rsb_poc, PocConfig};
+use specrun::Machine;
+use specrun_cpu::RunaheadPolicy;
+
+fn variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_variants");
+    group.sample_size(10);
+    for policy in [RunaheadPolicy::Precise, RunaheadPolicy::Vector] {
+        group.bench_function(format!("pht_{policy:?}"), |b| {
+            b.iter(|| {
+                let cfg = PocConfig::fig11(300);
+                let mut m = Machine::with_policy(policy);
+                assert_eq!(run_pht_poc(&mut m, &cfg).leaked, Some(127));
+            })
+        });
+    }
+    group.bench_function("btb_variant", |b| {
+        b.iter(|| {
+            let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
+            let mut m = Machine::runahead();
+            assert_eq!(run_btb_poc(&mut m, &cfg).leaked, Some(86));
+        })
+    });
+    group.bench_function("rsb_variant", |b| {
+        b.iter(|| {
+            let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
+            let mut m = Machine::runahead();
+            assert_eq!(run_rsb_poc(&mut m, &cfg).leaked, Some(86));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, variants);
+criterion_main!(benches);

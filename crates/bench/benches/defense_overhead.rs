@@ -1,0 +1,33 @@
+//! Criterion bench for the §6 defense: attack blocking and kernel overhead
+//! under the SL-cache scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specrun::attack::PocConfig;
+use specrun::defense::verify_pht_blocked;
+use specrun::Machine;
+use specrun_cpu::CpuConfig;
+use specrun_workloads::{ipc::run_workload, kernels};
+
+fn defense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("defense_overhead");
+    group.sample_size(10);
+    group.bench_function("sl_cache_blocks_attack", |b| {
+        b.iter(|| {
+            let cfg = PocConfig::fig11(300);
+            let mut m = Machine::secure();
+            let report = verify_pht_blocked(&mut m, &cfg);
+            assert!(report.blocked());
+        })
+    });
+    let lbm = kernels::lbm(200);
+    group.bench_function("lbm_secure_runahead", |b| {
+        b.iter(|| run_workload(&lbm, CpuConfig::secure_runahead(), 20_000_000).cycles)
+    });
+    group.bench_function("lbm_plain_runahead", |b| {
+        b.iter(|| run_workload(&lbm, CpuConfig::default(), 20_000_000).cycles)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, defense);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for the §5.3 / Fig. 10 transient-window measurements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specrun::window::{measure_n1, measure_n2, measure_n3};
+
+fn fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_window");
+    group.sample_size(10);
+    group.bench_function("n1_normal", |b| {
+        b.iter(|| {
+            let n1 = measure_n1(2048);
+            assert_eq!(n1, 255);
+            n1
+        })
+    });
+    group.bench_function("n2_runahead", |b| {
+        b.iter(|| {
+            let n2 = measure_n2(2048);
+            assert!(n2 > 256);
+            n2
+        })
+    });
+    group.bench_function("n3_repeated_flush", |b| {
+        b.iter(|| measure_n3(4096, 1).0)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

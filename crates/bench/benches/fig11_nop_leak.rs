@@ -1,0 +1,31 @@
+//! Criterion bench for the Fig. 11 experiment: nop-padded gadget on the
+//! no-runahead vs runahead machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specrun::attack::{run_pht_poc, PocConfig};
+use specrun::Machine;
+
+fn fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_nop_leak");
+    group.sample_size(10);
+    group.bench_function("no_runahead_no_leak", |b| {
+        b.iter(|| {
+            let cfg = PocConfig::fig11(300);
+            let mut m = Machine::no_runahead();
+            let o = run_pht_poc(&mut m, &cfg);
+            assert_eq!(o.leaked, None);
+        })
+    });
+    group.bench_function("runahead_leaks_127", |b| {
+        b.iter(|| {
+            let cfg = PocConfig::fig11(300);
+            let mut m = Machine::runahead();
+            let o = run_pht_poc(&mut m, &cfg);
+            assert_eq!(o.leaked, Some(127));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

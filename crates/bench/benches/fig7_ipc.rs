@@ -1,0 +1,27 @@
+//! Criterion bench for the Fig. 7 experiment: simulate each kernel on the
+//! no-runahead and runahead machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specrun_cpu::CpuConfig;
+use specrun_workloads::{ipc::run_workload, suite_with_iters};
+
+fn fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_ipc");
+    group.sample_size(10);
+    for workload in suite_with_iters(200) {
+        group.bench_with_input(
+            BenchmarkId::new("no_runahead", workload.name),
+            &workload,
+            |b, w| b.iter(|| run_workload(w, CpuConfig::no_runahead(), 20_000_000).cycles),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("runahead", workload.name),
+            &workload,
+            |b, w| b.iter(|| run_workload(w, CpuConfig::default(), 20_000_000).cycles),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

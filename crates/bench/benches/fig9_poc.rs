@@ -1,0 +1,24 @@
+//! Criterion bench for the Fig. 9 proof of concept: the full SPECRUN attack
+//! (train, flush, runahead leak, probe) on the runahead machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use specrun::attack::{run_pht_poc, PocConfig};
+use specrun::Machine;
+
+fn fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_poc");
+    group.sample_size(10);
+    group.bench_function("specrun_pht_leak", |b| {
+        b.iter(|| {
+            let cfg = PocConfig::default();
+            let mut machine = Machine::runahead();
+            let outcome = run_pht_poc(&mut machine, &cfg);
+            assert_eq!(outcome.leaked, Some(86));
+            outcome.runahead_entries
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! §6 defense evaluation (the paper proposes the scheme without a figure):
+//! leak blocking on the attack PoCs plus the IPC overhead of the SL cache
+//! on the Fig. 7 kernels, and the skip-INV-branch ablation.
+
+use specrun::attack::PocConfig;
+use specrun::defense::verify_pht_blocked;
+use specrun::Machine;
+use specrun_cpu::CpuConfig;
+use specrun_workloads::{compare_with, geomean_speedup, suite_with_iters};
+
+fn main() {
+    println!("== Defense effectiveness (Fig. 11 attack, slide 300) ==");
+    println!("machine,leaked,blocked,sl_promotions,sl_deletions,skipped_inv");
+    for (name, mut machine) in [
+        ("runahead (undefended)", Machine::runahead()),
+        ("secure SL-cache", Machine::secure()),
+        ("skip-INV-branch", Machine::skip_inv()),
+    ] {
+        let cfg = PocConfig::fig11(300);
+        let report = verify_pht_blocked(&mut machine, &cfg);
+        println!(
+            "{name},{:?},{},{},{},{}",
+            report.outcome.leaked,
+            report.blocked(),
+            report.sl_promotions,
+            report.sl_deletions,
+            report.skipped_inv_branches
+        );
+    }
+
+    println!();
+    println!("== Defense overhead on the Fig. 7 kernels (IPC vs baseline) ==");
+    println!("kernel,runahead,secure_runahead,skip_inv,secure_overhead_vs_runahead_pct");
+    let suite = suite_with_iters(600);
+    let mut plain = Vec::new();
+    let mut secure = Vec::new();
+    let mut skip = Vec::new();
+    for w in &suite {
+        let p = compare_with(w, CpuConfig::default(), 50_000_000);
+        let s = compare_with(w, CpuConfig::secure_runahead(), 50_000_000);
+        let mut skip_cfg = CpuConfig::default();
+        skip_cfg.runahead.secure = specrun_cpu::SecureConfig::skip_inv_default();
+        let k = compare_with(w, skip_cfg, 50_000_000);
+        let overhead = (1.0 - s.runahead.ipc / p.runahead.ipc) * 100.0;
+        println!(
+            "{},{:.3},{:.3},{:.3},{:.1}%",
+            w.name, p.speedup(), s.speedup(), k.speedup(), overhead
+        );
+        plain.push(p);
+        secure.push(s);
+        skip.push(k);
+    }
+    println!(
+        "geomean,{:.3},{:.3},{:.3},{:.1}%",
+        geomean_speedup(&plain),
+        geomean_speedup(&secure),
+        geomean_speedup(&skip),
+        (1.0 - geomean_speedup(&secure) / geomean_speedup(&plain)) * 100.0
+    );
+}

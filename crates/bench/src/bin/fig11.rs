@@ -1,0 +1,32 @@
+//! Regenerates Fig. 11: probe access times on the no-runahead and runahead
+//! machines with the nop-padded gadget (secret access pushed outside the
+//! original ROB window). Paper: leak at index 127 only on the runahead
+//! machine.
+
+use specrun::attack::{run_pht_poc, PocConfig};
+use specrun::Machine;
+
+fn main() {
+    let slide = 300; // nops between the bounds check and the secret access
+    println!("Fig. 11: probe access time, nop slide = {slide} (> ROB)");
+
+    let cfg = PocConfig::fig11(slide);
+    let mut plain = Machine::no_runahead();
+    let base = run_pht_poc(&mut plain, &cfg);
+
+    let cfg = PocConfig::fig11(slide);
+    let mut ra = Machine::runahead();
+    let attacked = run_pht_poc(&mut ra, &cfg);
+
+    println!("index,no_runahead_cycles,runahead_cycles");
+    let b = base.timings.as_slice();
+    let r = attacked.timings.as_slice();
+    for i in 0..b.len() {
+        println!("{i},{},{}", b[i], r[i]);
+    }
+    println!();
+    println!(
+        "no-runahead leaked: {:?} (paper: none); runahead leaked: {:?} (paper: 127)",
+        base.leaked, attacked.leaked
+    );
+}

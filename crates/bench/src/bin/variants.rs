@@ -1,0 +1,39 @@
+//! §4.3 / §4.4 applicability matrix: the attack against each runahead
+//! policy (original, precise, vector) and each Spectre variant
+//! (PHT, BTB, RSB).
+
+use specrun::attack::{run_btb_poc, run_pht_poc, run_rsb_poc, PocConfig};
+use specrun::Machine;
+use specrun_cpu::RunaheadPolicy;
+
+fn main() {
+    println!("== SpectrePHT against runahead policies (nop slide 300) ==");
+    println!("policy,leaked,expected,runahead_entries,inv_branches");
+    for policy in [RunaheadPolicy::Original, RunaheadPolicy::Precise, RunaheadPolicy::Vector] {
+        let cfg = PocConfig::fig11(300);
+        let mut machine = Machine::with_policy(policy);
+        let o = run_pht_poc(&mut machine, &cfg);
+        println!(
+            "{policy:?},{:?},{},{},{}",
+            o.leaked, o.expected, o.runahead_entries, o.inv_branches
+        );
+    }
+
+    println!();
+    println!("== Spectre variants nested in (original) runahead ==");
+    println!("variant,leaked,expected,runahead_entries");
+    let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
+    let mut m = Machine::runahead();
+    let pht = run_pht_poc(&mut m, &cfg);
+    println!("SpectrePHT,{:?},{},{}", pht.leaked, pht.expected, pht.runahead_entries);
+
+    let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
+    let mut m = Machine::runahead();
+    let btb = run_btb_poc(&mut m, &cfg);
+    println!("SpectreBTB,{:?},{},{}", btb.leaked, btb.expected, btb.runahead_entries);
+
+    let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
+    let mut m = Machine::runahead();
+    let rsb = run_rsb_poc(&mut m, &cfg);
+    println!("SpectreRSB,{:?},{},{}", rsb.leaked, rsb.expected, rsb.runahead_entries);
+}

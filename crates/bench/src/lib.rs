@@ -1,0 +1,10 @@
+//! Shared helpers for the SPECRUN benchmark harness binaries and Criterion
+//! benches.
+
+/// Prints a CSV table with a header row.
+pub fn print_csv(header: &str, rows: impl IntoIterator<Item = String>) {
+    println!("{header}");
+    for row in rows {
+        println!("{row}");
+    }
+}

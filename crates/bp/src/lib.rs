@@ -1,0 +1,36 @@
+//! # specrun-bp
+//!
+//! Branch prediction structures for the SPECRUN runahead-processor
+//! simulator: a [two-level adaptive direction predictor](TwoLevel) (Table 1),
+//! a partially-tagged [BTB](Btb), a wrapping [RSB](Rsb), and the combined
+//! [`BranchPredictor`] facade the core's front end drives.
+//!
+//! All structures are untagged across processes — anything co-resident on
+//! the core trains them. That is the paper's threat model: SpectrePHT
+//! poisons the PHT, SpectreBTB trains congruent-address BTB entries,
+//! SpectreRSB desynchronizes the RSB from the architectural stack.
+//!
+//! ```
+//! use specrun_bp::{BranchKind, BranchPredictor};
+//! let mut bp = BranchPredictor::default();
+//! for _ in 0..16 {
+//!     bp.resolve_conditional(0x1000, true, false); // training loop
+//! }
+//! let p = bp.predict(0x1000, BranchKind::Conditional, Some(0x2000), 0x1008);
+//! assert!(p.taken);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod btb;
+mod counter;
+mod predictor;
+mod rsb;
+mod two_level;
+
+pub use btb::{Btb, BtbConfig};
+pub use counter::SaturatingCounter;
+pub use predictor::{BranchKind, BranchPredictor, Prediction, PredictorConfig, PredictorStats};
+pub use rsb::Rsb;
+pub use two_level::{TwoLevel, TwoLevelConfig};

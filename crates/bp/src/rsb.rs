@@ -1,0 +1,127 @@
+//! Return Stack Buffer.
+//!
+//! A small circular stack of predicted return addresses. Like hardware RSBs
+//! it *wraps*: overflow overwrites the oldest entry and underflow re-reads a
+//! stale slot instead of failing. Both behaviours are load-bearing for the
+//! SpectreRSB variants in the paper's Fig. 4(b)/(c): the architectural
+//! return address lives in memory (where a store or `clflush` can interfere)
+//! while this buffer supplies the *prediction*.
+
+/// The return stack buffer.
+///
+/// ```
+/// use specrun_bp::Rsb;
+/// let mut rsb = Rsb::new(16);
+/// rsb.push(0x1008);
+/// assert_eq!(rsb.pop(), 0x1008);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rsb {
+    entries: Vec<u64>,
+    top: usize,
+}
+
+impl Rsb {
+    /// Creates an RSB with `capacity` slots, all initially zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Rsb {
+        assert!(capacity > 0, "RSB needs at least one slot");
+        Rsb { entries: vec![0; capacity], top: 0 }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Pushes a predicted return address (call fetched).
+    pub fn push(&mut self, addr: u64) {
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = addr;
+    }
+
+    /// Pops the predicted return address (return fetched).
+    ///
+    /// Underflow wraps and returns whatever stale value the slot holds —
+    /// exactly the hardware behaviour `ret2spec`-style attacks rely on.
+    pub fn pop(&mut self) -> u64 {
+        let value = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        value
+    }
+
+    /// Top-of-stack position (for checkpointing at branch/runahead entry).
+    pub fn checkpoint(&self) -> usize {
+        self.top
+    }
+
+    /// Restores a previously checkpointed top-of-stack position.
+    ///
+    /// Only the pointer is restored; entries pushed since the checkpoint may
+    /// have clobbered older slots (real RSB repair has the same limitation).
+    pub fn restore(&mut self, checkpoint: usize) {
+        self.top = checkpoint % self.entries.len();
+    }
+
+    /// Zeroes all slots (context-switch style clearing; a mitigation some
+    /// real cores apply).
+    pub fn clear(&mut self) {
+        self.entries.fill(0);
+        self.top = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut rsb = Rsb::new(8);
+        rsb.push(1);
+        rsb.push(2);
+        rsb.push(3);
+        assert_eq!(rsb.pop(), 3);
+        assert_eq!(rsb.pop(), 2);
+        assert_eq!(rsb.pop(), 1);
+    }
+
+    #[test]
+    fn overflow_wraps_and_clobbers_oldest() {
+        let mut rsb = Rsb::new(2);
+        rsb.push(1);
+        rsb.push(2);
+        rsb.push(3); // clobbers 1
+        assert_eq!(rsb.pop(), 3);
+        assert_eq!(rsb.pop(), 2);
+        assert_eq!(rsb.pop(), 3, "underflow re-reads stale slot");
+    }
+
+    #[test]
+    fn underflow_returns_stale_zero_initially() {
+        let mut rsb = Rsb::new(4);
+        assert_eq!(rsb.pop(), 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_repairs_pointer() {
+        let mut rsb = Rsb::new(8);
+        rsb.push(0xa);
+        let cp = rsb.checkpoint();
+        rsb.push(0xb);
+        rsb.push(0xc);
+        rsb.restore(cp);
+        assert_eq!(rsb.pop(), 0xa);
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut rsb = Rsb::new(4);
+        rsb.push(9);
+        rsb.clear();
+        assert_eq!(rsb.pop(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the branch prediction structures.
+
+use proptest::prelude::*;
+use specrun_bp::{BranchKind, BranchPredictor, Btb, BtbConfig, Rsb, SaturatingCounter, TwoLevel};
+
+proptest! {
+    /// Counter value stays within [0, 2^bits).
+    #[test]
+    fn counter_bounded(bits in 1u8..=7, outcomes in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let mut c = SaturatingCounter::new(bits);
+        let max = (1u16 << bits) - 1;
+        for taken in outcomes {
+            c.update(taken);
+            prop_assert!(u16::from(c.value()) <= max);
+        }
+    }
+
+    /// A counter trained with k consecutive identical outcomes (k >= width)
+    /// always predicts that outcome.
+    #[test]
+    fn counter_converges(bits in 1u8..=7, taken in any::<bool>()) {
+        let mut c = SaturatingCounter::new(bits);
+        for _ in 0..(1u16 << bits) {
+            c.update(taken);
+        }
+        prop_assert_eq!(c.is_taken(), taken);
+    }
+
+    /// The two-level predictor never panics and eventually tracks a constant
+    /// branch, regardless of PC.
+    #[test]
+    fn two_level_constant_branch(pc in any::<u64>(), taken in any::<bool>()) {
+        let mut p = TwoLevel::default();
+        for _ in 0..32 {
+            p.update(pc, taken);
+        }
+        prop_assert_eq!(p.predict(pc), taken);
+    }
+
+    /// BTB predict-after-update returns the installed target for arbitrary
+    /// PCs and targets.
+    #[test]
+    fn btb_update_then_predict(pc in any::<u64>(), target in any::<u64>()) {
+        let mut btb = Btb::new(BtbConfig::default());
+        btb.update(pc, target);
+        prop_assert_eq!(btb.predict(pc), Some(target));
+    }
+
+    /// The BTB never exceeds its capacity.
+    #[test]
+    fn btb_capacity(updates in proptest::collection::vec((any::<u64>(), any::<u64>()), 1..500)) {
+        let cfg = BtbConfig { sets: 16, ways: 2, tag_bits: 8 };
+        let mut btb = Btb::new(cfg);
+        for (pc, t) in updates {
+            btb.update(pc, t);
+            prop_assert!(btb.len() <= cfg.sets * cfg.ways);
+        }
+    }
+
+    /// RSB push/pop is LIFO while within capacity.
+    #[test]
+    fn rsb_lifo_within_capacity(addrs in proptest::collection::vec(any::<u64>(), 1..16)) {
+        let mut rsb = Rsb::new(16);
+        for &a in &addrs {
+            rsb.push(a);
+        }
+        for &a in addrs.iter().rev() {
+            prop_assert_eq!(rsb.pop(), a);
+        }
+    }
+
+    /// Checkpoint/restore around any number of speculative pushes brings the
+    /// next pop back to the checkpointed value (up to capacity-1 pushes).
+    #[test]
+    fn rsb_checkpoint_repair(spec_pushes in proptest::collection::vec(any::<u64>(), 0..15)) {
+        let mut rsb = Rsb::new(16);
+        rsb.push(0xabcd);
+        let cp = rsb.checkpoint();
+        for a in spec_pushes {
+            rsb.push(a);
+        }
+        rsb.restore(cp);
+        prop_assert_eq!(rsb.pop(), 0xabcd);
+    }
+
+    /// Predictions are pure in the absence of calls/returns: predicting the
+    /// same conditional twice gives the same answer.
+    #[test]
+    fn conditional_prediction_is_stable(pc in any::<u64>(), target in any::<u64>()) {
+        let mut p = BranchPredictor::default();
+        let a = p.predict(pc, BranchKind::Conditional, Some(target), pc.wrapping_add(8));
+        let b = p.predict(pc, BranchKind::Conditional, Some(target), pc.wrapping_add(8));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,85 @@
+//! Memory layout shared by the attack programs.
+
+/// Addresses and geometry of the attack's data structures (Fig. 8).
+///
+/// * `bound_addr` is `D`: the location of `array1_size`, the value the
+///   attacker flushes to trigger runahead.
+/// * `array1_base` is the victim array; the malicious index `x` is chosen so
+///   `array1_base + x` lands on the secret byte.
+/// * `probe_base`/`probe_stride` define `array2`, the covert-channel probe
+///   array (one cache line per possible byte value).
+/// * `results_base` receives the 256 probe timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AttackLayout {
+    /// Address of `array1_size` (the paper's `D`).
+    pub bound_addr: u64,
+    /// In-bounds length of `array1`.
+    pub bound_value: u64,
+    /// Base of the victim array `array1`.
+    pub array1_base: u64,
+    /// Address of the secret byte the attacker wants.
+    pub secret_addr: u64,
+    /// Base of the probe array `array2`.
+    pub probe_base: u64,
+    /// Bytes between probe entries (`N` in the paper; at least a line).
+    pub probe_stride: u64,
+    /// Number of probe entries (one per byte value).
+    pub probe_entries: u64,
+    /// Where the probe loop stores its 256 latencies (8 bytes each).
+    pub results_base: u64,
+}
+
+impl AttackLayout {
+    /// The malicious index: `secret_addr - array1_base`.
+    pub fn malicious_x(&self) -> u64 {
+        self.secret_addr - self.array1_base
+    }
+
+    /// Address of probe entry `value`.
+    pub fn probe_addr(&self, value: u64) -> u64 {
+        self.probe_base + value * self.probe_stride
+    }
+
+    /// Address of the timing slot for probe entry `value`.
+    pub fn result_addr(&self, value: u64) -> u64 {
+        self.results_base + value * 8
+    }
+}
+
+impl Default for AttackLayout {
+    fn default() -> AttackLayout {
+        AttackLayout {
+            bound_addr: 0x0009_0000,
+            bound_value: 16,
+            array1_base: 0x000a_0000,
+            secret_addr: 0x000b_0000,
+            probe_base: 0x0100_0000,
+            probe_stride: 512,
+            probe_entries: 256,
+            results_base: 0x0200_0000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_layout_is_disjoint_and_line_separated() {
+        let l = AttackLayout::default();
+        assert!(l.probe_stride >= 64, "probe entries must not share lines");
+        assert!(l.array1_base + l.bound_value < l.secret_addr);
+        assert!(l.probe_addr(255) < l.results_base);
+        assert_eq!(l.malicious_x(), 0x1_0000);
+        assert!(l.secret_addr < l.probe_base);
+    }
+
+    #[test]
+    fn addressing_helpers() {
+        let l = AttackLayout::default();
+        assert_eq!(l.probe_addr(2) - l.probe_addr(1), l.probe_stride);
+        assert_eq!(l.result_addr(3) - l.result_addr(2), 8);
+    }
+}

@@ -1,0 +1,14 @@
+//! The SPECRUN attack framework (paper §4): gadget construction, predictor
+//! training, runahead triggering, covert-channel probing and the
+//! SpectrePHT/BTB/RSB variants nested inside runahead execution.
+
+pub mod covert;
+pub mod gadget;
+pub mod layout;
+pub mod poc;
+pub mod variants;
+
+pub use covert::{ProbeTimings, DEFAULT_THRESHOLD};
+pub use layout::AttackLayout;
+pub use poc::{build_pht_program, plant_data, run_pht_poc, PocConfig, PocOutcome};
+pub use variants::{build_btb_victim, build_rsb_victim, run_btb_poc, run_rsb_poc};

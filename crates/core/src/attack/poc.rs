@@ -1,0 +1,160 @@
+//! The end-to-end SPECRUN proof of concept (paper Fig. 8 / Fig. 9).
+
+use specrun_isa::ProgramBuilder;
+
+use crate::attack::covert::{ProbeTimings, DEFAULT_THRESHOLD};
+use crate::attack::gadget;
+use crate::attack::layout::AttackLayout;
+use crate::machine::Machine;
+
+/// Configuration of a SPECRUN proof-of-concept run.
+#[derive(Debug, Clone)]
+pub struct PocConfig {
+    /// Memory layout of the attack structures.
+    pub layout: AttackLayout,
+    /// The secret byte planted at [`AttackLayout::secret_addr`].
+    pub secret: u8,
+    /// Training iterations for the PHT (paper step ①).
+    pub training_rounds: u32,
+    /// Nops inserted between the bounds check and the secret access
+    /// (0 reproduces Fig. 9; > ROB size reproduces Fig. 11).
+    pub nop_slide: usize,
+    /// Filler between the victim call and the probe — the paper's Fig. 8
+    /// line 16, `<some_operations> // waiting for the victim's execution`.
+    /// It both supplies the instructions that fill the ROB (triggering
+    /// runahead) and keeps the runahead episode from running into the probe
+    /// loop and prefetching probe entries.
+    pub attack_filler: usize,
+    /// Hit/miss threshold for the covert-channel analyzer.
+    pub threshold: u64,
+    /// Cycle budget for the whole attack program.
+    pub max_cycles: u64,
+}
+
+impl Default for PocConfig {
+    fn default() -> PocConfig {
+        PocConfig {
+            layout: AttackLayout::default(),
+            secret: 86, // the byte the paper leaks in Fig. 9
+            training_rounds: 24,
+            nop_slide: 0,
+            attack_filler: 1200,
+            threshold: DEFAULT_THRESHOLD,
+            max_cycles: 3_000_000,
+        }
+    }
+}
+
+impl PocConfig {
+    /// The Fig. 11 configuration: secret 127 behind a nop slide longer than
+    /// the ROB.
+    pub fn fig11(nop_slide: usize) -> PocConfig {
+        PocConfig { secret: 127, nop_slide, ..PocConfig::default() }
+    }
+}
+
+/// Outcome of one proof-of-concept run.
+#[derive(Debug, Clone)]
+pub struct PocOutcome {
+    /// The probe-timing series (Fig. 9 / Fig. 11 material).
+    pub timings: ProbeTimings,
+    /// Byte recovered through the covert channel, if any.
+    pub leaked: Option<u8>,
+    /// The secret that was planted.
+    pub expected: u8,
+    /// Runahead episodes the attack caused.
+    pub runahead_entries: u64,
+    /// INV-source branches that never resolved (the SPECRUN signature).
+    pub inv_branches: u64,
+}
+
+impl PocOutcome {
+    /// Whether the covert channel recovered the planted secret.
+    pub fn success(&self) -> bool {
+        self.leaked == Some(self.expected)
+    }
+}
+
+/// Builds the single-binary Fig. 8 attack program: train → flush probe →
+/// flush `D` → victim call with malicious `x` → probe.
+pub fn build_pht_program(cfg: &PocConfig) -> specrun_isa::Program {
+    let mut b = ProgramBuilder::new(0x1000);
+    gadget::define_symbols(&mut b, &cfg.layout);
+    gadget::emit_training_loop(&mut b, cfg.training_rounds);
+    gadget::emit_probe_flush(&mut b, &cfg.layout);
+    gadget::emit_attack_call(&mut b, &cfg.layout);
+    b.nops(cfg.attack_filler); // Fig. 8 line 16: wait for the victim
+    gadget::emit_probe_loop(&mut b, &cfg.layout);
+    b.halt();
+    gadget::emit_victim_function(&mut b, &cfg.layout, cfg.nop_slide);
+    b.build().expect("PoC program is closed")
+}
+
+/// Plants the attack's data in machine memory (paper preconditions: the
+/// secret is the victim's recently-used data — cached; `array1`, its bound
+/// and the probe array are set up; the probe array is cold).
+pub fn plant_data(machine: &mut Machine, cfg: &PocConfig) {
+    let l = &cfg.layout;
+    machine.write_value(l.bound_addr, 8, l.bound_value);
+    // array1's in-bounds content is zero; the training access hits entry 0.
+    machine.write_bytes(l.array1_base, &vec![0u8; l.bound_value as usize]);
+    machine.write_bytes(l.secret_addr, &[cfg.secret]);
+    // Victim data is warm (the victim used it recently); the trigger line D
+    // starts warm too — the attacker flushes it in-program.
+    machine.warm(l.bound_addr, 8);
+    machine.warm(l.array1_base, l.bound_value);
+    machine.warm(l.secret_addr, 1);
+    // Probe array cold.
+    for v in 0..l.probe_entries {
+        machine.flush(l.probe_addr(v));
+    }
+}
+
+/// Runs the SpectrePHT-in-runahead proof of concept on `machine`.
+///
+/// The machine decides the outcome: a runahead machine leaks, the
+/// no-runahead machine (given a `nop_slide` > ROB) and the §6 defenses do
+/// not.
+pub fn run_pht_poc(machine: &mut Machine, cfg: &PocConfig) -> PocOutcome {
+    plant_data(machine, cfg);
+    let program = build_pht_program(cfg);
+    // Attacker and victim code are steady-state warm (the training loop has
+    // executed the whole flow repeatedly in a real attack).
+    machine.warm_text(&program);
+    machine.reset_stats();
+    machine.run_program(&program, cfg.max_cycles);
+    let timings = ProbeTimings::read_from(machine, &cfg.layout);
+    // Training touches array1[0] = 0, so probe entry 0 is excluded.
+    let leaked = timings.leaked_byte(cfg.threshold, &[0]);
+    PocOutcome {
+        leaked,
+        expected: cfg.secret,
+        runahead_entries: machine.stats().runahead_entries,
+        inv_branches: machine.stats().inv_unresolved_branches,
+        timings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_builds_and_contains_victim() {
+        let cfg = PocConfig::default();
+        let p = build_pht_program(&cfg);
+        assert!(p.symbol("victim_function").is_some());
+        assert!(p.len() > 30, "static length {}", p.len());
+    }
+
+    #[test]
+    fn planting_places_secret_and_bound() {
+        let cfg = PocConfig { secret: 0xab, ..PocConfig::default() };
+        let mut m = Machine::no_runahead();
+        plant_data(&mut m, &cfg);
+        assert_eq!(m.read_value(cfg.layout.bound_addr, 8), cfg.layout.bound_value);
+        assert_eq!(m.read_bytes(cfg.layout.secret_addr, 1), vec![0xab]);
+        assert_ne!(m.residency(cfg.layout.secret_addr), specrun_mem::HitLevel::Mem);
+        assert_eq!(m.residency(cfg.layout.probe_addr(7)), specrun_mem::HitLevel::Mem);
+    }
+}

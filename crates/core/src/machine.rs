@@ -1,0 +1,190 @@
+//! The [`Machine`]: a convenience facade over the simulated core for attack
+//! experiments.
+//!
+//! A machine owns one core (and through it the memory hierarchy and
+//! predictors). Running several programs in sequence on the same machine
+//! models co-resident processes time-sharing a physical core: architectural
+//! state resets between programs, microarchitectural state — caches,
+//! PHT/BTB/RSB, DRAM contention — deliberately persists. That persistence
+//! is the paper's threat model.
+
+use specrun_cpu::{Core, CpuConfig, RunExit, RunaheadPolicy, RunaheadTrigger, SecureConfig};
+use specrun_isa::{IntReg, Program};
+use specrun_mem::HitLevel;
+
+/// A simulated machine (core + memory + predictors).
+#[derive(Debug, Clone)]
+pub struct Machine {
+    core: Core,
+}
+
+impl Machine {
+    /// Creates a machine from an explicit configuration.
+    pub fn new(config: CpuConfig) -> Machine {
+        Machine { core: Core::new(config) }
+    }
+
+    /// The paper's *runahead machine* (Table 1, original runahead).
+    pub fn runahead() -> Machine {
+        Machine::new(CpuConfig::default())
+    }
+
+    /// The paper's *no-runahead machine* (Table 1, runahead disabled).
+    pub fn no_runahead() -> Machine {
+        Machine::new(CpuConfig::no_runahead())
+    }
+
+    /// A runahead machine with the relaxed "data cache miss" trigger used by
+    /// the paper's §5.3 scenario ➂.
+    pub fn runahead_head_miss() -> Machine {
+        let mut cfg = CpuConfig::default();
+        cfg.runahead.trigger = RunaheadTrigger::HeadMiss;
+        Machine::new(cfg)
+    }
+
+    /// A machine running the given runahead variant (§4.3).
+    pub fn with_policy(policy: RunaheadPolicy) -> Machine {
+        let mut cfg = CpuConfig::default();
+        cfg.runahead.policy = policy;
+        Machine::new(cfg)
+    }
+
+    /// The §6 secure runahead machine (SL cache + taint tracking).
+    pub fn secure() -> Machine {
+        Machine::new(CpuConfig::secure_runahead())
+    }
+
+    /// The §6 alternative mitigation (skip INV-source branches).
+    pub fn skip_inv() -> Machine {
+        let mut cfg = CpuConfig::default();
+        cfg.runahead.secure = SecureConfig::skip_inv_default();
+        Machine::new(cfg)
+    }
+
+    /// Loads a program (resets architectural state only; see module docs).
+    pub fn load(&mut self, program: &Program) {
+        self.core.load_program(program);
+    }
+
+    /// Runs until `halt` or the cycle budget is exhausted.
+    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        self.core.run(max_cycles)
+    }
+
+    /// Loads and runs a program in one call.
+    pub fn run_program(&mut self, program: &Program, max_cycles: u64) -> RunExit {
+        self.load(program);
+        self.run(max_cycles)
+    }
+
+    /// Architectural value of an integer register.
+    pub fn reg(&self, r: IntReg) -> u64 {
+        self.core.read_int_reg(r)
+    }
+
+    /// Writes bytes into simulated memory (host-side setup).
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        self.core.mem_mut().write_bytes(addr, bytes);
+    }
+
+    /// Writes a little-endian value into simulated memory.
+    pub fn write_value(&mut self, addr: u64, width: u64, value: u64) {
+        self.core.mem_mut().write_data(addr, width, value);
+    }
+
+    /// Reads bytes from simulated memory.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        self.core.mem().read_bytes(addr, len)
+    }
+
+    /// Reads a little-endian value from simulated memory.
+    pub fn read_value(&self, addr: u64, width: u64) -> u64 {
+        self.core.mem().read_data(addr, width)
+    }
+
+    /// Warms the cache line(s) covering `addr .. addr+len` (the "load data
+    /// into the cache" helper the paper added to Multi2Sim).
+    pub fn warm(&mut self, addr: u64, len: u64) {
+        self.core.mem_mut().warm_range(addr, len);
+    }
+
+    /// Warms a program's text image on the instruction side, modelling code
+    /// that has run recently (trained victims, looping attackers).
+    pub fn warm_text(&mut self, program: &specrun_isa::Program) {
+        let len = program.text_end() - program.text_base();
+        self.core.mem_mut().warm_ifetch_range(program.text_base(), len);
+    }
+
+    /// Evicts the line containing `addr` from the whole hierarchy (host-side
+    /// `clflush`, modelling a co-resident attacker's eviction).
+    pub fn flush(&mut self, addr: u64) {
+        let now = self.core.cycle();
+        self.core.mem_mut().flush_line(addr, now);
+    }
+
+    /// Schedules a `clflush` to fire mid-run at a given cycle (§5.3 ➂: the
+    /// co-resident attacker re-flushing the trigger line).
+    pub fn schedule_flush(&mut self, cycle: u64, addr: u64) {
+        self.core.schedule_flush(cycle, addr);
+    }
+
+    /// Where `addr` currently resides, without disturbing state.
+    pub fn residency(&self, addr: u64) -> HitLevel {
+        self.core.mem().residency(addr)
+    }
+
+    /// Direct access to the core.
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Mutable access to the core.
+    pub fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
+    /// Core statistics.
+    pub fn stats(&self) -> &specrun_cpu::CpuStats {
+        self.core.stats()
+    }
+
+    /// Resets statistics counters.
+    pub fn reset_stats(&mut self) {
+        self.core.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specrun_isa::ProgramBuilder;
+
+    #[test]
+    fn microarch_state_survives_program_switch() {
+        let mut m = Machine::no_runahead();
+        m.warm(0x5000, 8);
+        let mut b = ProgramBuilder::new(0x100);
+        b.halt();
+        m.run_program(&b.build().unwrap(), 1000);
+        assert_eq!(m.residency(0x5000), HitLevel::L1, "caches persist across programs");
+    }
+
+    #[test]
+    fn presets_have_expected_policies() {
+        assert_eq!(
+            Machine::no_runahead().core().config().runahead.policy,
+            RunaheadPolicy::Disabled
+        );
+        assert!(Machine::secure().core().config().runahead.secure.sl_cache);
+        assert!(Machine::skip_inv().core().config().runahead.secure.skip_inv_branches);
+    }
+
+    #[test]
+    fn host_memory_round_trip() {
+        let mut m = Machine::runahead();
+        m.write_bytes(0x1234, b"hello");
+        assert_eq!(m.read_bytes(0x1234, 5), b"hello");
+        m.write_value(0x2000, 8, 77);
+        assert_eq!(m.read_value(0x2000, 8), 77);
+    }
+}

@@ -1,0 +1,143 @@
+//! §6 defense verification: the SL-cache scheme and the skip-INV-branch
+//! mitigation must block every attack configuration that leaks on the
+//! undefended runahead machine.
+
+use specrun::attack::{run_pht_poc, PocConfig};
+use specrun::defense::verify_pht_blocked;
+use specrun::Machine;
+
+/// Control: the undefended machine leaks (so the defense tests below are
+/// meaningful).
+#[test]
+fn undefended_machine_leaks() {
+    let cfg = PocConfig::fig11(300);
+    let outcome = run_pht_poc(&mut Machine::runahead(), &cfg);
+    assert_eq!(outcome.leaked, Some(127));
+}
+
+/// The SL cache blocks the Fig. 11 attack: runahead fills stay out of the
+/// hierarchy and the mispredicted branch's entries are deleted.
+#[test]
+fn sl_cache_blocks_fig11_attack() {
+    let cfg = PocConfig::fig11(300);
+    let mut machine = Machine::secure();
+    let report = verify_pht_blocked(&mut machine, &cfg);
+    assert!(report.outcome.runahead_entries >= 1, "attack still triggers runahead");
+    assert!(report.blocked(), "leak must be blocked: {:?}", report.outcome.leaked);
+    assert!(
+        report.sl_deletions > 0,
+        "the poisoned branch's entries must be deleted (promotions={}, deletions={})",
+        report.sl_promotions,
+        report.sl_deletions
+    );
+}
+
+/// The SL cache blocks the short-window Fig. 9 shape too (the secret access
+/// then happens under ordinary speculation — out of the SL cache's scope —
+/// so this asserts only the runahead channel is closed; see the nop-slide
+/// test above for the runahead-only channel).
+#[test]
+fn sl_cache_closes_runahead_channel_with_short_slide() {
+    // With a slide just over the ROB, plain speculation cannot reach the
+    // gadget and the only channel is runahead: the defense must close it.
+    let cfg = PocConfig { secret: 86, nop_slide: 260, ..PocConfig::default() };
+    let mut machine = Machine::secure();
+    let report = verify_pht_blocked(&mut machine, &cfg);
+    assert!(report.blocked(), "leaked {:?}", report.outcome.leaked);
+}
+
+/// The skip-INV-branch mitigation (§6 closing paragraph) also blocks the
+/// attack: speculation past an unresolvable branch is suppressed.
+#[test]
+fn skip_inv_branches_blocks_fig11_attack() {
+    let cfg = PocConfig::fig11(300);
+    let mut machine = Machine::skip_inv();
+    let report = verify_pht_blocked(&mut machine, &cfg);
+    assert!(report.outcome.runahead_entries >= 1);
+    assert!(report.blocked(), "leaked {:?}", report.outcome.leaked);
+    assert!(report.skipped_inv_branches > 0, "mitigation must have fired");
+}
+
+/// Reproduction finding: the §6 SL-cache scheme as specified does *not*
+/// block the BTB/RSB variants. Its taint seeds come exclusively from
+/// conditional-branch predicates (`Btag`/`IS`), and the indirect jumps and
+/// returns that steer those variants carry no branch scope — their fills
+/// are tagged safe and promote. This test pins the analyzed behaviour.
+#[test]
+fn finding_sl_cache_does_not_cover_btb_rsb() {
+    use specrun::attack::{run_btb_poc, run_rsb_poc};
+    let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
+    let mut m = Machine::secure();
+    assert_eq!(run_btb_poc(&mut m, &cfg).leaked, Some(86), "BTB evades the SL scheme");
+    let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
+    let mut m = Machine::secure();
+    assert_eq!(run_rsb_poc(&mut m, &cfg).leaked, Some(86), "RSB evades the SL scheme");
+}
+
+/// The skip-INV mitigation generalizes to all unresolvable control flow
+/// (conditional branches, indirect jumps, poisoned returns) and therefore
+/// blocks all three variants.
+#[test]
+fn skip_inv_blocks_btb_and_rsb_variants() {
+    use specrun::attack::{run_btb_poc, run_rsb_poc};
+    let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
+    let mut m = Machine::skip_inv();
+    assert_eq!(run_btb_poc(&mut m, &cfg).leaked, None);
+    let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
+    let mut m = Machine::skip_inv();
+    assert_eq!(run_rsb_poc(&mut m, &cfg).leaked, None);
+}
+
+/// The defense preserves architectural correctness: a benign program
+/// produces identical results on the secure and baseline machines.
+#[test]
+fn defense_preserves_architecture() {
+    use specrun_isa::{AluOp, IntReg, ProgramBuilder};
+    let r = |i| IntReg::new(i).unwrap();
+    let mut b = ProgramBuilder::new(0x1000);
+    b.li(r(1), 0x9000);
+    b.flush(r(1), 0);
+    b.ld(r(2), r(1), 0);
+    b.nops(300); // force a runahead episode
+    b.alui(AluOp::Add, r(3), r(2), 7);
+    b.for_loop(r(4), 10, |b| {
+        b.add(r(3), r(3), r(4));
+    });
+    b.halt();
+    let p = b.build().unwrap();
+
+    let mut plain = Machine::runahead();
+    plain.run_program(&p, 1_000_000);
+    let mut secure = Machine::secure();
+    secure.run_program(&p, 1_000_000);
+    assert_eq!(plain.reg(r(3)), secure.reg(r(3)));
+    assert!(secure.stats().runahead_entries >= 1);
+}
+
+/// Safe runahead prefetches keep their value under the defense: SL entries
+/// not guarded by a branch promote to L1 (Algorithm 1 lines 21–23).
+#[test]
+fn safe_prefetches_promote() {
+    use specrun_isa::{IntReg, ProgramBuilder};
+    let r = |i| IntReg::new(i).unwrap();
+    let mut b = ProgramBuilder::new(0x1000);
+    b.li(r(1), 0x9000);
+    b.li(r(2), 0x20000);
+    b.flush(r(1), 0);
+    b.flush(r(2), 0);
+    b.ld(r(3), r(1), 0); // stalling load
+    b.nops(300);
+    b.ld(r(4), r(2), 0); // independent, branch-free runahead load
+    b.ld(r(5), r(2), 0); // re-executed after exit: SL hit → promote
+    b.halt();
+    let p = b.build().unwrap();
+    let mut machine = Machine::secure();
+    machine.run_program(&p, 1_000_000);
+    assert!(machine.stats().runahead_entries >= 1);
+    assert!(
+        machine.stats().sl_promotions > 0,
+        "safe fill must promote (sl_hits={}, promotions={})",
+        machine.stats().sl_hits,
+        machine.stats().sl_promotions
+    );
+}

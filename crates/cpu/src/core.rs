@@ -1,0 +1,1374 @@
+//! The out-of-order core: fetch → decode → rename/dispatch → issue →
+//! execute → writeback → commit, with runahead mode layered on top.
+//!
+//! The pipeline is cycle-stepped. Stages run back-to-front within
+//! [`Core::step`] so results written this cycle wake dependants this cycle;
+//! the 6-stage front end is modelled as a fetch-to-rename delay line.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use specrun_bp::{BranchKind, BranchPredictor, Prediction};
+use specrun_isa::{ArchReg, BranchCond, Inst, IntReg, Program, INST_BYTES};
+use specrun_mem::{
+    AccessKind, FillPolicy, HitLevel, MemHierarchy, RunaheadCache, RunaheadRead, SlCache,
+};
+
+use crate::config::CpuConfig;
+use crate::fu::{FuKind, FuPool};
+use crate::lsq::{LoadCheck, StoreQueue};
+use crate::regs::{ArchCheckpoint, FreeLists, PhysRef, Rat, RegClass, RegFile};
+use crate::rob::{BranchInfo, DestInfo, EntryState, Rob, RobEntry};
+use crate::runahead::{Episode, StrideEntry};
+use crate::secure::SecureState;
+use crate::stats::CpuStats;
+use crate::taint::TaintTracker;
+
+/// Why [`Core::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// The program committed a `halt`.
+    Halted,
+    /// The cycle limit elapsed first.
+    CycleLimit,
+    /// Control flow left the program image with nothing left in flight
+    /// (e.g. an indirect jump to an unmapped address); no further progress
+    /// is possible.
+    Wedged,
+}
+
+/// Execution mode of the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Ordinary out-of-order execution.
+    Normal,
+    /// Runahead mode (paper §2.1): the stalling load pseudo-retired, all
+    /// retirement is pseudo-retirement, INV bits propagate.
+    Runahead(Episode),
+}
+
+/// An instruction moving through the front-end delay line.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fetched {
+    pub pc: u64,
+    pub inst: Inst,
+    pub available_at: u64,
+    pub pred: Option<PredInfo>,
+}
+
+/// Prediction attached to a fetched control instruction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PredInfo {
+    pub kind: BranchKind,
+    pub taken: bool,
+    pub target: u64,
+    pub rsb_checkpoint: usize,
+}
+
+/// Runahead bookkeeping that lives across the episode.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RunaheadMachinery {
+    pub cache: Option<RunaheadCache>,
+    pub checkpoint: Option<ArchCheckpoint>,
+    pub rsb_checkpoint: usize,
+    pub history_checkpoint: Option<Vec<u64>>,
+}
+
+/// The simulated processor core, including its memory hierarchy.
+#[derive(Debug, Clone)]
+pub struct Core {
+    pub(crate) cfg: CpuConfig,
+    pub(crate) mem: MemHierarchy,
+    pub(crate) bp: BranchPredictor,
+    pub(crate) regs: RegFile,
+    pub(crate) rat: Rat,
+    pub(crate) retire_rat: Rat,
+    pub(crate) free: FreeLists,
+    pub(crate) rob: Rob,
+    pub(crate) sq: StoreQueue,
+    pub(crate) lq_occupancy: usize,
+    pub(crate) iq_occupancy: usize,
+    pub(crate) fu: FuPool,
+    pub(crate) program: Option<Arc<Program>>,
+    pub(crate) scope_map: HashMap<u64, u64>,
+    // Front end.
+    pub(crate) fetch_pc: u64,
+    pub(crate) fetch_stalled_until: u64,
+    pub(crate) fetch_halted: bool,
+    pub(crate) pipe: VecDeque<Fetched>,
+    pub(crate) ipf_frontier: u64,
+    // Sequencing.
+    pub(crate) next_seq: u64,
+    pub(crate) cycle: u64,
+    pub(crate) halted: bool,
+    // Runahead.
+    pub(crate) mode: Mode,
+    pub(crate) ra: RunaheadMachinery,
+    pub(crate) tracker: TaintTracker,
+    pub(crate) secure: SecureState,
+    pub(crate) strides: HashMap<u64, StrideEntry>,
+    pub(crate) ra_backoff_until: u64,
+    pub(crate) scheduled_flushes: Vec<(u64, u64)>,
+    pub(crate) stats: CpuStats,
+}
+
+impl Core {
+    /// Creates a core with empty caches and predictor state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`CpuConfig::validate`]).
+    pub fn new(cfg: CpuConfig) -> Core {
+        cfg.validate();
+        let sl_entries = cfg.runahead.secure.sl_entries.max(1);
+        Core {
+            mem: MemHierarchy::new(cfg.mem),
+            bp: BranchPredictor::new(cfg.predictor),
+            regs: RegFile::new(cfg.int_prf, cfg.fp_prf),
+            rat: Rat::identity(),
+            retire_rat: Rat::identity(),
+            free: FreeLists::new(cfg.int_prf, cfg.fp_prf),
+            rob: Rob::new(cfg.rob_entries),
+            sq: StoreQueue::new(cfg.sq_entries),
+            lq_occupancy: 0,
+            iq_occupancy: 0,
+            fu: FuPool::new(&cfg.fu),
+            program: None,
+            scope_map: HashMap::new(),
+            fetch_pc: 0,
+            fetch_stalled_until: 0,
+            fetch_halted: true,
+            pipe: VecDeque::new(),
+            ipf_frontier: 0,
+            next_seq: 0,
+            cycle: 0,
+            halted: true,
+            mode: Mode::Normal,
+            ra: RunaheadMachinery::default(),
+            tracker: TaintTracker::new(),
+            secure: SecureState::new(SlCache::new(sl_entries)),
+            strides: HashMap::new(),
+            ra_backoff_until: 0,
+            scheduled_flushes: Vec::new(),
+            stats: CpuStats::default(),
+            cfg,
+        }
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.cfg
+    }
+
+    /// Loads a program: architectural state is reset (registers zeroed,
+    /// `r31` set to the configured stack top, PC at the entry point) while
+    /// **microarchitectural state persists** — caches, predictor tables and
+    /// DRAM contention carry over, which is what lets one program train
+    /// structures another program will consult (the paper's threat model).
+    pub fn load_program(&mut self, program: &Program) {
+        self.flush_pipeline();
+        self.rat = Rat::identity();
+        self.retire_rat = Rat::identity();
+        self.free = FreeLists::new(self.cfg.int_prf, self.cfg.fp_prf);
+        self.regs = RegFile::new(self.cfg.int_prf, self.cfg.fp_prf);
+        let sp = self.retire_rat.get(ArchReg::Int(IntReg::SP));
+        self.regs.restore(sp, self.cfg.stack_top);
+        self.scope_map =
+            program.branch_scopes().iter().map(|s| (s.branch_pc, s.end_pc)).collect();
+        self.program = Some(Arc::new(program.clone()));
+        self.fetch_pc = program.entry();
+        self.fetch_halted = false;
+        self.halted = false;
+        self.mode = Mode::Normal;
+        self.ra = RunaheadMachinery::default();
+        self.tracker.reset();
+        self.strides.clear();
+    }
+
+    /// Clears all in-flight state (used on program load).
+    fn flush_pipeline(&mut self) {
+        self.rob = Rob::new(self.cfg.rob_entries);
+        self.sq = StoreQueue::new(self.cfg.sq_entries);
+        self.pipe.clear();
+        self.lq_occupancy = 0;
+        self.iq_occupancy = 0;
+        self.fu.clear();
+        self.fetch_stalled_until = 0;
+    }
+
+    /// Current cycle count (monotonic across [`Core::load_program`] calls so
+    /// `rdcycle` deltas remain meaningful between programs).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether the machine has committed a `halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// Resets statistics (state is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CpuStats::default();
+        self.mem.reset_stats();
+        self.bp.reset_stats();
+    }
+
+    /// The memory subsystem.
+    pub fn mem(&self) -> &MemHierarchy {
+        &self.mem
+    }
+
+    /// Mutable access to the memory subsystem (host-side setup: writing
+    /// arrays, warming or flushing lines).
+    pub fn mem_mut(&mut self) -> &mut MemHierarchy {
+        &mut self.mem
+    }
+
+    /// The branch predictor.
+    pub fn predictor(&self) -> &BranchPredictor {
+        &self.bp
+    }
+
+    /// Mutable access to the branch predictor (direct training in tests).
+    pub fn predictor_mut(&mut self) -> &mut BranchPredictor {
+        &mut self.bp
+    }
+
+    /// Committed (architectural) value of an integer register.
+    pub fn read_int_reg(&self, r: IntReg) -> u64 {
+        self.regs.value(self.retire_rat.get(ArchReg::Int(r)))
+    }
+
+    /// Number of entries currently resident in the defense's SL cache.
+    pub fn sl_counter(&self) -> usize {
+        self.secure.sl.counter()
+    }
+
+    /// Injects a host-scheduled `clflush` of `addr` at `cycle` — models the
+    /// co-resident attacker thread of the paper's §5.3 scenario ➂, which
+    /// re-flushes the trigger line to chain runahead episodes.
+    pub fn schedule_flush(&mut self, cycle: u64, addr: u64) {
+        self.scheduled_flushes.push((cycle, addr));
+    }
+
+    /// Runs until `halt` commits, progress becomes impossible, or
+    /// `max_cycles` cycles elapse.
+    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        let limit = self.cycle.saturating_add(max_cycles);
+        let mut exit = RunExit::CycleLimit;
+        while !self.halted && self.cycle < limit {
+            self.step();
+            if self.fetch_halted
+                && !self.halted
+                && self.pipe.is_empty()
+                && self.rob.is_empty()
+                && !self.in_runahead()
+            {
+                exit = RunExit::Wedged;
+                break;
+            }
+        }
+        if self.halted {
+            exit = RunExit::Halted;
+        }
+        // Land any fills that completed during the run so host-side
+        // residency checks see them. A halted program's last loads may
+        // still be travelling; account for their arrival time.
+        let settle = self.cycle + self.cfg.mem.dram.latency + 64;
+        self.mem.drain_completed(settle);
+        exit
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        let now = self.cycle;
+        self.stats.cycles += 1;
+        self.apply_scheduled_flushes(now);
+        self.check_runahead_exit(now);
+        self.drain_sl_fills(now);
+        self.writeback(now);
+        self.commit(now);
+        self.issue(now);
+        self.dispatch(now);
+        self.fetch(now);
+    }
+
+    fn apply_scheduled_flushes(&mut self, now: u64) {
+        let mem = &mut self.mem;
+        self.scheduled_flushes.retain(|&(cycle, addr)| {
+            if cycle <= now {
+                mem.flush_line(addr, now);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    pub(crate) fn in_runahead(&self) -> bool {
+        matches!(self.mode, Mode::Runahead(_))
+    }
+
+    fn seq_of_head(&self) -> Option<u64> {
+        self.rob.head().map(|e| e.seq)
+    }
+
+    // ------------------------------------------------------------------
+    // Writeback
+    // ------------------------------------------------------------------
+
+    fn writeback(&mut self, now: u64) {
+        let mut resolutions: Vec<u64> = Vec::new();
+        let mut completed: Vec<u64> = Vec::new();
+        for e in self.rob.iter() {
+            if e.state == EntryState::Executing && e.ready_at <= now {
+                completed.push(e.seq);
+            }
+        }
+        for seq in completed {
+            // Loads from memory read their data at completion so stores
+            // that committed in the meantime are visible.
+            let (needs_mem_read, addr, width) = {
+                let e = self.rob.get_mut(seq).expect("entry exists");
+                let needs =
+                    e.is_load && !e.inv && e.load_level.is_some() && e.load_addr.is_some();
+                (needs, e.load_addr.unwrap_or(0), load_width(&e.inst))
+            };
+            let mem_value = if needs_mem_read { Some(self.mem.read_data(addr, width)) } else { None };
+            let e = self.rob.get_mut(seq).expect("entry exists");
+            if let Some(v) = mem_value {
+                e.result = v;
+            }
+            let is_ret = matches!(e.inst, Inst::Ret);
+            let result = e.result;
+            let aux_sp = e.aux_sp;
+            let mut dest_write: Option<(PhysRef, u64, bool, u64)> = None;
+            if let Some(d) = e.dest {
+                // `Ret` writes the SP update, not the loaded value.
+                let value = if is_ret { aux_sp } else { result };
+                dest_write = Some((d.new, value, e.inv, e.taint));
+            }
+            e.state = EntryState::Done;
+            let resolve = e.branch.map_or(false, |b| !b.resolved) && !e.inv;
+            if resolve {
+                if let Some(b) = e.branch.as_mut() {
+                    if is_ret {
+                        b.actual_target = result;
+                        b.actual_taken = true;
+                    }
+                }
+                resolutions.push(seq);
+            }
+            if let Some((phys, value, inv, taint)) = dest_write {
+                if inv {
+                    self.regs.write_inv(phys);
+                } else {
+                    self.regs.write(phys, value);
+                }
+                self.regs.set_taint(phys, taint);
+            }
+        }
+        for seq in resolutions {
+            self.resolve_branch(seq, now);
+        }
+    }
+
+    /// Resolves a branch whose operands were valid. May squash.
+    fn resolve_branch(&mut self, seq: u64, now: u64) {
+        let Some(e) = self.rob.get_mut(seq) else { return };
+        let pc = e.pc;
+        let Some(b) = e.branch.as_mut() else { return };
+        if b.resolved {
+            return;
+        }
+        b.resolved = true;
+        let info = *b;
+        let mispredicted = info.actual_taken != info.predicted_taken
+            || (info.actual_taken && info.actual_target != info.predicted_target);
+        let in_runahead = self.in_runahead();
+        let train = !in_runahead || self.cfg.runahead.train_predictor;
+        match info.kind {
+            BranchKind::Conditional => {
+                self.stats.branches += 1;
+                if mispredicted {
+                    self.stats.branch_mispredicts += 1;
+                }
+                if train {
+                    self.bp.resolve_conditional(pc, info.actual_taken, mispredicted);
+                }
+            }
+            BranchKind::Indirect | BranchKind::Call => {
+                if train {
+                    self.bp.resolve_target(pc, info.actual_target, mispredicted);
+                }
+            }
+            BranchKind::Return => {
+                if train {
+                    self.bp.resolve_return(mispredicted);
+                }
+            }
+            BranchKind::Direct => {}
+        }
+        // Secure-runahead verdict bookkeeping (Algorithm 1's S[] / deletion).
+        if matches!(info.kind, BranchKind::Conditional) {
+            self.secure_on_resolution(pc, info.actual_taken, info.scope_id, in_runahead);
+        }
+        if mispredicted {
+            let redirect = if info.actual_taken {
+                info.actual_target
+            } else {
+                pc + INST_BYTES
+            };
+            self.squash_after(seq, now);
+            // Repair the RSB to just-after this branch's own effects.
+            self.bp.rsb_restore(info.rsb_checkpoint);
+            match info.kind {
+                BranchKind::Call => {
+                    self.bp.rsb_mut().push(pc + INST_BYTES);
+                }
+                BranchKind::Return => {
+                    self.bp.rsb_mut().pop();
+                }
+                _ => {}
+            }
+            self.redirect_fetch(redirect, now + 1);
+        }
+    }
+
+    /// Removes all entries younger than `seq`, unwinding renames.
+    pub(crate) fn squash_after(&mut self, seq: u64, _now: u64) {
+        let removed = self.rob.squash_younger(seq);
+        for e in &removed {
+            if let Some(d) = e.dest {
+                self.rat.set(d.arch, d.prev);
+                self.free.free(d.new);
+            }
+            if e.is_load {
+                self.lq_occupancy = self.lq_occupancy.saturating_sub(1);
+            }
+            if e.state == EntryState::Waiting {
+                self.iq_occupancy = self.iq_occupancy.saturating_sub(1);
+            }
+            self.stats.squashed += 1;
+        }
+        self.sq.squash_younger(seq);
+        self.pipe.clear();
+    }
+
+    /// Points fetch at `target` starting from cycle `from` (any stall
+    /// belonging to the abandoned path is discarded).
+    pub(crate) fn redirect_fetch(&mut self, target: u64, from: u64) {
+        self.fetch_pc = target;
+        self.fetch_stalled_until = from;
+        self.fetch_halted = false;
+        self.pipe.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / pseudo-retire
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self, now: u64) {
+        for _ in 0..self.cfg.width {
+            let Some(head) = self.rob.head() else { break };
+            if head.state != EntryState::Done {
+                // A DRAM-bound load stalling at the head: record the window
+                // statistic and consider entering runahead.
+                if head.is_load
+                    && head.state == EntryState::Executing
+                    && head.load_level == Some(HitLevel::Mem)
+                    && head.ready_at > now
+                {
+                    let behind = self.rob.len() as u64 - 1;
+                    if behind > self.stats.max_stall_window {
+                        self.stats.max_stall_window = behind;
+                    }
+                    if !self.in_runahead() && self.runahead_trigger_met() {
+                        self.enter_runahead(now);
+                    }
+                }
+                break;
+            }
+            let entry = self.rob.pop_head().expect("head exists");
+            if self.in_runahead() {
+                self.pseudo_retire(entry);
+            } else {
+                self.commit_entry(entry, now);
+                if self.halted {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn commit_entry(&mut self, e: RobEntry, now: u64) {
+        if let Some(d) = e.dest {
+            self.retire_rat.set(d.arch, d.new);
+            self.free.free(d.prev);
+        }
+        if e.is_load {
+            self.lq_occupancy = self.lq_occupancy.saturating_sub(1);
+            self.stats.loads += 1;
+        }
+        if e.is_store {
+            if let Some(se) = self.sq.release(e.seq) {
+                let addr = se.addr.expect("committed store has an address");
+                if se.is_flush {
+                    self.mem.flush_line(addr, now);
+                } else {
+                    self.mem.access(addr, now, AccessKind::Store, FillPolicy::Normal);
+                    self.mem.write_data(addr, se.width, se.value.unwrap_or(0));
+                    self.stats.stores += 1;
+                }
+            }
+        }
+        if matches!(e.inst, Inst::Halt) {
+            self.halted = true;
+        }
+        self.stats.committed += 1;
+    }
+
+    fn pseudo_retire(&mut self, e: RobEntry) {
+        if let Some(d) = e.dest {
+            self.retire_rat.set(d.arch, d.new);
+            self.free.free(d.prev);
+        }
+        if e.is_load {
+            self.lq_occupancy = self.lq_occupancy.saturating_sub(1);
+        }
+        if e.is_store {
+            // Runahead stores touched only the runahead cache at issue.
+            self.sq.release(e.seq);
+        }
+        self.stats.pseudo_retired += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / execute
+    // ------------------------------------------------------------------
+
+    fn issue(&mut self, now: u64) {
+        let mut issued = 0usize;
+        let mut older_serializing_pending = false;
+        let head_seq = self.seq_of_head();
+        let candidates: Vec<u64> = self.rob.iter().map(|e| e.seq).collect();
+        for seq in candidates {
+            if issued >= self.cfg.width {
+                break;
+            }
+            let (state, serializing) = {
+                let Some(e) = self.rob.get_mut(seq) else { continue };
+                (e.state, e.inst.is_serializing())
+            };
+            if state != EntryState::Waiting {
+                if serializing && state != EntryState::Done {
+                    older_serializing_pending = true;
+                }
+                continue;
+            }
+            if older_serializing_pending {
+                continue;
+            }
+            if serializing {
+                older_serializing_pending = true;
+            }
+            if self.try_issue_entry(seq, head_seq, now) {
+                issued += 1;
+                self.iq_occupancy = self.iq_occupancy.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Attempts to issue one entry. Returns whether it left `Waiting`.
+    fn try_issue_entry(&mut self, seq: u64, head_seq: Option<u64>, now: u64) -> bool {
+        // Gather operand state without holding a ROB borrow.
+        let (inst, pc, srcs) = {
+            let e = self.rob.get_mut(seq).expect("entry exists");
+            (e.inst, e.pc, e.srcs)
+        };
+        // Stores split into address generation (base ready) and data
+        // delivery (data ready), so younger loads can disambiguate without
+        // waiting for the store's data.
+        if matches!(inst, Inst::Store { .. } | Inst::FpStore { .. }) {
+            return self.issue_store_two_phase(seq, inst, now);
+        }
+        let mut vals = [0u64; 3];
+        let mut inv = false;
+        let mut taint = 0u64;
+        for (i, src) in srcs.iter().enumerate() {
+            if let Some(phys) = src {
+                if !self.regs.is_ready(*phys) {
+                    return false;
+                }
+                vals[i] = self.regs.value(*phys);
+                inv |= self.regs.is_inv(*phys);
+                taint |= self.regs.taint(*phys);
+            }
+        }
+        // Precise runahead executes only the address-generating slices;
+        // suppressed work completes instantly as INV.
+        if self.runahead_suppressed(&inst) {
+            let e = self.rob.get_mut(seq).expect("entry exists");
+            e.state = EntryState::Done;
+            e.inv = true;
+            let dest = e.dest;
+            if let Some(d) = dest {
+                self.regs.write_inv(d.new);
+            }
+            return true;
+        }
+        match inst {
+            Inst::RdCycle { .. } => {
+                // Serializing: issues only as the oldest instruction (all
+                // older work, including stores, has already committed).
+                if head_seq != Some(seq) {
+                    return false;
+                }
+                self.finish_alu(seq, now, 1, now, false, 0)
+            }
+            Inst::Branch { cond, rs1, rs2, offset } => {
+                self.issue_branch(seq, pc, cond, rs1, rs2, offset, vals, inv, taint, now)
+            }
+            Inst::Load { .. } | Inst::FpLoad { .. } | Inst::Ret => {
+                self.issue_load(seq, pc, inst, vals, inv, taint, now)
+            }
+            Inst::Flush { .. } => self.issue_store(seq, inst, vals, inv, taint, now),
+            Inst::Call { offset } => self.issue_call(seq, pc, Some(offset), None, vals, inv, taint, now),
+            Inst::CallInd { .. } => {
+                self.issue_call(seq, pc, None, Some(vals[0]), vals, inv, taint, now)
+            }
+            Inst::JumpInd { base, offset } => {
+                if inv && self.in_runahead() {
+                    // An INV-target indirect jump never resolves: the (BTB)
+                    // prediction steers the rest of the episode — the
+                    // SpectreBTB-in-runahead primitive.
+                    self.stats.inv_unresolved_branches += 1;
+                    self.skip_inv_park(seq, now);
+                    let e = self.rob.get_mut(seq).expect("entry exists");
+                    e.state = EntryState::Done;
+                    e.inv = true;
+                    e.taint = taint;
+                    return true;
+                }
+                let Some(latency) = self.fu.try_issue(FuKind::IntAdd, now) else { return false };
+                let base_val = if base.is_zero() { 0 } else { vals[0] };
+                let target = base_val.wrapping_add_signed(i64::from(offset));
+                let e = self.rob.get_mut(seq).expect("entry exists");
+                e.state = EntryState::Executing;
+                e.ready_at = now + latency;
+                e.taint = taint;
+                if let Some(b) = e.branch.as_mut() {
+                    b.actual_taken = true;
+                    b.actual_target = target;
+                }
+                true
+            }
+            _ => {
+                let result = eval_simple(&inst, vals, now);
+                let kind = FuKind::for_inst(&inst);
+                let Some(latency) = self.fu.try_issue(kind, now) else { return false };
+                self.finish_alu(seq, now, latency, result, inv, taint)
+            }
+        }
+    }
+
+    /// The skip-INV mitigation ("the branch is skipped rather than
+    /// unresolved", §6): suppress speculation past unresolvable control
+    /// flow by squashing its shadow and parking fetch for the episode.
+    /// Applies uniformly to INV conditional branches, indirect jumps and
+    /// returns — following either static direction of an unresolvable
+    /// branch would still execute attacker-chosen code.
+    fn skip_inv_park(&mut self, seq: u64, now: u64) {
+        if !self.cfg.runahead.secure.skip_inv_branches || !self.in_runahead() {
+            return;
+        }
+        self.stats.skipped_inv_branches += 1;
+        let exit_at = match self.mode {
+            Mode::Runahead(ep) => ep.exit_at,
+            Mode::Normal => now,
+        };
+        self.squash_after(seq, now);
+        self.fetch_stalled_until = self.fetch_stalled_until.max(exit_at);
+        self.fetch_halted = true;
+    }
+
+    /// Completes issue of a simple (register-result) operation.
+    fn finish_alu(
+        &mut self,
+        seq: u64,
+        now: u64,
+        latency: u64,
+        result: u64,
+        inv: bool,
+        taint: u64,
+    ) -> bool {
+        let e = self.rob.get_mut(seq).expect("entry exists");
+        e.state = EntryState::Executing;
+        e.ready_at = now + latency;
+        e.result = result;
+        e.inv = inv;
+        e.taint = taint;
+        if let Some(b) = e.branch.as_mut() {
+            // Only direct jumps reach this path; their prediction is exact.
+            debug_assert!(matches!(e.inst, Inst::Jump { .. } | Inst::RdCycle { .. }));
+            b.actual_taken = b.predicted_taken;
+            b.actual_target = b.predicted_target;
+        }
+        true
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_branch(
+        &mut self,
+        seq: u64,
+        pc: u64,
+        cond: BranchCond,
+        rs1: IntReg,
+        rs2: IntReg,
+        offset: i32,
+        vals: [u64; 3],
+        inv: bool,
+        taint: u64,
+        now: u64,
+    ) -> bool {
+        // Operand values: sources() skips r0 reads, so reconstruct operand
+        // positions — a branch reading r0 compares against zero.
+        let (v1, v2) = two_operands(rs1, rs2, vals);
+        if inv && self.in_runahead() {
+            // The SPECRUN vulnerability: an INV-source branch never resolves;
+            // the (attacker-trained) prediction stands for the whole episode.
+            self.stats.inv_unresolved_branches += 1;
+            self.skip_inv_park(seq, now);
+            let e = self.rob.get_mut(seq).expect("entry exists");
+            e.state = EntryState::Done;
+            e.inv = true;
+            e.taint = taint;
+            return true;
+        }
+        let Some(latency) = self.fu.try_issue(FuKind::IntAdd, now) else { return false };
+        let taken = cond.eval(v1, v2);
+        let e = self.rob.get_mut(seq).expect("entry exists");
+        e.state = EntryState::Executing;
+        e.ready_at = now + latency;
+        e.taint = taint;
+        if let Some(b) = e.branch.as_mut() {
+            b.actual_taken = taken;
+            b.actual_target = if taken { pc.wrapping_add_signed(i64::from(offset)) } else { pc + INST_BYTES };
+        }
+        true
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_call(
+        &mut self,
+        seq: u64,
+        pc: u64,
+        direct_offset: Option<i32>,
+        indirect_target: Option<u64>,
+        vals: [u64; 3],
+        inv: bool,
+        taint: u64,
+        now: u64,
+    ) -> bool {
+        // Source layout: a direct call reads [SP]; an indirect call reads
+        // [target_base, SP].
+        let sp_val = match direct_offset {
+            Some(_) => vals[0],
+            None => vals[1],
+        };
+        if self.fu.try_issue(FuKind::Mem, now).is_none() {
+            return false;
+        }
+        let new_sp = sp_val.wrapping_sub(8);
+        let ret_addr = pc + INST_BYTES;
+        self.sq.fill(seq, new_sp, Some(ret_addr), inv);
+        if self.in_runahead() {
+            if let Some(rc) = self.ra.cache.as_mut() {
+                rc.write(new_sp, 8, ret_addr, inv);
+            }
+        }
+        let actual_target = match direct_offset {
+            Some(off) => pc.wrapping_add_signed(i64::from(off)),
+            None => indirect_target.unwrap_or(0),
+        };
+        let e = self.rob.get_mut(seq).expect("entry exists");
+        e.state = EntryState::Executing;
+        e.ready_at = now + 1;
+        e.result = new_sp;
+        e.inv = inv;
+        e.taint = taint;
+        if let Some(b) = e.branch.as_mut() {
+            b.actual_taken = true;
+            b.actual_target = actual_target;
+            if direct_offset.is_some() {
+                b.resolved = true; // direct target can never mispredict
+            }
+        }
+        true
+    }
+
+    /// Issues a `clflush` (address-only store-queue occupant).
+    #[allow(clippy::too_many_arguments)]
+    fn issue_store(
+        &mut self,
+        seq: u64,
+        inst: Inst,
+        vals: [u64; 3],
+        inv: bool,
+        taint: u64,
+        now: u64,
+    ) -> bool {
+        let Inst::Flush { base, offset } = inst else {
+            unreachable!("issue_store handles flushes only")
+        };
+        let base_v = if base.is_zero() { 0 } else { vals[0] };
+        let addr = base_v.wrapping_add_signed(i64::from(offset));
+        if inv && self.in_runahead() {
+            // INV-address flushes vanish (their slot still drains at retire).
+            let e = self.rob.get_mut(seq).expect("entry exists");
+            e.state = EntryState::Done;
+            e.inv = true;
+            return true;
+        }
+        if self.fu.try_issue(FuKind::Mem, now).is_none() {
+            return false;
+        }
+        self.sq.fill(seq, addr, None, inv);
+        let e = self.rob.get_mut(seq).expect("entry exists");
+        e.state = EntryState::Executing;
+        e.ready_at = now + 1;
+        e.inv = inv;
+        e.taint = taint;
+        e.load_addr = Some(addr);
+        true
+    }
+
+    /// Two-phase store issue: phase A generates the address once the base
+    /// register is ready (claiming an AGU port); phase B delivers the data
+    /// once it is ready and completes the store. Returns whether the entry
+    /// left `Waiting`.
+    fn issue_store_two_phase(&mut self, seq: u64, inst: Inst, now: u64) -> bool {
+        let (data_reg, base_reg, width, offset, is_fp) = match inst {
+            Inst::Store { width, src, base, offset } => {
+                (Some(ArchReg::Int(src)), base, width.bytes(), offset, false)
+            }
+            Inst::FpStore { fs, base, offset } => (Some(ArchReg::Fp(fs)), base, 8, offset, true),
+            _ => unreachable!("two-phase issue is for data stores"),
+        };
+        // Recover phys refs from the packed source list: [data?, base?].
+        let srcs = {
+            let e = self.rob.get_mut(seq).expect("entry exists");
+            e.srcs
+        };
+        let data_is_zero_reg = matches!(data_reg, Some(ArchReg::Int(r)) if r.is_zero());
+        let data_phys = if data_is_zero_reg || data_reg.is_none() { None } else { srcs[0] };
+        let base_phys = if base_reg.is_zero() {
+            None
+        } else if data_phys.is_some() {
+            srcs[1]
+        } else {
+            srcs[0]
+        };
+        let _ = is_fp;
+        let addr_done = {
+            let e = self.rob.get_mut(seq).expect("entry exists");
+            e.addr_ready
+        };
+        let in_runahead = self.in_runahead();
+        // Phase A: address generation.
+        if !addr_done {
+            let (base_val, base_inv, base_taint) = match base_phys {
+                Some(p) => {
+                    if !self.regs.is_ready(p) {
+                        return false;
+                    }
+                    (self.regs.value(p), self.regs.is_inv(p), self.regs.taint(p))
+                }
+                None => (0, false, 0),
+            };
+            if base_inv && in_runahead {
+                // INV-address stores vanish.
+                let e = self.rob.get_mut(seq).expect("entry exists");
+                e.state = EntryState::Done;
+                e.inv = true;
+                return true;
+            }
+            if self.fu.try_issue(FuKind::Mem, now).is_none() {
+                return false;
+            }
+            let addr = base_val.wrapping_add_signed(i64::from(offset));
+            self.sq.fill_addr(seq, addr);
+            let e = self.rob.get_mut(seq).expect("entry exists");
+            e.addr_ready = true;
+            e.load_addr = Some(addr);
+            e.taint |= base_taint;
+        }
+        // Phase B: data delivery.
+        let (value, data_inv, data_taint) = match data_phys {
+            Some(p) => {
+                if !self.regs.is_ready(p) {
+                    return false; // address done, waiting for data
+                }
+                (self.regs.value(p), self.regs.is_inv(p), self.regs.taint(p))
+            }
+            None => (0, false, 0),
+        };
+        let inv = data_inv && in_runahead;
+        let (addr, taint) = {
+            let e = self.rob.get_mut(seq).expect("entry exists");
+            (e.load_addr.expect("phase A filled the address"), e.taint | data_taint)
+        };
+        self.sq.fill_data(seq, value, inv);
+        if in_runahead {
+            if let Some(rc) = self.ra.cache.as_mut() {
+                rc.write(addr, width, value, inv);
+            }
+        }
+        let e = self.rob.get_mut(seq).expect("entry exists");
+        e.state = EntryState::Executing;
+        e.ready_at = now + 1;
+        e.inv = inv;
+        e.taint = taint;
+        true
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_load(
+        &mut self,
+        seq: u64,
+        _pc: u64,
+        inst: Inst,
+        vals: [u64; 3],
+        inv: bool,
+        taint: u64,
+        now: u64,
+    ) -> bool {
+        let in_runahead = self.in_runahead();
+        let (addr, width, sp_like) = match inst {
+            Inst::Load { base, offset, width, .. } => {
+                let base_v = if base.is_zero() { 0 } else { vals[0] };
+                (base_v.wrapping_add_signed(i64::from(offset)), width.bytes(), false)
+            }
+            Inst::FpLoad { base, offset, .. } => {
+                let base_v = if base.is_zero() { 0 } else { vals[0] };
+                (base_v.wrapping_add_signed(i64::from(offset)), 8, false)
+            }
+            Inst::Ret => (vals[0], 8, true),
+            _ => unreachable!("issue_load on non-load"),
+        };
+        if inv && in_runahead {
+            // INV address: poison the destination immediately.
+            let e = self.rob.get_mut(seq).expect("entry exists");
+            e.state = EntryState::Done;
+            e.inv = true;
+            e.taint = taint;
+            if let Some(d) = e.dest {
+                self.regs.write_inv(d.new);
+                self.regs.set_taint(d.new, taint);
+            }
+            if sp_like {
+                self.stats.inv_unresolved_branches += 1; // ret never resolves
+                self.skip_inv_park(seq, now);
+            }
+            return true;
+        }
+        // Store-queue disambiguation first (no FU consumed on a stall).
+        let line_bytes = self.mem.line_bytes();
+        match self.sq.check_load(seq, addr, width, line_bytes) {
+            LoadCheck::UnknownAddr | LoadCheck::Conflict => return false,
+            LoadCheck::Forward { value, inv: fwd_inv } => {
+                if self.fu.try_issue(FuKind::Mem, now).is_none() {
+                    return false;
+                }
+                let poison = fwd_inv && in_runahead;
+                if poison && sp_like {
+                    // A ret popping poisoned data never resolves
+                    // (SpectreRSB-in-runahead, Fig. 4b).
+                    self.stats.inv_unresolved_branches += 1;
+                    self.skip_inv_park(seq, now);
+                }
+                return self.complete_load(seq, addr, None, value, poison, taint, now + 1, sp_like, now);
+            }
+            LoadCheck::NoConflict => {}
+        }
+        // Runahead cache (runahead store-to-load forwarding).
+        if in_runahead {
+            if let Some(rc) = self.ra.cache.as_ref() {
+                match rc.read(addr, width) {
+                    RunaheadRead::Hit(value) => {
+                        if self.fu.try_issue(FuKind::Mem, now).is_none() {
+                            return false;
+                        }
+                        return self.complete_load(seq, addr, None, value, false, taint, now + 2, sp_like, now);
+                    }
+                    RunaheadRead::Invalid => {
+                        if sp_like {
+                            self.stats.inv_unresolved_branches += 1;
+                            self.skip_inv_park(seq, now);
+                        }
+                        let e = self.rob.get_mut(seq).expect("entry exists");
+                        e.state = EntryState::Done;
+                        e.inv = true;
+                        e.taint = taint;
+                        if let Some(d) = e.dest {
+                            self.regs.write_inv(d.new);
+                            self.regs.set_taint(d.new, taint);
+                        }
+                        return true;
+                    }
+                    RunaheadRead::Miss => {}
+                }
+            }
+        }
+        // SL cache (defense): consulted while its counter is nonzero.
+        if self.cfg.runahead.secure.sl_cache && self.secure.sl.counter() != 0 {
+            match self.secure_load_check(seq, addr, now, in_runahead) {
+                crate::secure::SlOutcome::NotPresent => {}
+                crate::secure::SlOutcome::Wait => {
+                    self.stats.sl_verdict_waits += 1;
+                    return false;
+                }
+                crate::secure::SlOutcome::Serve { latency } => {
+                    if self.fu.try_issue(FuKind::Mem, now).is_none() {
+                        return false;
+                    }
+                    let value = self.mem.read_data(addr, width);
+                    return self.complete_load(seq, addr, None, value, false, taint, now + latency, sp_like, now);
+                }
+            }
+        }
+        // Memory hierarchy.
+        if self.fu.try_issue(FuKind::Mem, now).is_none() {
+            return false;
+        }
+        let policy = if in_runahead && self.cfg.runahead.secure.sl_cache {
+            FillPolicy::NoFill
+        } else {
+            FillPolicy::Normal
+        };
+        let sl_penalty = if self.cfg.runahead.secure.sl_cache && self.secure.sl.counter() != 0 {
+            self.cfg.runahead.secure.sl_latency
+        } else {
+            0
+        };
+        let access = self.mem.access(addr, now, AccessKind::Load, policy);
+        if in_runahead && access.level == HitLevel::Mem {
+            // Long-latency runahead load: issue the request (the prefetch
+            // that carries the covert channel) and poison the destination.
+            self.stats.runahead_prefetches += 1;
+            self.vector_prefetch(seq, addr, now);
+            if self.cfg.runahead.secure.sl_cache {
+                self.secure_record_fill(seq, addr, access.ready_at, taint);
+            }
+            if sp_like {
+                // A ret whose pop misses to DRAM never resolves
+                // (SpectreRSB-in-runahead, Fig. 4c).
+                self.stats.inv_unresolved_branches += 1;
+                self.skip_inv_park(seq, now);
+            }
+            let e = self.rob.get_mut(seq).expect("entry exists");
+            e.state = EntryState::Done;
+            e.inv = true;
+            e.taint = taint;
+            e.load_level = Some(access.level);
+            e.load_addr = Some(addr);
+            if let Some(d) = e.dest {
+                self.regs.write_inv(d.new);
+                self.regs.set_taint(d.new, taint);
+            }
+            return true;
+        }
+        if in_runahead {
+            self.vector_prefetch(seq, addr, now);
+        }
+        self.complete_load(
+            seq,
+            addr,
+            Some(access.level),
+            0,
+            false,
+            taint,
+            access.ready_at + sl_penalty,
+            sp_like,
+            now,
+        )
+    }
+
+    /// Finishes a load issue: value either known (forwarded) or read from
+    /// memory at writeback when `level` is `Some`.
+    #[allow(clippy::too_many_arguments)]
+    fn complete_load(
+        &mut self,
+        seq: u64,
+        addr: u64,
+        level: Option<HitLevel>,
+        value: u64,
+        poison: bool,
+        taint: u64,
+        ready_at: u64,
+        is_ret: bool,
+        _now: u64,
+    ) -> bool {
+        // Loads inherit the taint of their address (secure runahead); the
+        // loaded value becomes tainted data.
+        let e = self.rob.get_mut(seq).expect("entry exists");
+        e.state = EntryState::Executing;
+        e.ready_at = ready_at;
+        e.result = value;
+        e.inv = poison;
+        e.taint = taint;
+        e.load_level = level;
+        e.load_addr = Some(addr);
+        if is_ret {
+            // The pop address *is* the old SP; stash the SP update (the
+            // destination value — `result` carries the popped target).
+            e.aux_sp = addr.wrapping_add(8);
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (rename)
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, now: u64) {
+        for _ in 0..self.cfg.width {
+            let Some(front) = self.pipe.front() else { break };
+            if front.available_at > now {
+                break;
+            }
+            let f = *front;
+            if self.rob.is_full() || self.iq_occupancy >= self.cfg.iq_entries {
+                break;
+            }
+            if f.inst.is_load() && self.lq_occupancy >= self.cfg.lq_entries {
+                break;
+            }
+            let needs_sq = f.inst.is_store() || matches!(f.inst, Inst::Flush { .. });
+            if needs_sq && self.sq.is_full() {
+                break;
+            }
+            if let Some(dest) = f.inst.dest() {
+                if self.free.available(RegClass::of(dest)) == 0 {
+                    break;
+                }
+            }
+            self.pipe.pop_front();
+            self.dispatch_one(f, now);
+        }
+    }
+
+    fn dispatch_one(&mut self, f: Fetched, _now: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut entry = RobEntry::new(seq, f.pc, f.inst);
+        entry.runahead = self.in_runahead();
+        // Rename sources.
+        for (i, src) in f.inst.sources().iter().enumerate() {
+            if let Some(arch) = src {
+                entry.srcs[i] = Some(self.rat.get(*arch));
+            }
+        }
+        // Secure-runahead scope tracking at rename, in speculative order.
+        let (scope_id, dispatch_scope) = self.secure_on_dispatch(&f, &entry);
+        entry.dispatch_scope = dispatch_scope;
+        // Rename destination.
+        if let Some(arch) = f.inst.dest() {
+            let new = self.free.allocate(RegClass::of(arch)).expect("checked in dispatch");
+            self.regs.mark_pending(new);
+            let prev = self.rat.set(arch, new);
+            entry.dest = Some(DestInfo { arch, new, prev });
+        }
+        // Branch bookkeeping.
+        if let Some(p) = f.pred {
+            entry.branch = Some(BranchInfo {
+                kind: p.kind,
+                predicted_taken: p.taken,
+                predicted_target: p.target,
+                rsb_checkpoint: p.rsb_checkpoint,
+                resolved: matches!(f.inst, Inst::Jump { .. }),
+                actual_taken: p.taken,
+                actual_target: p.target,
+                scope_id,
+            });
+        }
+        if entry.is_load {
+            self.lq_occupancy += 1;
+        }
+        if entry.is_store {
+            let (width, is_flush) = match f.inst {
+                Inst::Store { width, .. } => (width.bytes(), false),
+                Inst::FpStore { .. } => (8, false),
+                Inst::Call { .. } | Inst::CallInd { .. } => (8, false),
+                Inst::Flush { .. } => (64, true),
+                _ => (8, false),
+            };
+            self.sq.allocate(seq, width, is_flush);
+        }
+        self.iq_occupancy += 1;
+        self.stats.dispatched += 1;
+        if self.in_runahead() {
+            self.stats.runahead_dispatched += 1;
+            if let Mode::Runahead(ep) = &mut self.mode {
+                ep.dispatched += 1;
+            }
+        }
+        self.rob.push(entry);
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self, now: u64) {
+        if self.fetch_halted {
+            return;
+        }
+        // The stream prefetcher keeps requesting ahead even while demand
+        // fetch is stalled on a miss.
+        self.stream_prefetch(now);
+        if now < self.fetch_stalled_until {
+            return;
+        }
+        let Some(program) = self.program.clone() else { return };
+        for _ in 0..self.cfg.width {
+            if self.pipe.len() >= self.cfg.fetch_queue {
+                break;
+            }
+            let pc = self.fetch_pc;
+            let Some(inst) = program.fetch(pc) else {
+                // Ran off the text image (wrong-path fetch): stop until a
+                // redirect arrives.
+                self.fetch_halted = true;
+                break;
+            };
+            // Instruction cache: L1 hits stream at full width; anything
+            // slower stalls fetch until the line arrives.
+            let access = self.mem.access(pc, now, AccessKind::IFetch, FillPolicy::Normal);
+            if access.level != HitLevel::L1 {
+                self.fetch_stalled_until = access.ready_at;
+                break;
+            }
+            let fallthrough = pc + INST_BYTES;
+            let pred = if inst.is_control() {
+                let rsb_checkpoint = self.bp.rsb_checkpoint();
+                let kind = branch_kind(&inst);
+                let p: Prediction =
+                    self.bp.predict(pc, kind, inst.direct_target(pc), fallthrough);
+                Some(PredInfo { kind, taken: p.taken, target: p.target, rsb_checkpoint })
+            } else {
+                None
+            };
+            self.pipe.push_back(Fetched {
+                pc,
+                inst,
+                available_at: now + self.cfg.frontend_stages,
+                pred,
+            });
+            self.stats.fetched += 1;
+            self.fetch_pc = match &pred {
+                Some(p) if p.taken => p.target,
+                _ => fallthrough,
+            };
+            if matches!(inst, Inst::Halt) {
+                self.fetch_halted = true;
+                break;
+            }
+        }
+    }
+
+    /// Streaming instruction prefetcher (stands in for the trace cache and
+    /// trace queue of the paper's Fig. 6 front end). Keeps up to
+    /// `ifetch_prefetch_lines` of lookahead in flight so sequential fetch is
+    /// DRAM-*bandwidth*-bound instead of DRAM-*latency*-bound — without it
+    /// a cold nop slide crawls at one line per memory round trip and the
+    /// ROB can never fill behind a stalling load.
+    fn stream_prefetch(&mut self, now: u64) {
+        let depth = self.cfg.ifetch_prefetch_lines;
+        if depth == 0 {
+            return;
+        }
+        let line_bytes = self.mem.line_bytes();
+        let cur = self.fetch_pc / line_bytes;
+        // Re-anchor after redirects.
+        if self.ipf_frontier < cur || self.ipf_frontier > cur + 2 * depth {
+            self.ipf_frontier = cur;
+        }
+        // A few requests per cycle keeps post-redirect bursts bounded.
+        let mut budget = 4;
+        while self.ipf_frontier < cur + depth && budget > 0 {
+            self.ipf_frontier += 1;
+            self.mem.access(
+                self.ipf_frontier * line_bytes,
+                now,
+                AccessKind::IFetch,
+                FillPolicy::Normal,
+            );
+            budget -= 1;
+        }
+    }
+}
+
+/// Maps a control instruction to its predictor classification.
+fn branch_kind(inst: &Inst) -> BranchKind {
+    match inst {
+        Inst::Branch { .. } => BranchKind::Conditional,
+        Inst::Jump { .. } => BranchKind::Direct,
+        Inst::JumpInd { .. } => BranchKind::Indirect,
+        Inst::Call { .. } | Inst::CallInd { .. } => BranchKind::Call,
+        Inst::Ret => BranchKind::Return,
+        _ => unreachable!("not a control instruction"),
+    }
+}
+
+/// Access width in bytes of a load instruction.
+fn load_width(inst: &Inst) -> u64 {
+    match inst {
+        Inst::Load { width, .. } => width.bytes(),
+        Inst::FpLoad { .. } | Inst::Ret => 8,
+        _ => 8,
+    }
+}
+
+/// Evaluates a register-result instruction from its operand values.
+fn eval_simple(inst: &Inst, vals: [u64; 3], now: u64) -> u64 {
+    match *inst {
+        Inst::Alu { op, rs1, rs2, .. } => {
+            let (a, b) = two_operands(rs1, rs2, vals);
+            op.eval(a, b)
+        }
+        Inst::AluImm { op, rs1, imm, .. } => {
+            let a = if rs1.is_zero() { 0 } else { vals[0] };
+            op.eval(a, imm as i64 as u64)
+        }
+        Inst::MovImm { imm, .. } => imm as i64 as u64,
+        Inst::FpAlu { op, .. } => op.eval(vals[0], vals[1]),
+        Inst::FpCvt { rs1, .. } => {
+            let a = if rs1.is_zero() { 0 } else { vals[0] };
+            ((a as i64) as f64).to_bits()
+        }
+        Inst::FpMov { .. } => vals[0],
+        Inst::RdCycle { .. } => now,
+        _ => 0,
+    }
+}
+
+/// Reconstructs (rs1, rs2) operand values from the compressed source list
+/// (reads of r0 are elided by `Inst::sources`).
+fn two_operands(rs1: IntReg, rs2: IntReg, vals: [u64; 3]) -> (u64, u64) {
+    match (rs1.is_zero(), rs2.is_zero()) {
+        (true, true) => (0, 0),
+        (true, false) => (0, vals[0]),
+        (false, true) => (vals[0], 0),
+        (false, false) => (vals[0], vals[1]),
+    }
+}
+

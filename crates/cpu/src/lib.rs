@@ -1,0 +1,60 @@
+//! # specrun-cpu
+//!
+//! A cycle-level out-of-order processor core with **runahead execution**,
+//! reproducing the vulnerable microarchitecture of the SPECRUN paper
+//! (Fig. 6) on the Table 1 configuration, plus the paper's §6 defenses.
+//!
+//! The core models: a 6-stage front end with a two-level adaptive branch
+//! predictor, BTB and RSB; register renaming over 80 int / 40 fp physical
+//! registers with ROB-walk recovery; a 256-entry ROB with 40-entry
+//! issue/load/store queues; the Table 1 functional-unit mix; a full cache
+//! hierarchy with MSHRs and a contention-modelled DRAM; and runahead mode
+//! with INV propagation, a runahead cache, checkpointed architectural state
+//! and pseudo-retirement. Three runahead policies (original, precise,
+//! vector) and two defenses (SL cache + taint tracking per Algorithm 1, and
+//! skip-INV-branches) are selectable via [`CpuConfig`].
+//!
+//! ```
+//! use specrun_cpu::{Core, CpuConfig};
+//! use specrun_isa::{IntReg, ProgramBuilder};
+//!
+//! let r1 = IntReg::new(1).unwrap();
+//! let mut b = ProgramBuilder::new(0x1000);
+//! b.li(r1, 2);
+//! b.addi(r1, r1, 40);
+//! b.halt();
+//! let program = b.build().unwrap();
+//!
+//! let mut core = Core::new(CpuConfig::default());
+//! core.load_program(&program);
+//! core.run(10_000);
+//! assert!(core.is_halted());
+//! assert_eq!(core.read_int_reg(r1), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+mod core;
+mod fu;
+mod lsq;
+mod regs;
+mod rob;
+mod runahead;
+mod secure;
+mod stats;
+mod taint;
+
+pub use crate::core::{Core, RunExit};
+pub use config::{
+    CpuConfig, FuClass, FuConfig, RunaheadConfig, RunaheadPolicy, RunaheadTrigger, SecureConfig,
+};
+pub use fu::FuKind;
+pub use stats::CpuStats;
+
+/// Commonly used items for examples and tests.
+pub mod prelude {
+    pub use crate::config::{CpuConfig, RunaheadPolicy, RunaheadTrigger, SecureConfig};
+    pub use crate::{Core, CpuStats, RunExit};
+}

@@ -1,0 +1,429 @@
+//! End-to-end pipeline tests: architectural correctness first, then the
+//! microarchitectural behaviours (speculation, runahead, INV propagation)
+//! the SPECRUN reproduction depends on.
+
+use specrun_cpu::{Core, CpuConfig, RunaheadPolicy, RunaheadTrigger};
+use specrun_isa::{AluOp, BranchCond, IntReg, MemWidth, Program, ProgramBuilder};
+use specrun_mem::HitLevel;
+
+fn r(i: u8) -> IntReg {
+    IntReg::new(i).unwrap()
+}
+
+fn run_program(core: &mut Core, program: &Program, limit: u64) {
+    core.load_program(program);
+    let exit = core.run(limit);
+    assert_eq!(exit, specrun_cpu::RunExit::Halted, "program must halt (stats: {})", core.stats());
+}
+
+#[test]
+fn straight_line_arithmetic() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.li(r(1), 6);
+    b.li(r(2), 7);
+    b.mul(r(3), r(1), r(2));
+    b.alui(AluOp::Xor, r(4), r(3), 0xff);
+    b.halt();
+    let p = b.build().unwrap();
+    let mut core = Core::new(CpuConfig::default());
+    run_program(&mut core, &p, 10_000);
+    assert_eq!(core.read_int_reg(r(3)), 42);
+    assert_eq!(core.read_int_reg(r(4)), 42 ^ 0xff);
+}
+
+#[test]
+fn dependent_chain_and_division() {
+    let mut b = ProgramBuilder::new(0);
+    b.li(r(1), 1000);
+    b.alui(AluOp::Div, r(2), r(1), 7); // 142
+    b.alui(AluOp::Rem, r(3), r(1), 7); // 6
+    b.alu(AluOp::Slt, r(4), r(3), r(2)); // 1
+    b.halt();
+    let p = b.build().unwrap();
+    let mut core = Core::new(CpuConfig::default());
+    run_program(&mut core, &p, 10_000);
+    assert_eq!(core.read_int_reg(r(2)), 142);
+    assert_eq!(core.read_int_reg(r(3)), 6);
+    assert_eq!(core.read_int_reg(r(4)), 1);
+}
+
+#[test]
+fn loop_sums_one_to_n() {
+    let mut b = ProgramBuilder::new(0);
+    b.li(r(1), 0); // sum
+    b.for_loop(r(2), 100, |b| {
+        b.add(r(1), r(1), r(2));
+    });
+    b.halt();
+    let p = b.build().unwrap();
+    let mut core = Core::new(CpuConfig::default());
+    run_program(&mut core, &p, 100_000);
+    assert_eq!(core.read_int_reg(r(1)), (0..100).sum::<u64>());
+}
+
+#[test]
+fn store_load_round_trip() {
+    let mut b = ProgramBuilder::new(0);
+    b.li(r(1), 0x2000);
+    b.li(r(2), 0x1234_5678);
+    b.sd(r(2), r(1), 0);
+    b.ld(r(3), r(1), 0);
+    b.store(MemWidth::B1, r(2), r(1), 64);
+    b.load(MemWidth::B1, r(4), r(1), 64);
+    b.halt();
+    let p = b.build().unwrap();
+    let mut core = Core::new(CpuConfig::default());
+    run_program(&mut core, &p, 10_000);
+    assert_eq!(core.read_int_reg(r(3)), 0x1234_5678);
+    assert_eq!(core.read_int_reg(r(4)), 0x78);
+}
+
+#[test]
+fn store_to_load_forwarding_before_commit() {
+    // The load issues while the store is still in the SQ: forwarding.
+    let mut b = ProgramBuilder::new(0);
+    b.li(r(1), 0x3000);
+    b.li(r(2), 99);
+    b.sd(r(2), r(1), 0);
+    b.ld(r(3), r(1), 0);
+    b.add(r(4), r(3), r(3));
+    b.halt();
+    let p = b.build().unwrap();
+    let mut core = Core::new(CpuConfig::default());
+    run_program(&mut core, &p, 10_000);
+    assert_eq!(core.read_int_reg(r(4)), 198);
+}
+
+#[test]
+fn call_and_return() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.li(r(1), 5);
+    b.call("double");
+    b.addi(r(1), r(1), 1); // returns here: r1 = 11
+    b.halt();
+    b.label("double");
+    b.add(r(1), r(1), r(1));
+    b.ret();
+    let p = b.build().unwrap();
+    let mut core = Core::new(CpuConfig::default());
+    run_program(&mut core, &p, 10_000);
+    assert_eq!(core.read_int_reg(r(1)), 11);
+}
+
+#[test]
+fn nested_calls() {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.li(r(1), 1);
+    b.call("f");
+    b.halt();
+    b.label("f");
+    b.addi(r(1), r(1), 10);
+    b.call("g");
+    b.addi(r(1), r(1), 100);
+    b.ret();
+    b.label("g");
+    b.addi(r(1), r(1), 1000);
+    b.ret();
+    let p = b.build().unwrap();
+    let mut core = Core::new(CpuConfig::default());
+    run_program(&mut core, &p, 20_000);
+    assert_eq!(core.read_int_reg(r(1)), 1111);
+}
+
+#[test]
+fn data_dependent_branches_commit_correctly() {
+    // Count even numbers in 0..50 with an unpredictable-ish pattern.
+    let mut b = ProgramBuilder::new(0);
+    b.li(r(1), 0); // count
+    b.for_loop(r(2), 50, |b| {
+        b.alui(AluOp::And, r(3), r(2), 1);
+        b.if_block(BranchCond::Eq, r(3), IntReg::ZERO, |b| {
+            b.addi(r(1), r(1), 1);
+        });
+    });
+    b.halt();
+    let p = b.build().unwrap();
+    let mut core = Core::new(CpuConfig::default());
+    run_program(&mut core, &p, 200_000);
+    assert_eq!(core.read_int_reg(r(1)), 25);
+    assert!(core.stats().branches > 0);
+}
+
+#[test]
+fn misprediction_recovery_preserves_architecture() {
+    // A branch that's always taken after training not-taken: forces at
+    // least one misprediction, which must not corrupt state.
+    let mut b = ProgramBuilder::new(0);
+    b.li(r(1), 0);
+    b.li(r(4), 1); // make the branch condition flip at i == 40
+    b.for_loop(r(2), 80, |b| {
+        b.alui(AluOp::Slt, r(3), r(2), 40); // 1 while i < 40
+        b.if_block(BranchCond::Eq, r(3), IntReg::ZERO, |b| {
+            b.addi(r(1), r(1), 1); // counted for i in 40..80
+        });
+    });
+    b.halt();
+    let p = b.build().unwrap();
+    let mut core = Core::new(CpuConfig::default());
+    run_program(&mut core, &p, 400_000);
+    assert_eq!(core.read_int_reg(r(1)), 40);
+    assert!(core.stats().branch_mispredicts > 0, "flip must mispredict at least once");
+}
+
+#[test]
+fn rdcycle_measures_cache_latency() {
+    let mut b = ProgramBuilder::new(0);
+    b.li(r(1), 0x8000);
+    // Warm access.
+    b.ld(r(2), r(1), 0);
+    // Timed warm load.
+    b.rdcycle(r(3));
+    b.ld(r(2), r(1), 0);
+    b.rdcycle(r(4));
+    // Flush, then timed cold load.
+    b.flush(r(1), 0);
+    b.rdcycle(r(5));
+    b.ld(r(2), r(1), 0);
+    b.rdcycle(r(6));
+    b.halt();
+    let p = b.build().unwrap();
+    let mut core = Core::new(CpuConfig::no_runahead());
+    run_program(&mut core, &p, 100_000);
+    let warm = core.read_int_reg(r(4)) - core.read_int_reg(r(3));
+    let cold = core.read_int_reg(r(6)) - core.read_int_reg(r(5));
+    assert!(warm < 30, "warm load should be fast, took {warm}");
+    assert!(cold > 150, "flushed load must pay DRAM latency, took {cold}");
+}
+
+fn runahead_trigger_program() -> Program {
+    // flush x; load x; dependent branch would stall; plenty of nops follow
+    // to fill the ROB and trigger runahead.
+    let mut b = ProgramBuilder::new(0);
+    b.li(r(1), 0x9000);
+    b.flush(r(1), 0);
+    b.ld(r(2), r(1), 0);
+    b.nops(600);
+    b.halt();
+    b.build().unwrap()
+}
+
+#[test]
+fn runahead_enters_and_exits() {
+    let p = runahead_trigger_program();
+    let mut core = Core::new(CpuConfig::default());
+    run_program(&mut core, &p, 100_000);
+    let s = core.stats();
+    assert!(s.runahead_entries >= 1, "expected runahead entry: {s}");
+    assert_eq!(s.runahead_entries, s.runahead_exits);
+    assert!(s.pseudo_retired > 0);
+    // Architectural commit count unaffected by runahead replay.
+    assert_eq!(s.committed, p.len() as u64);
+}
+
+#[test]
+fn no_runahead_machine_never_enters() {
+    let p = runahead_trigger_program();
+    let mut core = Core::new(CpuConfig::no_runahead());
+    run_program(&mut core, &p, 100_000);
+    assert_eq!(core.stats().runahead_entries, 0);
+    assert_eq!(core.stats().max_stall_window, 255, "N1: ROB size minus the stalled load");
+}
+
+#[test]
+fn runahead_architectural_equivalence() {
+    // The same program must produce identical architectural results with
+    // and without runahead (runahead is purely speculative).
+    let mut b = ProgramBuilder::new(0);
+    b.li(r(1), 0x9000);
+    b.li(r(5), 3);
+    b.flush(r(1), 0);
+    b.ld(r(2), r(1), 0); // loads 0 (cold memory)
+    b.add(r(5), r(5), r(2));
+    b.for_loop(r(3), 20, |b| {
+        b.add(r(5), r(5), r(3));
+        b.sd(r(5), r(1), 128);
+    });
+    b.ld(r(6), r(1), 128);
+    b.halt();
+    let p = b.build().unwrap();
+
+    let mut plain = Core::new(CpuConfig::no_runahead());
+    run_program(&mut plain, &p, 200_000);
+    let mut ra_cfg = CpuConfig::default();
+    ra_cfg.runahead.trigger = RunaheadTrigger::HeadMiss; // short program, ROB never fills
+    let mut ra = Core::new(ra_cfg);
+    run_program(&mut ra, &p, 200_000);
+    for reg in [r(2), r(3), r(5), r(6)] {
+        assert_eq!(plain.read_int_reg(reg), ra.read_int_reg(reg), "register {reg}");
+    }
+    assert!(ra.stats().runahead_entries >= 1);
+}
+
+#[test]
+fn runahead_prefetches_independent_loads() {
+    // Two independent DRAM misses behind a stalling load: runahead
+    // overlaps them, so total runtime shrinks.
+    let build = || {
+        let mut b = ProgramBuilder::new(0);
+        b.li(r(1), 0x20000);
+        b.li(r(2), 0x30000);
+        b.li(r(3), 0x40000);
+        b.flush(r(1), 0);
+        b.flush(r(2), 0);
+        b.flush(r(3), 0);
+        b.ld(r(4), r(1), 0);
+        b.nops(300); // fill the window so runahead triggers
+        b.ld(r(5), r(2), 0);
+        b.ld(r(6), r(3), 0);
+        b.halt();
+        b.build().unwrap()
+    };
+    let p = build();
+    let mut plain = Core::new(CpuConfig::no_runahead());
+    plain.load_program(&p);
+    plain.run(1_000_000);
+    let cycles_plain = plain.stats().cycles;
+
+    let mut ra = Core::new(CpuConfig::default());
+    ra.load_program(&p);
+    ra.run(1_000_000);
+    let cycles_ra = ra.stats().cycles;
+    assert!(ra.stats().runahead_entries >= 1, "stats: {}", ra.stats());
+    assert!(ra.stats().runahead_prefetches >= 1, "stats: {}", ra.stats());
+    assert!(
+        cycles_ra < cycles_plain,
+        "runahead should overlap the misses: {cycles_ra} vs {cycles_plain}"
+    );
+}
+
+#[test]
+fn inv_branch_never_resolves_and_leaks_cache_state() {
+    // The SPECRUN core primitive: a branch predicated on the stalling load
+    // is predicted, never resolved, and its shadow performs a load whose
+    // cache fill survives the episode.
+    let secret_line = 0x5_0000u64; // line touched only under the INV branch
+    let mut b = ProgramBuilder::new(0);
+    b.li(r(1), 0x9000); // x (the stalling predicate load)
+    b.li(r(3), secret_line as i32);
+    // Train the branch towards "fall through into the body".
+    b.for_loop(r(4), 24, |b| {
+        b.li(r(5), 0); // x_value stand-in: 0 < 1 → body runs
+        b.if_block(BranchCond::Lt, r(5), r(6), |b| {
+            b.nop();
+        });
+    });
+    b.li(r(6), 1);
+    b.flush(r(1), 0);
+    b.ld(r(2), r(1), 0); // stalling load, returns 0
+    // Branch depends on the stalling load: INV during runahead. Body loads
+    // the "secret" line. Architecturally 0 < 1 so the body *would* run, but
+    // during runahead the branch can't resolve — prediction rules.
+    b.if_block(BranchCond::Lt, r(2), r(6), |b| {
+        b.ld(r(7), r(3), 0);
+    });
+    b.nops(400); // keep the window full
+    b.halt();
+    let p = b.build().unwrap();
+
+    let mut core = Core::new(CpuConfig::default());
+    run_program(&mut core, &p, 1_000_000);
+    assert!(core.stats().runahead_entries >= 1, "stats: {}", core.stats());
+    assert_ne!(
+        core.mem().residency(secret_line),
+        HitLevel::Mem,
+        "runahead shadow load must have filled the cache"
+    );
+}
+
+#[test]
+fn head_miss_trigger_enters_without_full_rob() {
+    let mut b = ProgramBuilder::new(0);
+    b.li(r(1), 0x9000);
+    b.flush(r(1), 0);
+    b.ld(r(2), r(1), 0);
+    b.nops(20); // far fewer than the ROB size
+    b.halt();
+    let p = b.build().unwrap();
+    let mut cfg = CpuConfig::default();
+    cfg.runahead.trigger = RunaheadTrigger::HeadMiss;
+    let mut core = Core::new(cfg);
+    run_program(&mut core, &p, 100_000);
+    assert!(core.stats().runahead_entries >= 1);
+}
+
+#[test]
+fn precise_and_vector_policies_run() {
+    let p = runahead_trigger_program();
+    for policy in [RunaheadPolicy::Precise, RunaheadPolicy::Vector] {
+        let mut cfg = CpuConfig::default();
+        cfg.runahead.policy = policy;
+        let mut core = Core::new(cfg);
+        run_program(&mut core, &p, 200_000);
+        assert!(core.stats().runahead_entries >= 1, "{policy:?} must enter runahead");
+    }
+}
+
+#[test]
+fn vector_runahead_prefetches_strided_stream() {
+    // A strided pointer-free loop of DRAM misses inside runahead: the
+    // stride engine should emit extra lanes.
+    let mut b = ProgramBuilder::new(0);
+    b.li(r(1), 0x9000);
+    b.flush(r(1), 0);
+    b.ld(r(2), r(1), 0); // stalling load
+    b.li(r(3), 0x100000);
+    b.label("loop");
+    b.ld(r(4), r(3), 0);
+    b.addi(r(3), r(3), 4096); // new line (and page) each iteration
+    b.alui(AluOp::Slt, r(5), r(3), 0x110000);
+    b.bne(r(5), IntReg::ZERO, "loop");
+    b.halt();
+    let p = b.build().unwrap();
+    let mut cfg = CpuConfig::default();
+    cfg.runahead.policy = RunaheadPolicy::Vector;
+    cfg.runahead.trigger = RunaheadTrigger::HeadMiss;
+    let mut core = Core::new(cfg);
+    core.load_program(&p);
+    core.run(1_000_000);
+    assert!(core.stats().vector_lane_prefetches > 0, "stats: {}", core.stats());
+}
+
+#[test]
+fn scheduled_flush_chains_episodes() {
+    // Scenario ➂ of §5.3: a co-resident attacker re-flushes the trigger
+    // line, chaining a second runahead episode.
+    let p = runahead_trigger_program();
+    let mut cfg = CpuConfig::default();
+    cfg.runahead.trigger = RunaheadTrigger::HeadMiss;
+    cfg.runahead.min_episode_yield = 0; // nop windows yield no prefetches
+    let mut core = Core::new(cfg.clone());
+    core.load_program(&p);
+    core.run(1_000_000);
+    let single = core.stats().runahead_entries;
+
+    let mut chained = Core::new(cfg);
+    chained.load_program(&p);
+    // Flush the line shortly before the first episode would end.
+    for t in (150..800).step_by(120) {
+        chained.schedule_flush(t, 0x9000);
+    }
+    chained.run(1_000_000);
+    assert!(
+        chained.stats().runahead_entries > single,
+        "repeated flush must chain episodes: {} vs {single}",
+        chained.stats().runahead_entries
+    );
+    assert!(chained.stats().total_episode_window > core.stats().total_episode_window);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let p = runahead_trigger_program();
+    let run = || {
+        let mut core = Core::new(CpuConfig::default());
+        core.load_program(&p);
+        core.run(1_000_000);
+        (core.stats().cycles, core.stats().committed, core.stats().pseudo_retired)
+    };
+    assert_eq!(run(), run());
+}

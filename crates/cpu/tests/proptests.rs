@@ -1,0 +1,110 @@
+//! Property-based tests for the core: the strongest invariant is that
+//! runahead execution (and the secure defense) is architecturally invisible
+//! — any program computes the same results on every machine variant.
+
+use proptest::prelude::*;
+use specrun_cpu::{Core, CpuConfig, RunaheadPolicy};
+use specrun_isa::{AluOp, IntReg, MemWidth, Program, ProgramBuilder};
+
+fn r(i: u8) -> IntReg {
+    IntReg::new(i).unwrap()
+}
+
+/// One step of a random straight-line program over registers r1–r8 and a
+/// small scratch data region, with occasional flushed loads to provoke
+/// runahead episodes.
+#[derive(Debug, Clone)]
+enum Op {
+    Alu(AluOp, u8, u8, u8),
+    Li(u8, i32),
+    Store(u8, u32),
+    Load(u8, u32),
+    FlushedLoad(u8, u32),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let alu = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Xor),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Mul),
+    ];
+    prop_oneof![
+        (alu, 1u8..=8, 1u8..=8, 1u8..=8).prop_map(|(op, d, a, b)| Op::Alu(op, d, a, b)),
+        (1u8..=8, any::<i32>()).prop_map(|(d, v)| Op::Li(d, v)),
+        (1u8..=8, 0u32..32).prop_map(|(s, slot)| Op::Store(s, slot)),
+        (1u8..=8, 0u32..32).prop_map(|(d, slot)| Op::Load(d, slot)),
+        (1u8..=8, 0u32..32).prop_map(|(d, slot)| Op::FlushedLoad(d, slot)),
+    ]
+}
+
+fn build(ops: &[Op]) -> Program {
+    const DATA: i32 = 0x20000;
+    let mut b = ProgramBuilder::new(0x1000);
+    b.li(r(9), DATA);
+    for op in ops {
+        match *op {
+            Op::Alu(alu, d, a, bb) => {
+                b.alu(alu, r(d), r(a), r(bb));
+            }
+            Op::Li(d, v) => {
+                b.li(r(d), v);
+            }
+            Op::Store(s, slot) => {
+                b.store(MemWidth::B8, r(s), r(9), slot as i32 * 8);
+            }
+            Op::Load(d, slot) => {
+                b.load(MemWidth::B8, r(d), r(9), slot as i32 * 8);
+            }
+            Op::FlushedLoad(d, slot) => {
+                b.flush(r(9), slot as i32 * 8);
+                b.load(MemWidth::B8, r(d), r(9), slot as i32 * 8);
+                // Give the window something to chew on so runahead can
+                // trigger while the flushed load stalls.
+                b.nops(40);
+            }
+        }
+    }
+    b.halt();
+    b.build().expect("random program is closed")
+}
+
+fn final_regs(program: &Program, cfg: CpuConfig) -> Vec<u64> {
+    let mut core = Core::new(cfg);
+    core.load_program(program);
+    let exit = core.run(5_000_000);
+    assert_eq!(exit, specrun_cpu::RunExit::Halted, "must halt: {}", core.stats());
+    (1..=9).map(|i| core.read_int_reg(r(i))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Runahead (all policies) and the §6 defenses never change
+    /// architectural results.
+    #[test]
+    fn machines_agree_architecturally(ops in proptest::collection::vec(op(), 1..40)) {
+        let program = build(&ops);
+        let reference = final_regs(&program, CpuConfig::no_runahead());
+        prop_assert_eq!(&reference, &final_regs(&program, CpuConfig::default()));
+        prop_assert_eq!(&reference, &final_regs(&program, CpuConfig::secure_runahead()));
+        let mut precise = CpuConfig::default();
+        precise.runahead.policy = RunaheadPolicy::Precise;
+        prop_assert_eq!(&reference, &final_regs(&program, precise));
+    }
+
+    /// The simulator is deterministic for arbitrary programs.
+    #[test]
+    fn simulation_is_deterministic(ops in proptest::collection::vec(op(), 1..30)) {
+        let program = build(&ops);
+        let run = || {
+            let mut core = Core::new(CpuConfig::default());
+            core.load_program(&program);
+            core.run(5_000_000);
+            (core.stats().cycles, core.stats().committed, core.stats().pseudo_retired)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,513 @@
+//! A small text assembler for the micro-op ISA.
+//!
+//! The syntax mirrors the [`core::fmt::Display`] output of [`Inst`], one
+//! instruction per line, with `name:` labels, `;` or `#` comments and two
+//! directives:
+//!
+//! * `.base ADDR` — set the text base address (before any instruction)
+//! * `.sym NAME ADDR` — define a data symbol usable with `la`
+//!
+//! Branch and jump targets may be labels or signed numeric offsets.
+//!
+//! ```
+//! let program = specrun_isa::assemble(
+//!     r"
+//!     .base 0x1000
+//!     .sym array1 0x20000
+//!         la   r1, array1
+//!         li   r2, 0
+//!     loop:
+//!         ld1  r3, 0(r1)
+//!         addi r2, r2, 1
+//!         blt  r2, r4, loop
+//!         halt
+//!     ",
+//! )?;
+//! assert_eq!(program.text_base(), 0x1000);
+//! assert_eq!(program.len(), 6);
+//! # Ok::<(), specrun_isa::AsmError>(())
+//! ```
+
+use core::fmt;
+
+use crate::inst::{AluOp, BranchCond, FpOp, MemWidth};
+use crate::program::{Program, ProgramBuilder, ProgramError};
+use crate::reg::{FpReg, IntReg};
+
+/// Error produced by [`assemble`], carrying the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: usize,
+    message: String,
+}
+
+impl AsmError {
+    fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError { line, message: message.into() }
+    }
+
+    /// 1-based line number of the offending source line (0 for link-time
+    /// errors such as undefined labels).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly failed: {}", self.message)
+        } else {
+            write!(f, "assembly failed at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<ProgramError> for AsmError {
+    fn from(err: ProgramError) -> AsmError {
+        AsmError::new(0, err.to_string())
+    }
+}
+
+fn parse_u64(tok: &str) -> Option<u64> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        tok.parse().ok()
+    }
+}
+
+fn parse_i32(tok: &str) -> Option<i32> {
+    if let Some(rest) = tok.strip_prefix('-') {
+        parse_u64(rest).and_then(|v| i32::try_from(-(v as i64)).ok())
+    } else {
+        parse_u64(tok).and_then(|v| i32::try_from(v).ok())
+    }
+}
+
+/// `offset(base)` operand, e.g. `8(r2)`.
+fn parse_mem(tok: &str) -> Option<(i32, IntReg)> {
+    let open = tok.find('(')?;
+    let close = tok.strip_suffix(')')?;
+    let offset = if open == 0 { 0 } else { parse_i32(&tok[..open])? };
+    let base: IntReg = close[open + 1..].parse().ok()?;
+    Some((offset, base))
+}
+
+struct Line<'a> {
+    num: usize,
+    mnemonic: &'a str,
+    operands: Vec<&'a str>,
+}
+
+impl<'a> Line<'a> {
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        AsmError::new(self.num, msg)
+    }
+
+    fn expect(&self, n: usize) -> Result<(), AsmError> {
+        if self.operands.len() == n {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "`{}` expects {n} operand(s), found {}",
+                self.mnemonic,
+                self.operands.len()
+            )))
+        }
+    }
+
+    fn int_reg(&self, i: usize) -> Result<IntReg, AsmError> {
+        self.operands[i].parse().map_err(|e: crate::reg::ParseRegError| self.err(e.to_string()))
+    }
+
+    fn fp_reg(&self, i: usize) -> Result<FpReg, AsmError> {
+        self.operands[i].parse().map_err(|e: crate::reg::ParseRegError| self.err(e.to_string()))
+    }
+
+    fn imm(&self, i: usize) -> Result<i32, AsmError> {
+        parse_i32(self.operands[i])
+            .ok_or_else(|| self.err(format!("invalid immediate `{}`", self.operands[i])))
+    }
+
+    fn mem(&self, i: usize) -> Result<(i32, IntReg), AsmError> {
+        parse_mem(self.operands[i])
+            .ok_or_else(|| self.err(format!("invalid memory operand `{}`", self.operands[i])))
+    }
+}
+
+fn alu_op(m: &str) -> Option<(AluOp, bool)> {
+    let (name, imm) = match m.strip_suffix('i') {
+        // `slti`/`sltui` end in `i` after stripping; careful with `srli`… the
+        // mnemonic set here is exactly `Display`'s: opi forms append `i`.
+        Some(base) if !base.is_empty() => (base, true),
+        _ => (m, false),
+    };
+    let op = match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        "sar" => AluOp::Sar,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        _ => return None,
+    };
+    Some((op, imm))
+}
+
+fn branch_cond(m: &str) -> Option<BranchCond> {
+    Some(match m {
+        "beq" => BranchCond::Eq,
+        "bne" => BranchCond::Ne,
+        "blt" => BranchCond::Lt,
+        "bge" => BranchCond::Ge,
+        "bltu" => BranchCond::Ltu,
+        "bgeu" => BranchCond::Geu,
+        _ => return None,
+    })
+}
+
+fn mem_width(m: &str, prefix: &str) -> Option<MemWidth> {
+    Some(match m.strip_prefix(prefix)? {
+        "1" => MemWidth::B1,
+        "2" => MemWidth::B2,
+        "4" => MemWidth::B4,
+        "8" => MemWidth::B8,
+        _ => return None,
+    })
+}
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] (with a line number) for syntax errors, and a
+/// line-zero error for link failures such as undefined labels.
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    // Pass 0: find `.base` so the builder starts at the right address.
+    let mut base = 0u64;
+    for (i, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if let Some(rest) = line.strip_prefix(".base") {
+            base = parse_u64(rest.trim())
+                .ok_or_else(|| AsmError::new(i + 1, "invalid .base address"))?;
+        }
+    }
+    let mut b = ProgramBuilder::new(base);
+    for (i, raw) in source.lines().enumerate() {
+        let num = i + 1;
+        let text = strip_comment(raw).trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(label) = text.strip_suffix(':') {
+            if label.chars().any(char::is_whitespace) {
+                return Err(AsmError::new(num, format!("invalid label `{label}`")));
+            }
+            b.label(label);
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix(".sym") {
+            let mut parts = rest.split_whitespace();
+            let (name, addr) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(n), Some(a), None) => (n, a),
+                _ => return Err(AsmError::new(num, ".sym expects NAME ADDR")),
+            };
+            let addr = parse_u64(addr)
+                .ok_or_else(|| AsmError::new(num, format!("invalid address `{addr}`")))?;
+            b.def_sym(name, addr);
+            continue;
+        }
+        if text.starts_with(".base") {
+            continue; // handled in pass 0
+        }
+        if text == ".entry" {
+            b.entry_here();
+            continue;
+        }
+        let (mnemonic, ops) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+        let operands: Vec<&str> = ops.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let line = Line { num, mnemonic, operands };
+        emit(&mut b, &line)?;
+    }
+    Ok(b.build()?)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find(|c| c == ';' || c == '#').unwrap_or(line.len());
+    &line[..cut]
+}
+
+fn emit(b: &mut ProgramBuilder, line: &Line<'_>) -> Result<(), AsmError> {
+    let m = line.mnemonic;
+    if let Some(cond) = branch_cond(m) {
+        line.expect(3)?;
+        let (rs1, rs2) = (line.int_reg(0)?, line.int_reg(1)?);
+        match parse_i32(line.operands[2]) {
+            Some(off) => {
+                b.push(crate::Inst::Branch { cond, rs1, rs2, offset: off });
+            }
+            None => {
+                b.branch(cond, rs1, rs2, line.operands[2]);
+            }
+        }
+        return Ok(());
+    }
+    if let Some(width) = mem_width(m, "ld") {
+        line.expect(2)?;
+        let rd = line.int_reg(0)?;
+        let (offset, base) = line.mem(1)?;
+        b.load(width, rd, base, offset);
+        return Ok(());
+    }
+    if let Some(width) = mem_width(m, "st") {
+        line.expect(2)?;
+        let src = line.int_reg(0)?;
+        let (offset, base) = line.mem(1)?;
+        b.store(width, src, base, offset);
+        return Ok(());
+    }
+    match m {
+        "li" => {
+            line.expect(2)?;
+            let rd = line.int_reg(0)?;
+            b.li(rd, line.imm(1)?);
+        }
+        "la" => {
+            line.expect(2)?;
+            let rd = line.int_reg(0)?;
+            b.la(rd, line.operands[1]);
+        }
+        "mv" => {
+            line.expect(2)?;
+            b.mv(line.int_reg(0)?, line.int_reg(1)?);
+        }
+        "fld" => {
+            line.expect(2)?;
+            let fd = line.fp_reg(0)?;
+            let (offset, base) = line.mem(1)?;
+            b.fld(fd, base, offset);
+        }
+        "fst" => {
+            line.expect(2)?;
+            let fs = line.fp_reg(0)?;
+            let (offset, base) = line.mem(1)?;
+            b.fst(fs, base, offset);
+        }
+        "fcvt" => {
+            line.expect(2)?;
+            b.fcvt(line.fp_reg(0)?, line.int_reg(1)?);
+        }
+        "fmov" => {
+            line.expect(2)?;
+            b.fmov(line.int_reg(0)?, line.fp_reg(1)?);
+        }
+        "fadd" | "fsub" | "fmul" | "fdiv" => {
+            line.expect(3)?;
+            let op = match m {
+                "fadd" => FpOp::Add,
+                "fsub" => FpOp::Sub,
+                "fmul" => FpOp::Mul,
+                _ => FpOp::Div,
+            };
+            b.fp(op, line.fp_reg(0)?, line.fp_reg(1)?, line.fp_reg(2)?);
+        }
+        "clflush" => {
+            line.expect(1)?;
+            let (offset, base) = line.mem(0)?;
+            b.flush(base, offset);
+        }
+        "j" | "jmp" => {
+            line.expect(1)?;
+            match parse_i32(line.operands[0]) {
+                Some(off) => {
+                    b.push(crate::Inst::Jump { offset: off });
+                }
+                None => {
+                    b.jump(line.operands[0]);
+                }
+            }
+        }
+        "jr" => {
+            line.expect(1)?;
+            let (offset, base) = line.mem(0)?;
+            b.jr(base, offset);
+        }
+        "call" => {
+            line.expect(1)?;
+            match parse_i32(line.operands[0]) {
+                Some(off) => {
+                    b.push(crate::Inst::Call { offset: off });
+                }
+                None => {
+                    b.call(line.operands[0]);
+                }
+            }
+        }
+        "callr" => {
+            line.expect(1)?;
+            b.callr(line.int_reg(0)?);
+        }
+        "ret" => {
+            line.expect(0)?;
+            b.ret();
+        }
+        "rdcycle" => {
+            line.expect(1)?;
+            b.rdcycle(line.int_reg(0)?);
+        }
+        "nop" => {
+            line.expect(0)?;
+            b.nop();
+        }
+        "halt" => {
+            line.expect(0)?;
+            b.halt();
+        }
+        _ => {
+            if let Some((op, is_imm)) = alu_op(m) {
+                line.expect(3)?;
+                let rd = line.int_reg(0)?;
+                let rs1 = line.int_reg(1)?;
+                if is_imm {
+                    b.alui(op, rd, rs1, line.imm(2)?);
+                } else {
+                    b.alu(op, rd, rs1, line.int_reg(2)?);
+                }
+            } else {
+                return Err(line.err(format!("unknown mnemonic `{m}`")));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn assembles_basic_program() {
+        let p = assemble(
+            "
+            .base 0x100
+            start:
+                li r1, 42       ; the answer
+                addi r1, r1, 1  # increment
+                halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.text_base(), 0x100);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.symbol("start"), Some(0x100));
+        assert!(matches!(p.fetch(0x100), Some(Inst::MovImm { imm: 42, .. })));
+    }
+
+    #[test]
+    fn branch_to_label_and_numeric_offset() {
+        let p = assemble(
+            "
+            loop:
+                nop
+                bne r1, r2, loop
+                beq r1, r2, -16
+            ",
+        )
+        .unwrap();
+        match p.fetch(8) {
+            Some(Inst::Branch { offset, .. }) => assert_eq!(offset, -8),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.fetch(16) {
+            Some(Inst::Branch { offset, .. }) => assert_eq!(offset, -16),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble("ld1 r2, 8(r3)\nst8 r4, (r5)\nclflush -64(r6)").unwrap();
+        assert!(matches!(
+            p.fetch(0),
+            Some(Inst::Load { width: MemWidth::B1, offset: 8, .. })
+        ));
+        assert!(matches!(p.fetch(8), Some(Inst::Store { width: MemWidth::B8, offset: 0, .. })));
+        assert!(matches!(p.fetch(16), Some(Inst::Flush { offset: -64, .. })));
+    }
+
+    #[test]
+    fn sym_and_la() {
+        let p = assemble(".sym buf 0x8000\nla r1, buf\nhalt").unwrap();
+        assert!(matches!(p.fetch(0), Some(Inst::MovImm { imm: 0x8000, .. })));
+        assert_eq!(p.symbol("buf"), Some(0x8000));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nbogus r1, r2").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn undefined_label_reports_link_error() {
+        let err = assemble("j nowhere").unwrap_err();
+        assert_eq!(err.line(), 0);
+        assert!(err.to_string().contains("nowhere"));
+    }
+
+    #[test]
+    fn wrong_operand_count() {
+        let err = assemble("add r1, r2").unwrap_err();
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn alu_imm_forms() {
+        let p = assemble("slti r1, r2, 5\nxori r3, r4, -1").unwrap();
+        assert!(matches!(
+            p.fetch(0),
+            Some(Inst::AluImm { op: AluOp::Slt, imm: 5, .. })
+        ));
+        assert!(matches!(
+            p.fetch(8),
+            Some(Inst::AluImm { op: AluOp::Xor, imm: -1, .. })
+        ));
+    }
+
+    #[test]
+    fn display_output_reassembles() {
+        // The assembler accepts the disassembler's instruction syntax.
+        let p = assemble(
+            "
+            li r1, 1
+            add r2, r1, r1
+            ld8 r3, (r2)
+            st1 r3, 4(r2)
+            bgeu r3, r1, 8
+            rdcycle r4
+            ret
+            halt
+            ",
+        )
+        .unwrap();
+        let mut src = String::new();
+        for inst in p.insts() {
+            src.push_str(&inst.to_string());
+            src.push('\n');
+        }
+        let p2 = assemble(&src).unwrap();
+        assert_eq!(p.insts(), p2.insts());
+    }
+}

@@ -1,0 +1,420 @@
+//! Binary instruction encoding.
+//!
+//! Every instruction encodes to exactly [`INST_BYTES`] bytes:
+//!
+//! ```text
+//! byte 0      opcode
+//! byte 1      sub-operation (ALU op / FP op / condition / width)
+//! byte 2      rd / fd / store-src
+//! byte 3      rs1 / base
+//! byte 4      rs2 / fs2            (register formats only)
+//! bytes 4..8  imm32, little endian (immediate formats only)
+//! ```
+//!
+//! The encoding exists so the instruction stream has a concrete memory
+//! footprint (the L1 I-cache in the CPU model is indexed by real PC bytes)
+//! and round-trips losslessly:
+//!
+//! ```
+//! use specrun_isa::{encode, decode, Inst};
+//! let word = encode(&Inst::Nop);
+//! assert_eq!(decode(&word).unwrap(), Inst::Nop);
+//! ```
+
+use core::fmt;
+
+use crate::inst::{AluOp, BranchCond, FpOp, Inst, MemWidth, INST_BYTES};
+use crate::reg::{FpReg, IntReg};
+
+/// An encoded instruction word.
+pub type EncodedInst = [u8; INST_BYTES as usize];
+
+mod opcode {
+    pub const NOP: u8 = 0x00;
+    pub const HALT: u8 = 0x01;
+    pub const ALU: u8 = 0x02;
+    pub const ALU_IMM: u8 = 0x03;
+    pub const MOV_IMM: u8 = 0x04;
+    pub const FP_ALU: u8 = 0x05;
+    pub const FP_CVT: u8 = 0x06;
+    pub const FP_MOV: u8 = 0x07;
+    pub const LOAD: u8 = 0x08;
+    pub const FP_LOAD: u8 = 0x09;
+    pub const STORE: u8 = 0x0a;
+    pub const FP_STORE: u8 = 0x0b;
+    pub const FLUSH: u8 = 0x0c;
+    pub const BRANCH: u8 = 0x0d;
+    pub const JUMP: u8 = 0x0e;
+    pub const JUMP_IND: u8 = 0x0f;
+    pub const CALL: u8 = 0x10;
+    pub const CALL_IND: u8 = 0x11;
+    pub const RET: u8 = 0x12;
+    pub const RD_CYCLE: u8 = 0x13;
+}
+
+fn alu_code(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Shl => 5,
+        AluOp::Shr => 6,
+        AluOp::Sar => 7,
+        AluOp::Mul => 8,
+        AluOp::Div => 9,
+        AluOp::Rem => 10,
+        AluOp::Slt => 11,
+        AluOp::Sltu => 12,
+    }
+}
+
+fn alu_from(code: u8) -> Option<AluOp> {
+    Some(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Shl,
+        6 => AluOp::Shr,
+        7 => AluOp::Sar,
+        8 => AluOp::Mul,
+        9 => AluOp::Div,
+        10 => AluOp::Rem,
+        11 => AluOp::Slt,
+        12 => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn fp_code(op: FpOp) -> u8 {
+    match op {
+        FpOp::Add => 0,
+        FpOp::Sub => 1,
+        FpOp::Mul => 2,
+        FpOp::Div => 3,
+    }
+}
+
+fn fp_from(code: u8) -> Option<FpOp> {
+    Some(match code {
+        0 => FpOp::Add,
+        1 => FpOp::Sub,
+        2 => FpOp::Mul,
+        3 => FpOp::Div,
+        _ => return None,
+    })
+}
+
+fn cond_code(c: BranchCond) -> u8 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+        BranchCond::Ltu => 4,
+        BranchCond::Geu => 5,
+    }
+}
+
+fn cond_from(code: u8) -> Option<BranchCond> {
+    Some(match code {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Ge,
+        4 => BranchCond::Ltu,
+        5 => BranchCond::Geu,
+        _ => return None,
+    })
+}
+
+fn width_code(w: MemWidth) -> u8 {
+    match w {
+        MemWidth::B1 => 0,
+        MemWidth::B2 => 1,
+        MemWidth::B4 => 2,
+        MemWidth::B8 => 3,
+    }
+}
+
+fn width_from(code: u8) -> Option<MemWidth> {
+    Some(match code {
+        0 => MemWidth::B1,
+        1 => MemWidth::B2,
+        2 => MemWidth::B4,
+        3 => MemWidth::B8,
+        _ => return None,
+    })
+}
+
+fn put_imm(word: &mut EncodedInst, imm: i32) {
+    word[4..8].copy_from_slice(&imm.to_le_bytes());
+}
+
+fn get_imm(word: &EncodedInst) -> i32 {
+    i32::from_le_bytes([word[4], word[5], word[6], word[7]])
+}
+
+/// Encodes an instruction into its 8-byte form.
+pub fn encode(inst: &Inst) -> EncodedInst {
+    let mut w: EncodedInst = [0; 8];
+    match *inst {
+        Inst::Nop => w[0] = opcode::NOP,
+        Inst::Halt => w[0] = opcode::HALT,
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            w[0] = opcode::ALU;
+            w[1] = alu_code(op);
+            w[2] = rd.index() as u8;
+            w[3] = rs1.index() as u8;
+            w[4] = rs2.index() as u8;
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            w[0] = opcode::ALU_IMM;
+            w[1] = alu_code(op);
+            w[2] = rd.index() as u8;
+            w[3] = rs1.index() as u8;
+            put_imm(&mut w, imm);
+        }
+        Inst::MovImm { rd, imm } => {
+            w[0] = opcode::MOV_IMM;
+            w[2] = rd.index() as u8;
+            put_imm(&mut w, imm);
+        }
+        Inst::FpAlu { op, fd, fs1, fs2 } => {
+            w[0] = opcode::FP_ALU;
+            w[1] = fp_code(op);
+            w[2] = fd.index() as u8;
+            w[3] = fs1.index() as u8;
+            w[4] = fs2.index() as u8;
+        }
+        Inst::FpCvt { fd, rs1 } => {
+            w[0] = opcode::FP_CVT;
+            w[2] = fd.index() as u8;
+            w[3] = rs1.index() as u8;
+        }
+        Inst::FpMov { rd, fs1 } => {
+            w[0] = opcode::FP_MOV;
+            w[2] = rd.index() as u8;
+            w[3] = fs1.index() as u8;
+        }
+        Inst::Load { width, rd, base, offset } => {
+            w[0] = opcode::LOAD;
+            w[1] = width_code(width);
+            w[2] = rd.index() as u8;
+            w[3] = base.index() as u8;
+            put_imm(&mut w, offset);
+        }
+        Inst::FpLoad { fd, base, offset } => {
+            w[0] = opcode::FP_LOAD;
+            w[2] = fd.index() as u8;
+            w[3] = base.index() as u8;
+            put_imm(&mut w, offset);
+        }
+        Inst::Store { width, src, base, offset } => {
+            w[0] = opcode::STORE;
+            w[1] = width_code(width);
+            w[2] = src.index() as u8;
+            w[3] = base.index() as u8;
+            put_imm(&mut w, offset);
+        }
+        Inst::FpStore { fs, base, offset } => {
+            w[0] = opcode::FP_STORE;
+            w[2] = fs.index() as u8;
+            w[3] = base.index() as u8;
+            put_imm(&mut w, offset);
+        }
+        Inst::Flush { base, offset } => {
+            w[0] = opcode::FLUSH;
+            w[3] = base.index() as u8;
+            put_imm(&mut w, offset);
+        }
+        Inst::Branch { cond, rs1, rs2, offset } => {
+            w[0] = opcode::BRANCH;
+            w[1] = cond_code(cond);
+            w[2] = rs1.index() as u8;
+            w[3] = rs2.index() as u8;
+            put_imm(&mut w, offset);
+        }
+        Inst::Jump { offset } => {
+            w[0] = opcode::JUMP;
+            put_imm(&mut w, offset);
+        }
+        Inst::JumpInd { base, offset } => {
+            w[0] = opcode::JUMP_IND;
+            w[3] = base.index() as u8;
+            put_imm(&mut w, offset);
+        }
+        Inst::Call { offset } => {
+            w[0] = opcode::CALL;
+            put_imm(&mut w, offset);
+        }
+        Inst::CallInd { base } => {
+            w[0] = opcode::CALL_IND;
+            w[3] = base.index() as u8;
+        }
+        Inst::Ret => w[0] = opcode::RET,
+        Inst::RdCycle { rd } => {
+            w[0] = opcode::RD_CYCLE;
+            w[2] = rd.index() as u8;
+        }
+    }
+    w
+}
+
+/// Error produced by [`decode`] on a malformed instruction word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    word: EncodedInst,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:02x?}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes an 8-byte instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode, sub-operation or register fields
+/// are out of range.
+pub fn decode(word: &EncodedInst) -> Result<Inst, DecodeError> {
+    let err = || DecodeError { word: *word };
+    let int = |b: u8| IntReg::new(b).ok_or_else(err);
+    let fp = |b: u8| FpReg::new(b).ok_or_else(err);
+    let inst = match word[0] {
+        opcode::NOP => Inst::Nop,
+        opcode::HALT => Inst::Halt,
+        opcode::ALU => Inst::Alu {
+            op: alu_from(word[1]).ok_or_else(err)?,
+            rd: int(word[2])?,
+            rs1: int(word[3])?,
+            rs2: int(word[4])?,
+        },
+        opcode::ALU_IMM => Inst::AluImm {
+            op: alu_from(word[1]).ok_or_else(err)?,
+            rd: int(word[2])?,
+            rs1: int(word[3])?,
+            imm: get_imm(word),
+        },
+        opcode::MOV_IMM => Inst::MovImm { rd: int(word[2])?, imm: get_imm(word) },
+        opcode::FP_ALU => Inst::FpAlu {
+            op: fp_from(word[1]).ok_or_else(err)?,
+            fd: fp(word[2])?,
+            fs1: fp(word[3])?,
+            fs2: fp(word[4])?,
+        },
+        opcode::FP_CVT => Inst::FpCvt { fd: fp(word[2])?, rs1: int(word[3])? },
+        opcode::FP_MOV => Inst::FpMov { rd: int(word[2])?, fs1: fp(word[3])? },
+        opcode::LOAD => Inst::Load {
+            width: width_from(word[1]).ok_or_else(err)?,
+            rd: int(word[2])?,
+            base: int(word[3])?,
+            offset: get_imm(word),
+        },
+        opcode::FP_LOAD => {
+            Inst::FpLoad { fd: fp(word[2])?, base: int(word[3])?, offset: get_imm(word) }
+        }
+        opcode::STORE => Inst::Store {
+            width: width_from(word[1]).ok_or_else(err)?,
+            src: int(word[2])?,
+            base: int(word[3])?,
+            offset: get_imm(word),
+        },
+        opcode::FP_STORE => {
+            Inst::FpStore { fs: fp(word[2])?, base: int(word[3])?, offset: get_imm(word) }
+        }
+        opcode::FLUSH => Inst::Flush { base: int(word[3])?, offset: get_imm(word) },
+        opcode::BRANCH => Inst::Branch {
+            cond: cond_from(word[1]).ok_or_else(err)?,
+            rs1: int(word[2])?,
+            rs2: int(word[3])?,
+            offset: get_imm(word),
+        },
+        opcode::JUMP => Inst::Jump { offset: get_imm(word) },
+        opcode::JUMP_IND => Inst::JumpInd { base: int(word[3])?, offset: get_imm(word) },
+        opcode::CALL => Inst::Call { offset: get_imm(word) },
+        opcode::CALL_IND => Inst::CallInd { base: int(word[3])? },
+        opcode::RET => Inst::Ret,
+        opcode::RD_CYCLE => Inst::RdCycle { rd: int(word[2])? },
+        _ => return Err(err()),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i).unwrap()
+    }
+
+    #[test]
+    fn nop_is_all_zero_word() {
+        assert_eq!(encode(&Inst::Nop), [0u8; 8]);
+    }
+
+    #[test]
+    fn rejects_bad_opcode() {
+        let mut w = [0u8; 8];
+        w[0] = 0xff;
+        assert!(decode(&w).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_register() {
+        let mut w = encode(&Inst::MovImm { rd: r(1), imm: 0 });
+        w[2] = 32; // out of range int reg
+        assert!(decode(&w).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_subop() {
+        let mut w = encode(&Inst::Alu { op: AluOp::Add, rd: r(1), rs1: r(2), rs2: r(3) });
+        w[1] = 200;
+        assert!(decode(&w).is_err());
+    }
+
+    #[test]
+    fn negative_immediates_round_trip() {
+        let i = Inst::AluImm { op: AluOp::Add, rd: r(4), rs1: r(4), imm: -123456 };
+        assert_eq!(decode(&encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn exhaustive_opcode_round_trip() {
+        let fp = |i: u8| FpReg::new(i).unwrap();
+        let samples = [
+            Inst::Nop,
+            Inst::Halt,
+            Inst::Alu { op: AluOp::Xor, rd: r(1), rs1: r(2), rs2: r(3) },
+            Inst::AluImm { op: AluOp::Shl, rd: r(9), rs1: r(9), imm: 63 },
+            Inst::MovImm { rd: r(31), imm: i32::MIN },
+            Inst::FpAlu { op: FpOp::Div, fd: fp(0), fs1: fp(1), fs2: fp(2) },
+            Inst::FpCvt { fd: fp(3), rs1: r(7) },
+            Inst::FpMov { rd: r(8), fs1: fp(4) },
+            Inst::Load { width: MemWidth::B1, rd: r(10), base: r(11), offset: 4096 },
+            Inst::FpLoad { fd: fp(5), base: r(12), offset: -8 },
+            Inst::Store { width: MemWidth::B8, src: r(13), base: r(14), offset: 0 },
+            Inst::FpStore { fs: fp(6), base: r(15), offset: 16 },
+            Inst::Flush { base: r(16), offset: 64 },
+            Inst::Branch { cond: BranchCond::Geu, rs1: r(17), rs2: r(18), offset: -800 },
+            Inst::Jump { offset: 8000 },
+            Inst::JumpInd { base: r(19), offset: 0 },
+            Inst::Call { offset: 256 },
+            Inst::CallInd { base: r(20) },
+            Inst::Ret,
+            Inst::RdCycle { rd: r(21) },
+        ];
+        for inst in samples {
+            assert_eq!(decode(&encode(&inst)).unwrap(), inst, "round trip of {inst}");
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Sparse byte-addressable backing store.
+//!
+//! Holds the simulated machine's data memory. The cache hierarchy models
+//! *timing* only; actual bytes always live here, so functional values are
+//! exact regardless of cache state.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_BYTES: usize = 1 << PAGE_BITS;
+
+/// Sparse 64-bit byte-addressable memory, allocated in 4 KiB pages on first
+/// touch. Untouched memory reads as zero.
+///
+/// ```
+/// use specrun_mem::BackingStore;
+/// let mut m = BackingStore::new();
+/// m.write(0x1000, 8, 0xdead_beef);
+/// assert_eq!(m.read(0x1000, 8), 0xdead_beef);
+/// assert_eq!(m.read(0x1000, 4), 0xdead_beef);
+/// assert_eq!(m.read(0x1004, 4), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BackingStore {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl BackingStore {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> BackingStore {
+        BackingStore::default()
+    }
+
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_BYTES]> {
+        self.pages.get(&(addr >> PAGE_BITS)).map(|b| &**b)
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_BYTES] {
+        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0; PAGE_BYTES]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.page(addr).map_or(0, |p| p[(addr as usize) & (PAGE_BYTES - 1)])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_BYTES - 1)] = value;
+    }
+
+    /// Reads `width` bytes (1, 2, 4 or 8) little-endian, zero-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn read(&self, addr: u64, width: u64) -> u64 {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "invalid access width {width}");
+        let mut v = 0u64;
+        for i in 0..width {
+            v |= u64::from(self.read_u8(addr + i)) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `width` bytes (1, 2, 4 or 8) of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn write(&mut self, addr: u64, width: u64, value: u64) {
+        assert!(matches!(width, 1 | 2 | 4 | 8), "invalid access width {width}");
+        for i in 0..width {
+            self.write_u8(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies `bytes` into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len as u64).map(|i| self.read_u8(addr + i)).collect()
+    }
+
+    /// Number of 4 KiB pages touched so far.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = BackingStore::new();
+        assert_eq!(m.read(0xdead_beef, 8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = BackingStore::new();
+        m.write(0, 8, 0x0807_0605_0403_0201);
+        assert_eq!(m.read_u8(0), 0x01);
+        assert_eq!(m.read_u8(7), 0x08);
+        assert_eq!(m.read(2, 2), 0x0403);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = BackingStore::new();
+        let addr = (1 << PAGE_BITS) - 4; // straddles a page boundary
+        m.write(addr, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read(addr, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn narrow_write_preserves_neighbors() {
+        let mut m = BackingStore::new();
+        m.write(16, 8, u64::MAX);
+        m.write(18, 2, 0);
+        assert_eq!(m.read(16, 8), 0xffff_ffff_0000_ffff);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut m = BackingStore::new();
+        m.write_bytes(100, b"specrun");
+        assert_eq!(m.read_bytes(100, 7), b"specrun");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid access width")]
+    fn invalid_width_panics() {
+        BackingStore::new().read(0, 3);
+    }
+}

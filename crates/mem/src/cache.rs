@@ -1,0 +1,308 @@
+//! Set-associative cache with true-LRU replacement.
+//!
+//! Caches model presence and timing only; data bytes live in the
+//! [`BackingStore`](crate::BackingStore). This matches how the attack works:
+//! what leaks is *which lines are resident*, not their contents.
+
+use core::fmt;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u64,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: u64,
+    /// Access latency in cycles for a hit at this level.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Creates a configuration and validates its geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are not powers of two or the geometry is inconsistent
+    /// (capacity not divisible into `ways × line_bytes` sets).
+    pub fn new(size_bytes: u64, ways: u64, line_bytes: u64, hit_latency: u64) -> CacheConfig {
+        let cfg = CacheConfig { size_bytes, ways, line_bytes, hit_latency };
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(cfg.num_sets() >= 1, "cache must have at least one set");
+        assert!(
+            cfg.num_sets().is_power_of_two(),
+            "set count must be a power of two (size={size_bytes}, ways={ways})"
+        );
+        cfg
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// Result of inserting a line: what was evicted, if anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Evicted {
+    /// The set had a free way; nothing was displaced.
+    None,
+    /// A clean line was displaced.
+    Clean(u64),
+    /// A dirty line was displaced (counts as a writeback).
+    Dirty(u64),
+}
+
+/// One level of set-associative cache with true-LRU replacement.
+///
+/// All methods take *line addresses* (byte address divided by the line
+/// size); use [`Cache::line_of`] to convert.
+///
+/// ```
+/// use specrun_mem::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig::new(1024, 2, 64, 2));
+/// let line = c.line_of(0x1040);
+/// assert!(!c.access(line, 0));
+/// c.fill(line, 1, false);
+/// assert!(c.access(line, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Option<Line>>>,
+    stamp: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Cache {
+        let sets = (0..config.num_sets()).map(|_| vec![None; config.ways as usize]).collect();
+        Cache { config, sets, stamp: 0 }
+    }
+
+    /// This cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Converts a byte address to a line address for this cache's geometry.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.config.line_bytes
+    }
+
+    fn set_and_tag(&self, line: u64) -> (usize, u64) {
+        let sets = self.config.num_sets();
+        ((line % sets) as usize, line / sets)
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+
+    /// Whether the line is resident, without touching LRU state.
+    pub fn probe(&self, line: u64) -> bool {
+        let (set, tag) = self.set_and_tag(line);
+        self.sets[set].iter().flatten().any(|l| l.tag == tag)
+    }
+
+    /// Looks up the line, updating LRU state on hit. Returns whether it hit.
+    pub fn access(&mut self, line: u64, _now: u64) -> bool {
+        let stamp = self.bump();
+        let (set, tag) = self.set_and_tag(line);
+        for way in self.sets[set].iter_mut().flatten() {
+            if way.tag == tag {
+                way.last_used = stamp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Marks the line dirty if resident (store hit). Returns whether it hit.
+    pub fn mark_dirty(&mut self, line: u64) -> bool {
+        let (set, tag) = self.set_and_tag(line);
+        for way in self.sets[set].iter_mut().flatten() {
+            if way.tag == tag {
+                way.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Installs the line (no-op if already resident), evicting the LRU way
+    /// of a full set.
+    pub fn fill(&mut self, line: u64, _now: u64, dirty: bool) -> Evicted {
+        let stamp = self.bump();
+        let (set, tag) = self.set_and_tag(line);
+        let ways = &mut self.sets[set];
+        // Already resident: refresh.
+        for way in ways.iter_mut().flatten() {
+            if way.tag == tag {
+                way.last_used = stamp;
+                way.dirty |= dirty;
+                return Evicted::None;
+            }
+        }
+        // Free way available.
+        if let Some(slot) = ways.iter_mut().find(|w| w.is_none()) {
+            *slot = Some(Line { tag, dirty, last_used: stamp });
+            return Evicted::None;
+        }
+        // Evict true-LRU.
+        let victim_idx = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.map_or(0, |l| l.last_used))
+            .map(|(i, _)| i)
+            .expect("non-zero associativity");
+        let victim = ways[victim_idx].replace(Line { tag, dirty, last_used: stamp }).expect("set full");
+        let sets = self.config.num_sets();
+        let victim_line = victim.tag * sets + set as u64;
+        if victim.dirty {
+            Evicted::Dirty(victim_line)
+        } else {
+            Evicted::Clean(victim_line)
+        }
+    }
+
+    /// Removes the line if resident; returns whether it was present.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let (set, tag) = self.set_and_tag(line);
+        for way in self.sets[set].iter_mut() {
+            if way.map_or(false, |l| l.tag == tag) {
+                *way = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Empties the cache.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.fill(None);
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.iter().flatten().count()).sum()
+    }
+}
+
+impl fmt::Display for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KiB {}-way {}B-line cache ({} cycles, {} resident)",
+            self.config.size_bytes / 1024,
+            self.config.ways,
+            self.config.line_bytes,
+            self.config.hit_latency,
+            self.resident_lines()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets × 2 ways × 64 B
+        Cache::new(CacheConfig::new(512, 2, 64, 2))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.config().num_sets(), 4);
+        assert_eq!(c.line_of(0x100), 4);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        assert!(!c.access(10, 0));
+        assert_eq!(c.fill(10, 1, false), Evicted::None);
+        assert!(c.access(10, 2));
+        assert!(c.probe(10));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.fill(0, 0, false);
+        c.fill(4, 1, false);
+        c.access(0, 2); // 0 is now MRU; 4 is LRU
+        assert_eq!(c.fill(8, 3, false), Evicted::Clean(4));
+        assert!(c.probe(0));
+        assert!(!c.probe(4));
+        assert!(c.probe(8));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = small();
+        c.fill(0, 0, false);
+        c.mark_dirty(0);
+        c.fill(4, 1, false);
+        c.access(4, 2);
+        assert_eq!(c.fill(8, 3, false), Evicted::Dirty(0));
+    }
+
+    #[test]
+    fn refill_refreshes_lru_not_duplicate() {
+        let mut c = small();
+        c.fill(0, 0, false);
+        c.fill(4, 1, false);
+        c.fill(0, 2, false); // refresh, not duplicate
+        assert_eq!(c.resident_lines(), 2);
+        assert_eq!(c.fill(8, 3, false), Evicted::Clean(4));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = small();
+        c.fill(7, 0, false);
+        assert!(c.invalidate(7));
+        assert!(!c.probe(7));
+        assert!(!c.invalidate(7));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = small();
+        c.fill(0, 0, false);
+        c.fill(4, 1, false);
+        assert!(c.probe(0)); // must not promote line 0
+        assert_eq!(c.fill(8, 2, false), Evicted::Clean(0));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = small();
+        c.fill(1, 0, false);
+        c.fill(2, 0, false);
+        c.clear();
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        CacheConfig::new(500, 2, 64, 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! The runahead cache (Mutlu et al., HPCA'03).
+//!
+//! During runahead mode, stores must not modify architectural memory — their
+//! results are buffered here so that dependent runahead *loads* still observe
+//! them (store-to-load communication keeps the prefetch slice accurate).
+//! Every byte carries an INV bit so that stores with invalid data poison
+//! their readers instead of silently supplying garbage.
+//!
+//! The structure is bounded; when full, the oldest bytes are evicted (their
+//! readers then fall back to stale memory data, exactly as a real runahead
+//! cache's limited capacity allows).
+
+use std::collections::{HashMap, VecDeque};
+
+/// One buffered byte written during runahead mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunaheadByte {
+    /// Data value (meaningless when `inv` is set).
+    pub value: u8,
+    /// Whether the producing store had an INV source.
+    pub inv: bool,
+}
+
+/// Result of reading bytes from the runahead cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunaheadRead {
+    /// No byte of the requested range is buffered.
+    Miss,
+    /// All requested bytes are buffered and valid.
+    Hit(u64),
+    /// At least one requested byte is buffered but INV, or the range is only
+    /// partially buffered with the rest unknowable — the consumer must be
+    /// poisoned.
+    Invalid,
+}
+
+/// Byte-granular buffer for runahead stores, with FIFO eviction.
+///
+/// ```
+/// use specrun_mem::{RunaheadCache, RunaheadRead};
+/// let mut rc = RunaheadCache::new(1024);
+/// rc.write(0x100, 4, 0xaabbccdd, false);
+/// assert_eq!(rc.read(0x100, 4), RunaheadRead::Hit(0xaabbccdd));
+/// rc.clear();
+/// assert_eq!(rc.read(0x100, 4), RunaheadRead::Miss);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunaheadCache {
+    bytes: HashMap<u64, RunaheadByte>,
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl RunaheadCache {
+    /// Creates a cache buffering at most `capacity_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero.
+    pub fn new(capacity_bytes: usize) -> RunaheadCache {
+        assert!(capacity_bytes > 0, "runahead cache needs nonzero capacity");
+        RunaheadCache { bytes: HashMap::new(), order: VecDeque::new(), capacity: capacity_bytes }
+    }
+
+    /// Buffers a store of `width` bytes; `inv` poisons all written bytes.
+    pub fn write(&mut self, addr: u64, width: u64, value: u64, inv: bool) {
+        for i in 0..width {
+            let a = addr + i;
+            let byte = RunaheadByte { value: (value >> (8 * i)) as u8, inv };
+            if self.bytes.insert(a, byte).is_none() {
+                self.order.push_back(a);
+                if self.bytes.len() > self.capacity {
+                    if let Some(old) = self.order.pop_front() {
+                        self.bytes.remove(&old);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads `width` bytes.
+    ///
+    /// Returns [`RunaheadRead::Hit`] only when *every* requested byte is
+    /// buffered and valid; a partially-buffered or poisoned range returns
+    /// [`RunaheadRead::Invalid`]; an untouched range returns
+    /// [`RunaheadRead::Miss`].
+    pub fn read(&self, addr: u64, width: u64) -> RunaheadRead {
+        let mut value = 0u64;
+        let mut present = 0u64;
+        let mut poisoned = false;
+        for i in 0..width {
+            match self.bytes.get(&(addr + i)) {
+                Some(b) => {
+                    present += 1;
+                    poisoned |= b.inv;
+                    value |= u64::from(b.value) << (8 * i);
+                }
+                None => {}
+            }
+        }
+        if present == 0 {
+            RunaheadRead::Miss
+        } else if poisoned || present < width {
+            RunaheadRead::Invalid
+        } else {
+            RunaheadRead::Hit(value)
+        }
+    }
+
+    /// Number of buffered bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Discards everything (runahead exit).
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forwarding_exact_and_partial() {
+        let mut rc = RunaheadCache::new(64);
+        rc.write(8, 8, 0x1122334455667788, false);
+        assert_eq!(rc.read(8, 8), RunaheadRead::Hit(0x1122334455667788));
+        assert_eq!(rc.read(8, 1), RunaheadRead::Hit(0x88));
+        assert_eq!(rc.read(12, 4), RunaheadRead::Hit(0x11223344));
+        // Range extending past the buffered bytes is Invalid, not Miss.
+        assert_eq!(rc.read(12, 8), RunaheadRead::Invalid);
+        assert_eq!(rc.read(100, 8), RunaheadRead::Miss);
+    }
+
+    #[test]
+    fn inv_poisons_readers() {
+        let mut rc = RunaheadCache::new(64);
+        rc.write(0, 4, 0xdeadbeef, true);
+        assert_eq!(rc.read(0, 4), RunaheadRead::Invalid);
+        assert_eq!(rc.read(2, 1), RunaheadRead::Invalid);
+    }
+
+    #[test]
+    fn later_store_overwrites() {
+        let mut rc = RunaheadCache::new(64);
+        rc.write(0, 8, 0, true);
+        rc.write(0, 8, 42, false);
+        assert_eq!(rc.read(0, 8), RunaheadRead::Hit(42));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut rc = RunaheadCache::new(4);
+        rc.write(0, 4, 0xaabbccdd, false);
+        rc.write(100, 1, 7, false);
+        assert_eq!(rc.len(), 4);
+        // Byte at addr 0 (oldest) was evicted.
+        assert_eq!(rc.read(0, 4), RunaheadRead::Invalid);
+        assert_eq!(rc.read(100, 1), RunaheadRead::Hit(7));
+    }
+
+    #[test]
+    fn clear_on_exit() {
+        let mut rc = RunaheadCache::new(16);
+        rc.write(0, 8, 1, false);
+        rc.clear();
+        assert!(rc.is_empty());
+        assert_eq!(rc.read(0, 8), RunaheadRead::Miss);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the memory subsystem.
+
+use proptest::prelude::*;
+use specrun_mem::{
+    AccessKind, BackingStore, Cache, CacheConfig, FillPolicy, HitLevel, MemHierarchy,
+    RunaheadCache, RunaheadRead, SlCache, SlTags,
+};
+
+proptest! {
+    /// Backing store reads return exactly what was last written, for any
+    /// interleaving of writes at any width.
+    #[test]
+    fn backing_store_last_write_wins(
+        writes in proptest::collection::vec((0u64..0x10000, prop_oneof![Just(1u64), Just(2), Just(4), Just(8)], any::<u64>()), 1..50)
+    ) {
+        let mut mem = BackingStore::new();
+        let mut model = std::collections::HashMap::<u64, u8>::new();
+        for (addr, width, value) in &writes {
+            mem.write(*addr, *width, *value);
+            for i in 0..*width {
+                model.insert(addr + i, (value >> (8 * i)) as u8);
+            }
+        }
+        for (addr, _, _) in &writes {
+            let expect = *model.get(addr).unwrap_or(&0);
+            prop_assert_eq!(mem.read_u8(*addr), expect);
+        }
+    }
+
+    /// A cache never holds more lines than its capacity, and a line that was
+    /// just filled is always resident.
+    #[test]
+    fn cache_capacity_invariant(lines in proptest::collection::vec(0u64..4096, 1..300)) {
+        let cfg = CacheConfig::new(4096, 4, 64, 2); // 16 sets x 4 ways
+        let capacity = (cfg.size_bytes / cfg.line_bytes) as usize;
+        let mut cache = Cache::new(cfg);
+        for (i, &line) in lines.iter().enumerate() {
+            cache.fill(line, i as u64, false);
+            prop_assert!(cache.probe(line), "just-filled line resident");
+            prop_assert!(cache.resident_lines() <= capacity);
+        }
+    }
+
+    /// After an access completes, re-accessing the same address at a later
+    /// time is always at least as fast (monotone warming), absent flushes.
+    #[test]
+    fn warming_is_monotone(addrs in proptest::collection::vec(0u64..0x40000, 1..60)) {
+        let mut mem = MemHierarchy::default();
+        let mut now = 0u64;
+        for &addr in &addrs {
+            let first = mem.access(addr, now, AccessKind::Load, FillPolicy::Normal);
+            let first_latency = first.ready_at - now;
+            now = first.ready_at + 1;
+            let second = mem.access(addr, now, AccessKind::Load, FillPolicy::Normal);
+            prop_assert!(second.ready_at - now <= first_latency);
+            prop_assert_ne!(second.level, HitLevel::Mem);
+            now = second.ready_at + 1;
+        }
+    }
+
+    /// Flushing any subset of addresses evicts exactly those lines.
+    #[test]
+    fn flush_is_precise(
+        warm in proptest::collection::hash_set(0u64..256, 1..40),
+        flush in proptest::collection::hash_set(0u64..256, 1..40),
+    ) {
+        let mut mem = MemHierarchy::default();
+        let line = mem.line_bytes();
+        for &w in &warm {
+            mem.warm(w * line);
+        }
+        for &f in &flush {
+            mem.flush_line(f * line, 0);
+        }
+        for &w in &warm {
+            let resident = mem.residency(w * line) != HitLevel::Mem;
+            prop_assert_eq!(resident, !flush.contains(&w), "line {}", w);
+        }
+    }
+
+    /// Runahead-cache reads reproduce the most recent valid write at any
+    /// overlap, and INV writes never produce a Hit.
+    #[test]
+    fn runahead_cache_forwarding(
+        ops in proptest::collection::vec((0u64..64, prop_oneof![Just(1u64), Just(2), Just(4), Just(8)], any::<u64>(), any::<bool>()), 1..40)
+    ) {
+        let mut rc = RunaheadCache::new(4096);
+        let mut bytes = std::collections::HashMap::<u64, (u8, bool)>::new();
+        for (addr, width, value, inv) in &ops {
+            rc.write(*addr, *width, *value, *inv);
+            for i in 0..*width {
+                bytes.insert(addr + i, ((value >> (8 * i)) as u8, *inv));
+            }
+        }
+        for (addr, width, _, _) in &ops {
+            let mut expect_val = 0u64;
+            let mut poisoned = false;
+            for i in 0..*width {
+                let (v, inv) = bytes[&(addr + i)];
+                expect_val |= u64::from(v) << (8 * i);
+                poisoned |= inv;
+            }
+            match rc.read(*addr, *width) {
+                RunaheadRead::Hit(v) => {
+                    prop_assert!(!poisoned);
+                    prop_assert_eq!(v, expect_val);
+                }
+                RunaheadRead::Invalid => prop_assert!(poisoned),
+                RunaheadRead::Miss => prop_assert!(false, "bytes were written"),
+            }
+        }
+    }
+
+    /// The SL-cache counter always equals the number of resident entries,
+    /// through any mix of inserts and bulk removals.
+    #[test]
+    fn sl_counter_consistent(
+        ops in proptest::collection::vec((0u64..64, 0u32..4, any::<bool>()), 1..80)
+    ) {
+        let mut sl = SlCache::new(32);
+        for (line, branch, remove) in ops {
+            if remove {
+                sl.remove_tainted_by(1u64 << branch);
+            } else {
+                let tags = if branch == 0 {
+                    SlTags::safe()
+                } else {
+                    SlTags { btag: Some(specrun_mem::Btag { branch, ordinal: 1 }), is_mask: 1u64 << branch }
+                };
+                sl.insert(line, tags);
+            }
+            prop_assert_eq!(sl.counter(), sl.iter().count());
+            prop_assert!(sl.counter() <= 32);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The Fig. 7 IPC harness: run each kernel on the no-runahead and runahead
+//! machines and compare.
+
+use specrun_cpu::{Core, CpuConfig, RunExit};
+
+use crate::kernels::Workload;
+
+/// Default iteration count giving runs of roughly 10⁵ cycles per kernel.
+pub const DEFAULT_ITERS: u32 = 1500;
+
+/// IPC of one kernel on one machine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct IpcResult {
+    /// Committed instructions.
+    pub committed: u64,
+    /// Cycles to completion.
+    pub cycles: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Runahead episodes entered.
+    pub runahead_entries: u64,
+}
+
+/// Runs a workload to completion on a fresh core with `config`.
+///
+/// # Panics
+///
+/// Panics if the kernel does not halt within the cycle budget.
+pub fn run_workload(workload: &Workload, config: CpuConfig, max_cycles: u64) -> IpcResult {
+    let mut core = Core::new(config);
+    for (addr, bytes) in &workload.setup {
+        core.mem_mut().write_bytes(*addr, bytes);
+    }
+    core.load_program(&workload.program);
+    let exit = core.run(max_cycles);
+    assert_eq!(exit, RunExit::Halted, "{} did not halt (stats: {})", workload.name, core.stats());
+    let stats = core.stats();
+    IpcResult {
+        committed: stats.committed,
+        cycles: stats.cycles,
+        ipc: stats.ipc(),
+        runahead_entries: stats.runahead_entries,
+    }
+}
+
+/// One Fig. 7 bar pair: a kernel's IPC without and with runahead.
+#[derive(Debug, Clone)]
+pub struct IpcComparison {
+    /// Kernel name.
+    pub name: &'static str,
+    /// No-runahead machine IPC.
+    pub baseline: IpcResult,
+    /// Runahead machine IPC.
+    pub runahead: IpcResult,
+}
+
+impl IpcComparison {
+    /// Runahead speedup over the baseline.
+    pub fn speedup(&self) -> f64 {
+        self.runahead.ipc / self.baseline.ipc
+    }
+
+    /// IPC normalized to the baseline (the paper's y-axis).
+    pub fn normalized_ipc(&self) -> (f64, f64) {
+        (1.0, self.speedup())
+    }
+}
+
+/// Runs one kernel on both machines.
+pub fn compare(workload: &Workload, max_cycles: u64) -> IpcComparison {
+    IpcComparison {
+        name: workload.name,
+        baseline: run_workload(workload, CpuConfig::no_runahead(), max_cycles),
+        runahead: run_workload(workload, CpuConfig::default(), max_cycles),
+    }
+}
+
+/// Runs one kernel on both machines with a custom "runahead" configuration
+/// (used by the defense-overhead and policy-ablation experiments).
+pub fn compare_with(workload: &Workload, runahead_cfg: CpuConfig, max_cycles: u64) -> IpcComparison {
+    IpcComparison {
+        name: workload.name,
+        baseline: run_workload(workload, CpuConfig::no_runahead(), max_cycles),
+        runahead: run_workload(workload, runahead_cfg, max_cycles),
+    }
+}
+
+/// Geometric-mean speedup across comparisons (the paper's "average
+/// performance improvement of 11%").
+pub fn geomean_speedup(results: &[IpcComparison]) -> f64 {
+    if results.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = results.iter().map(|c| c.speedup().ln()).sum();
+    (log_sum / results.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    #[test]
+    fn lbm_halts_and_reports_ipc() {
+        let w = kernels::lbm(200);
+        let r = run_workload(&w, CpuConfig::no_runahead(), 2_000_000);
+        assert!(r.ipc > 0.0);
+        assert!(r.committed > 1000);
+    }
+
+    #[test]
+    fn runahead_helps_a_stream() {
+        let w = kernels::lbm(400);
+        let c = compare(&w, 4_000_000);
+        assert!(c.runahead.runahead_entries > 0, "stream must trigger runahead");
+        assert!(
+            c.speedup() > 1.0,
+            "runahead should speed up lbm: {:.3} vs {:.3}",
+            c.baseline.ipc,
+            c.runahead.ipc
+        );
+    }
+
+    #[test]
+    fn geomean_of_identities_is_one() {
+        assert!((geomean_speedup(&[]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! # specrun-workloads
+//!
+//! SPEC2006-like synthetic kernels for the SPECRUN reproduction's Fig. 7
+//! experiment: `zeusmp`, `wrf`, `bwaves`, `lbm`, `mcf` and `GemsFDTD`
+//! stand-ins whose memory behaviour (streams, stencils, pointer chases)
+//! matches what the originals are known for, plus an IPC harness comparing
+//! the no-runahead and runahead machines.
+//!
+//! ```
+//! use specrun_workloads::{kernels, ipc};
+//! let workload = kernels::lbm(100);
+//! let result = ipc::run_workload(&workload, specrun_cpu::CpuConfig::default(), 2_000_000);
+//! assert!(result.ipc > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ipc;
+pub mod kernels;
+pub mod rng;
+
+pub use ipc::{compare, compare_with, geomean_speedup, IpcComparison, IpcResult, DEFAULT_ITERS};
+pub use kernels::Workload;
+pub use rng::SplitMix64;
+
+/// The full Fig. 7 suite in the paper's order, at the default scale.
+pub fn fig7_suite() -> Vec<Workload> {
+    suite_with_iters(DEFAULT_ITERS)
+}
+
+/// The Fig. 7 suite at a custom iteration count (smaller = faster tests).
+pub fn suite_with_iters(iters: u32) -> Vec<Workload> {
+    vec![
+        kernels::zeusmp(iters),
+        kernels::wrf(iters),
+        kernels::bwaves(iters),
+        kernels::lbm(iters),
+        kernels::mcf(iters / 4), // pointer chase: each iteration is ~200 cycles
+        kernels::gems_fdtd(iters),
+    ]
+}
+
+/// Commonly used items for examples and tests.
+pub mod prelude {
+    pub use crate::ipc::{compare, geomean_speedup, IpcComparison};
+    pub use crate::kernels::Workload;
+    pub use crate::{fig7_suite, suite_with_iters};
+}

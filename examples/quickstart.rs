@@ -1,0 +1,36 @@
+//! Quickstart: build a tiny program, run it on the Table 1 runahead
+//! machine, and look at the statistics.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use specrun::Machine;
+use specrun_isa::{IntReg, ProgramBuilder};
+
+fn main() {
+    let r = |i| IntReg::new(i).unwrap();
+
+    // A little program: sum the numbers 0..100, with a flushed load in the
+    // middle so the machine demonstrates a runahead episode.
+    let mut b = ProgramBuilder::new(0x1000);
+    b.li(r(1), 0); // sum
+    b.li(r(2), 0x9000); // a data address
+    b.flush(r(2), 0); // evict it
+    b.ld(r(3), r(2), 0); // long-latency load → runahead trigger
+    b.for_loop(r(4), 100, |b| {
+        b.add(r(1), r(1), r(4));
+    });
+    b.halt();
+    let program = b.build().expect("program builds");
+
+    println!("{}", program.disassemble());
+
+    let mut machine = Machine::runahead();
+    machine.run_program(&program, 1_000_000);
+
+    println!("sum 0..100 = {}", machine.reg(r(1)));
+    assert_eq!(machine.reg(r(1)), (0..100).sum::<u64>());
+    println!();
+    println!("{}", machine.stats());
+}

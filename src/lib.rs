@@ -1,0 +1,26 @@
+//! Umbrella crate for the SPECRUN reproduction workspace.
+//!
+//! This crate exists to host the repository-level [examples](https://github.com/specrun/specrun/tree/main/examples)
+//! and cross-crate integration tests. It re-exports the member crates so the
+//! examples can use one import root:
+//!
+//! ```
+//! use specrun_suite::prelude::*;
+//! let config = CpuConfig::default();
+//! assert_eq!(config.rob_entries, 256);
+//! ```
+
+pub use specrun;
+pub use specrun_bp;
+pub use specrun_cpu;
+pub use specrun_isa;
+pub use specrun_mem;
+pub use specrun_workloads;
+
+/// Convenient glob import for examples and integration tests.
+pub mod prelude {
+    pub use specrun::prelude::*;
+    pub use specrun_cpu::config::CpuConfig;
+    pub use specrun_isa::prelude::*;
+    pub use specrun_workloads::prelude::*;
+}

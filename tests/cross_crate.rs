@@ -1,0 +1,101 @@
+//! Cross-crate integration: assembler → CPU → memory → predictor flows that
+//! exercise the public APIs together.
+
+use specrun_cpu::{Core, CpuConfig};
+use specrun_isa::assemble;
+use specrun_isa::IntReg;
+use specrun_mem::HitLevel;
+
+fn r(i: u8) -> IntReg {
+    IntReg::new(i).unwrap()
+}
+
+/// Text assembly runs on the core and produces architectural results.
+#[test]
+fn assembled_text_runs_on_core() {
+    let program = assemble(
+        "
+        .base 0x1000
+        .sym buf 0x8000
+            la   r1, buf
+            li   r2, 0
+            li   r4, 10
+        loop:
+            st8  r2, (r1)
+            ld8  r3, (r1)
+            add  r2, r2, r3
+            addi r2, r2, 1
+            addi r1, r1, 8
+            addi r5, r5, 1
+            blt  r5, r4, loop
+            halt
+        ",
+    )
+    .expect("assembles");
+    let mut core = Core::new(CpuConfig::default());
+    core.load_program(&program);
+    core.run(1_000_000);
+    assert!(core.is_halted());
+    // r2 doubles-plus-one each iteration: 0→1→3→7→…→2^10-1
+    assert_eq!(core.read_int_reg(r(2)), (1 << 10) - 1);
+}
+
+/// The microarchitectural contract behind the attack: a program's cache
+/// side effects persist after the program ends.
+#[test]
+fn cache_state_outlives_programs() {
+    let toucher = assemble(
+        "
+        .sym data 0x4000
+            la r1, data
+            ld8 r2, (r1)
+            halt
+        ",
+    )
+    .unwrap();
+    let mut core = Core::new(CpuConfig::default());
+    core.load_program(&toucher);
+    core.run(10_000);
+    assert_ne!(core.mem().residency(0x4000), HitLevel::Mem);
+}
+
+/// Predictor state also persists: a branch trained by one program is
+/// predicted correctly at first sight by the next (same PC).
+#[test]
+fn predictor_training_transfers_across_programs() {
+    let trainer = assemble(
+        "
+        .base 0x2000
+            li r2, 50
+        loop:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        ",
+    )
+    .unwrap();
+    let mut core = Core::new(CpuConfig::default());
+    core.load_program(&trainer);
+    core.run(100_000);
+    let first_run = core.stats().branch_mispredicts;
+
+    core.reset_stats();
+    core.load_program(&trainer);
+    core.run(100_000);
+    let second_run = core.stats().branch_mispredicts;
+    assert!(
+        second_run <= first_run,
+        "warm predictor should not mispredict more ({second_run} vs {first_run})"
+    );
+}
+
+/// The suite umbrella crate re-exports everything examples need.
+#[test]
+fn umbrella_prelude_compiles_and_works() {
+    use specrun_suite::prelude::*;
+    let config = CpuConfig::default();
+    assert_eq!(config.rob_entries, 256);
+    let mut machine = Machine::no_runahead();
+    machine.write_bytes(0x100, b"ok");
+    assert_eq!(machine.read_bytes(0x100, 2), b"ok");
+}

@@ -1,0 +1,82 @@
+//! Repository-level integration tests: one test per headline claim of the
+//! paper, spanning all crates through the public APIs.
+
+use specrun::attack::{run_pht_poc, PocConfig};
+use specrun::defense::verify_pht_blocked;
+use specrun::window::measure_windows;
+use specrun::Machine;
+use specrun_workloads::{compare, geomean_speedup, suite_with_iters};
+
+/// Fig. 9: SPECRUN leaks a secret from the victim on the runahead machine.
+#[test]
+fn claim_fig9_leak() {
+    let cfg = PocConfig::default();
+    let mut machine = Machine::runahead();
+    let outcome = run_pht_poc(&mut machine, &cfg);
+    assert_eq!(outcome.leaked, Some(86));
+    assert!(outcome.runahead_entries > 0);
+}
+
+/// §5.3: runahead eliminates the ROB-size limit on transient instructions.
+#[test]
+fn claim_window_shape() {
+    let report = measure_windows();
+    assert_eq!(report.n1, 255, "N1 must be ROB - 1");
+    assert!(report.n2 > 256, "N2 = {} must exceed the ROB", report.n2);
+    assert!(report.n3 > report.n2, "N3 = {} must exceed N2 = {}", report.n3, report.n2);
+}
+
+/// Fig. 11: beyond the ROB, only the runahead machine leaks.
+#[test]
+fn claim_fig11_separation() {
+    let cfg = PocConfig::fig11(300);
+    let mut plain = Machine::no_runahead();
+    assert_eq!(run_pht_poc(&mut plain, &cfg).leaked, None);
+    let cfg = PocConfig::fig11(300);
+    let mut ra = Machine::runahead();
+    assert_eq!(run_pht_poc(&mut ra, &cfg).leaked, Some(127));
+}
+
+/// Fig. 7: runahead improves IPC on every kernel; the mean lands near the
+/// paper's 11%.
+#[test]
+fn claim_fig7_speedup() {
+    let mut results = Vec::new();
+    for w in suite_with_iters(400) {
+        let c = compare(&w, 50_000_000);
+        assert!(
+            c.speedup() > 0.99,
+            "{} must not regress under runahead: {:.3}",
+            c.name,
+            c.speedup()
+        );
+        results.push(c);
+    }
+    let mean = geomean_speedup(&results);
+    assert!(
+        (1.02..1.35).contains(&mean),
+        "geomean speedup {mean:.3} should be near the paper's 1.11"
+    );
+}
+
+/// §6: the secure-runahead scheme blocks the attack.
+#[test]
+fn claim_defense_blocks() {
+    let cfg = PocConfig::fig11(300);
+    let mut machine = Machine::secure();
+    let report = verify_pht_blocked(&mut machine, &cfg);
+    assert!(report.blocked());
+    assert!(report.outcome.runahead_entries > 0, "runahead still ran");
+}
+
+/// The whole stack is deterministic end to end.
+#[test]
+fn claim_deterministic() {
+    let run = || {
+        let cfg = PocConfig::default();
+        let mut machine = Machine::runahead();
+        let o = run_pht_poc(&mut machine, &cfg);
+        (o.leaked, machine.stats().cycles, machine.stats().committed)
+    };
+    assert_eq!(run(), run());
+}
