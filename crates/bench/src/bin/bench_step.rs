@@ -1,0 +1,122 @@
+//! Simulator-throughput benchmark, the perf-trajectory anchor tracked by
+//! CI: emits `BENCH_step.json` with cycles-simulated-per-second on fixed
+//! kernels (idle-cycle fast-forward off vs on) and the thread-scaling of a
+//! Fig. 9-style multi-trial attack sweep.
+//!
+//! ```sh
+//! cargo run --release -p specrun-bench --bin bench_step            # full
+//! SPECRUN_BENCH_QUICK=1 cargo run --release -p specrun-bench --bin bench_step
+//! ```
+
+use std::time::Instant;
+
+use specrun::attack::{run_pht_sweep, SweepConfig};
+use specrun_bench::BenchReport;
+use specrun_cpu::CpuConfig;
+use specrun_workloads::harness;
+use specrun_workloads::ipc::run_workload;
+use specrun_workloads::kernels;
+use specrun_workloads::Workload;
+
+struct KernelResult {
+    cycles: u64,
+    naive_secs: f64,
+    ff_secs: f64,
+}
+
+fn measure_kernel(w: &Workload, base: CpuConfig, max_cycles: u64) -> KernelResult {
+    let mut naive_cfg = base.clone();
+    naive_cfg.fast_forward = false;
+    let mut ff_cfg = base;
+    ff_cfg.fast_forward = true;
+
+    let t = Instant::now();
+    let naive = run_workload(w, naive_cfg, max_cycles);
+    let naive_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let ff = run_workload(w, ff_cfg, max_cycles);
+    let ff_secs = t.elapsed().as_secs_f64();
+
+    assert_eq!(
+        (naive.cycles, naive.committed),
+        (ff.cycles, ff.committed),
+        "fast-forward must be architecturally invisible on {}",
+        w.name
+    );
+    KernelResult { cycles: ff.cycles, naive_secs, ff_secs }
+}
+
+fn main() {
+    let quick = std::env::var("SPECRUN_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let iters = if quick { 400 } else { 3000 };
+    let sweep_trials = if quick { 8 } else { 24 };
+
+    let mut report = BenchReport::new("step");
+    report.note("quick_mode", if quick { "yes" } else { "no" });
+
+    println!("== simulator throughput: naive stepping vs idle-cycle fast-forward ==");
+    println!("kernel,machine,cycles,naive_Mcyc_per_s,ff_Mcyc_per_s,speedup");
+    let chase = kernels::pointer_chase(iters);
+    let mcf = kernels::mcf(iters / 2);
+    for (label, w, cfg) in [
+        ("pointer_chase/no_runahead", &chase, CpuConfig::no_runahead()),
+        ("pointer_chase/runahead", &chase, CpuConfig::default()),
+        ("mcf/no_runahead", &mcf, CpuConfig::no_runahead()),
+        ("mcf/runahead", &mcf, CpuConfig::default()),
+    ] {
+        let r = measure_kernel(w, cfg, 500_000_000);
+        let naive_rate = r.cycles as f64 / r.naive_secs;
+        let ff_rate = r.cycles as f64 / r.ff_secs;
+        let speedup = r.naive_secs / r.ff_secs;
+        println!(
+            "{label},{},{:.2},{:.2},{:.2}",
+            r.cycles,
+            naive_rate / 1e6,
+            ff_rate / 1e6,
+            speedup
+        );
+        let key = label.replace('/', "_");
+        report.metric(format!("{key}_cycles"), r.cycles as f64);
+        report.metric(format!("{key}_naive_cycles_per_sec"), naive_rate);
+        report.metric(format!("{key}_ff_cycles_per_sec"), ff_rate);
+        report.metric(format!("{key}_ff_speedup"), speedup);
+    }
+
+    println!();
+    let host_threads = harness::default_threads();
+    println!("== Fig. 9-style sweep scaling ({sweep_trials} trials, host has {host_threads} core(s)) ==");
+    if host_threads < 4 {
+        println!("note: wall-clock scaling needs >= 4 host cores; on this host the");
+        println!("      sweep only demonstrates thread-safety and low fan-out overhead");
+    }
+    println!("threads,wall_secs,speedup,efficiency");
+    let mut thread_points = vec![1usize, 2, 4];
+    if host_threads > 4 {
+        thread_points.push(host_threads.min(16));
+    }
+    thread_points.retain(|&t| t <= host_threads.max(4));
+    let mut serial_secs = None;
+    for &threads in &thread_points {
+        let cfg = SweepConfig { trials: sweep_trials, threads, ..SweepConfig::default() };
+        let t = Instant::now();
+        let sweep = run_pht_sweep(&cfg);
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            sweep.successes(),
+            sweep.trials.len(),
+            "every sweep trial must leak on the runahead machine"
+        );
+        let base = *serial_secs.get_or_insert(secs);
+        let speedup = base / secs;
+        println!("{threads},{secs:.3},{speedup:.2},{:.2}", speedup / threads as f64);
+        report.metric(format!("sweep_{threads}t_wall_secs"), secs);
+        report.metric(format!("sweep_{threads}t_speedup"), speedup);
+    }
+    report.metric("sweep_trials", sweep_trials as f64);
+    report.metric("host_threads", host_threads as f64);
+
+    let path = report.write().expect("BENCH_step.json is writable");
+    println!();
+    println!("wrote {}", path.display());
+}

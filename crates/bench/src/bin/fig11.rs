@@ -1,22 +1,22 @@
 //! Regenerates Fig. 11: probe access times on the no-runahead and runahead
 //! machines with the nop-padded gadget (secret access pushed outside the
 //! original ROB window). Paper: leak at index 127 only on the runahead
-//! machine.
+//! machine. The two machines simulate in parallel.
 
 use specrun::attack::{run_pht_poc, PocConfig};
 use specrun::Machine;
+use specrun_workloads::parallel_map;
 
 fn main() {
     let slide = 300; // nops between the bounds check and the secret access
     println!("Fig. 11: probe access time, nop slide = {slide} (> ROB)");
 
-    let cfg = PocConfig::fig11(slide);
-    let mut plain = Machine::no_runahead();
-    let base = run_pht_poc(&mut plain, &cfg);
-
-    let cfg = PocConfig::fig11(slide);
-    let mut ra = Machine::runahead();
-    let attacked = run_pht_poc(&mut ra, &cfg);
+    let machines = [Machine::no_runahead, Machine::runahead];
+    let outcomes = parallel_map(&machines, 2, |_, make| {
+        let mut machine = make();
+        run_pht_poc(&mut machine, &PocConfig::fig11(slide))
+    });
+    let (base, attacked) = (&outcomes[0], &outcomes[1]);
 
     println!("index,no_runahead_cycles,runahead_cycles");
     let b = base.timings.as_slice();

@@ -1,17 +1,19 @@
 //! Regenerates Fig. 7: normalized IPC, no-runahead vs runahead, for the six
-//! SPEC2006-like kernels.
+//! SPEC2006-like kernels. All twelve simulations fan out over the host's
+//! cores through the parallel trial harness.
 //!
 //! The paper reports an average improvement of 11%; this harness prints the
 //! per-kernel normalized IPC pairs and the geometric mean.
 
-use specrun_workloads::{compare, fig7_suite, geomean_speedup};
+use specrun_workloads::ipc::compare_parallel;
+use specrun_workloads::{fig7_suite, geomean_speedup};
 
 fn main() {
     println!("Fig. 7: standardized performance (IPC) comparison");
     println!("kernel,no_runahead,runahead,speedup,runahead_entries");
-    let mut results = Vec::new();
-    for workload in fig7_suite() {
-        let c = compare(&workload, 50_000_000);
+    let suite = fig7_suite();
+    let results = compare_parallel(&suite, 50_000_000, 0);
+    for c in &results {
         let (base_norm, ra_norm) = c.normalized_ipc();
         println!(
             "{},{:.3},{:.3},{:.3},{}",
@@ -21,7 +23,6 @@ fn main() {
             c.speedup(),
             c.runahead.runahead_entries
         );
-        results.push(c);
     }
     let mean = geomean_speedup(&results);
     println!("geomean,1.000,{mean:.3},{mean:.3},-");

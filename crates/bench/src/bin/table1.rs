@@ -6,7 +6,7 @@ fn main() {
     let c = CpuConfig::default();
     println!("Table 1: The basic configuration of the processor");
     println!("{:-<66}", "");
-    println!("{:<18} {}", "Component", "Parameter");
+    println!("{:<18} Parameter", "Component");
     println!("{:-<66}", "");
     println!("{:<18} {} GHz, out-of-order", "Core", c.freq_ghz);
     println!("{:<18} {}-wide fetch/decode/dispatch/commit", "Processor width", c.width);

@@ -1,18 +1,51 @@
 //! §4.3 / §4.4 applicability matrix: the attack against each runahead
 //! policy (original, precise, vector) and each Spectre variant
-//! (PHT, BTB, RSB).
+//! (PHT, BTB, RSB). All six attack simulations run in parallel.
 
-use specrun::attack::{run_btb_poc, run_pht_poc, run_rsb_poc, PocConfig};
+use specrun::attack::{run_btb_poc, run_pht_poc, run_rsb_poc, PocConfig, PocOutcome};
 use specrun::Machine;
 use specrun_cpu::RunaheadPolicy;
+use specrun_workloads::parallel_map;
+
+enum Job {
+    Policy(RunaheadPolicy),
+    Variant(&'static str),
+}
+
+fn run(job: &Job) -> PocOutcome {
+    match job {
+        Job::Policy(policy) => {
+            let mut machine = Machine::with_policy(*policy);
+            run_pht_poc(&mut machine, &PocConfig::fig11(300))
+        }
+        Job::Variant(name) => {
+            let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
+            let mut machine = Machine::runahead();
+            match *name {
+                "SpectrePHT" => run_pht_poc(&mut machine, &cfg),
+                "SpectreBTB" => run_btb_poc(&mut machine, &cfg),
+                "SpectreRSB" => run_rsb_poc(&mut machine, &cfg),
+                other => unreachable!("unknown variant {other}"),
+            }
+        }
+    }
+}
 
 fn main() {
+    let jobs = [
+        Job::Policy(RunaheadPolicy::Original),
+        Job::Policy(RunaheadPolicy::Precise),
+        Job::Policy(RunaheadPolicy::Vector),
+        Job::Variant("SpectrePHT"),
+        Job::Variant("SpectreBTB"),
+        Job::Variant("SpectreRSB"),
+    ];
+    let outcomes = parallel_map(&jobs, jobs.len(), |_, job| run(job));
+
     println!("== SpectrePHT against runahead policies (nop slide 300) ==");
     println!("policy,leaked,expected,runahead_entries,inv_branches");
-    for policy in [RunaheadPolicy::Original, RunaheadPolicy::Precise, RunaheadPolicy::Vector] {
-        let cfg = PocConfig::fig11(300);
-        let mut machine = Machine::with_policy(policy);
-        let o = run_pht_poc(&mut machine, &cfg);
+    for (job, o) in jobs.iter().zip(&outcomes).take(3) {
+        let Job::Policy(policy) = job else { unreachable!() };
         println!(
             "{policy:?},{:?},{},{},{}",
             o.leaked, o.expected, o.runahead_entries, o.inv_branches
@@ -22,18 +55,8 @@ fn main() {
     println!();
     println!("== Spectre variants nested in (original) runahead ==");
     println!("variant,leaked,expected,runahead_entries");
-    let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
-    let mut m = Machine::runahead();
-    let pht = run_pht_poc(&mut m, &cfg);
-    println!("SpectrePHT,{:?},{},{}", pht.leaked, pht.expected, pht.runahead_entries);
-
-    let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
-    let mut m = Machine::runahead();
-    let btb = run_btb_poc(&mut m, &cfg);
-    println!("SpectreBTB,{:?},{},{}", btb.leaked, btb.expected, btb.runahead_entries);
-
-    let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
-    let mut m = Machine::runahead();
-    let rsb = run_rsb_poc(&mut m, &cfg);
-    println!("SpectreRSB,{:?},{},{}", rsb.leaked, rsb.expected, rsb.runahead_entries);
+    for (job, o) in jobs.iter().zip(&outcomes).skip(3) {
+        let Job::Variant(name) = job else { unreachable!() };
+        println!("{name},{:?},{},{}", o.leaked, o.expected, o.runahead_entries);
+    }
 }

@@ -104,16 +104,20 @@ pub fn measure_n3(nops: usize, extra_flushes: usize) -> (u64, u64) {
     (m.stats().total_episode_window, m.stats().runahead_exits)
 }
 
-/// Runs all three scenarios with a slide long enough that the window, not
-/// the program, is the limit.
+/// Runs all three scenarios — in parallel, one machine per worker — with a
+/// slide long enough that the window, not the program, is the limit.
 pub fn measure_windows() -> WindowReport {
     let nops = 4096;
-    let n1 = measure_n1(nops);
-    let n2 = measure_n2(nops);
-    let (n3, episodes_n3) = measure_n3(nops, 1);
+    let scenarios = [1u8, 2, 3];
+    let results = specrun_workloads::parallel_map(&scenarios, 3, |_, &s| match s {
+        1 => (measure_n1(nops), 0),
+        2 => (measure_n2(nops), 0),
+        _ => measure_n3(nops, 1),
+    });
+    let (n3, episodes_n3) = results[2];
     WindowReport {
-        n1,
-        n2,
+        n1: results[0].0,
+        n2: results[1].0,
         n3,
         rob_entries: 256,
         episodes_n3,

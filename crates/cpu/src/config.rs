@@ -209,6 +209,17 @@ pub struct CpuConfig {
     /// Next-line instruction-prefetch depth (models the trace-cache/queue
     /// front end of the paper's Fig. 6; 0 disables).
     pub ifetch_prefetch_lines: u64,
+    /// Idle-cycle fast-forward: when every pipeline stage is provably
+    /// quiescent (typically: all in-flight work is waiting on DRAM fills),
+    /// [`Core::run`](crate::Core::run) jumps the cycle counter straight to
+    /// the next scheduled event instead of ticking one cycle at a time.
+    /// Bit-identical statistics to the naive loop; purely a host-side
+    /// simulation speedup.
+    pub fast_forward: bool,
+    /// Fast-forward self-check: before every jump, a cloned core steps
+    /// through the skipped window cycle-by-cycle and the stats are asserted
+    /// equal. Orders of magnitude slower — for tests only.
+    pub ff_check: bool,
 }
 
 impl Default for CpuConfig {
@@ -230,6 +241,8 @@ impl Default for CpuConfig {
             stack_top: 0x4000_0000,
             fetch_queue: 16,
             ifetch_prefetch_lines: 48,
+            fast_forward: true,
+            ff_check: false,
         }
     }
 }
@@ -259,11 +272,11 @@ impl CpuConfig {
         assert!(self.width > 0, "width must be positive");
         assert!(self.rob_entries > 0, "ROB must be non-empty");
         assert!(
-            self.int_prf >= specrun_isa::NUM_INT_REGS + 1,
+            self.int_prf > specrun_isa::NUM_INT_REGS,
             "need at least one spare int physical register"
         );
         assert!(
-            self.fp_prf >= specrun_isa::NUM_FP_REGS + 1,
+            self.fp_prf > specrun_isa::NUM_FP_REGS,
             "need at least one spare fp physical register"
         );
         assert!(self.iq_entries > 0 && self.lq_entries > 0 && self.sq_entries > 0);
@@ -319,8 +332,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "spare int physical register")]
     fn validate_rejects_tiny_prf() {
-        let mut c = CpuConfig::default();
-        c.int_prf = 32;
+        let c = CpuConfig { int_prf: 32, ..CpuConfig::default() };
         c.validate();
     }
 }

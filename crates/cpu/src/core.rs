@@ -110,6 +110,10 @@ pub struct Core {
     pub(crate) ra_backoff_until: u64,
     pub(crate) scheduled_flushes: Vec<(u64, u64)>,
     pub(crate) stats: CpuStats,
+    // Reusable per-cycle scratch buffers (the hot loop must not allocate).
+    scratch_candidates: Vec<u64>,
+    scratch_completed: Vec<u64>,
+    scratch_resolutions: Vec<u64>,
 }
 
 impl Core {
@@ -152,6 +156,9 @@ impl Core {
             ra_backoff_until: 0,
             scheduled_flushes: Vec::new(),
             stats: CpuStats::default(),
+            scratch_candidates: Vec::new(),
+            scratch_completed: Vec::new(),
+            scratch_resolutions: Vec::new(),
             cfg,
         }
     }
@@ -274,6 +281,9 @@ impl Core {
                 exit = RunExit::Wedged;
                 break;
             }
+            if self.cfg.fast_forward {
+                self.fast_forward(limit);
+            }
         }
         if self.halted {
             exit = RunExit::Halted;
@@ -322,18 +332,259 @@ impl Core {
     }
 
     // ------------------------------------------------------------------
+    // Idle-cycle fast-forward
+    // ------------------------------------------------------------------
+
+    /// Jumps the cycle counter to just before the next scheduled event when
+    /// the whole pipeline is provably quiescent (see
+    /// [`Core::next_quiet_event`]). Equivalent to stepping the skipped
+    /// cycles one at a time: statistics advance only by the skipped cycle
+    /// count, all other state is untouched.
+    fn fast_forward(&mut self, limit: u64) {
+        let Some(event) = self.next_quiet_event() else { return };
+        let target = event.min(limit).saturating_sub(1);
+        if target <= self.cycle {
+            return;
+        }
+        let skipped = target - self.cycle;
+        if self.cfg.ff_check {
+            self.verify_fast_forward(skipped);
+        }
+        self.cycle = target;
+        self.stats.cycles += skipped;
+    }
+
+    /// If no pipeline stage can change any state before some future cycle,
+    /// returns that cycle (the earliest scheduled event). Returns `None`
+    /// when any stage could act on the next step, or when no event is
+    /// pending at all.
+    ///
+    /// The argument is inductive: every state change the core can make —
+    /// writeback, commit, runahead entry/exit, issue, dispatch, fetch,
+    /// stream prefetch, SL-fill drain, scheduled flushes — is shown below
+    /// to be impossible *now* for a reason that can only lapse at one of the
+    /// collected event cycles. Since the state is therefore identical at
+    /// `now + 1`, the same reasoning applies until the earliest event.
+    fn next_quiet_event(&self) -> Option<u64> {
+        if self.halted {
+            return None;
+        }
+        let now = self.cycle;
+        let mut next = u64::MAX;
+
+        // Cheap O(1) gates first: an actively fetching or dispatching core
+        // is the common non-quiescent state, and it must be rejected without
+        // paying for the ROB scan below.
+
+        // Fetch and the stream prefetcher.
+        if !self.fetch_halted {
+            // The prefetcher must have saturated its lookahead, or it will
+            // issue requests next step regardless of the demand stall.
+            let depth = self.cfg.ifetch_prefetch_lines;
+            if depth > 0 {
+                let cur = self.fetch_pc / self.mem.line_bytes();
+                if self.ipf_frontier < cur + depth || self.ipf_frontier > cur + 2 * depth {
+                    return None;
+                }
+            }
+            if self.fetch_stalled_until > now {
+                // Demand fetch resumes at the stall deadline — an event
+                // only if the pipe has room by then; a full pipe gates the
+                // resumption on dispatch, which is tracked below.
+                if self.pipe.len() < self.cfg.fetch_queue {
+                    next = next.min(self.fetch_stalled_until);
+                }
+            } else if self.pipe.len() < self.cfg.fetch_queue {
+                // Fetch is live and has room: it will act next step.
+                return None;
+            }
+        }
+
+        // Dispatch: the pipe front either matures at a known cycle or is
+        // blocked on a back-end resource that only commits/issues free up.
+        if let Some(front) = self.pipe.front() {
+            if front.available_at > now {
+                next = next.min(front.available_at);
+            } else {
+                let needs_sq =
+                    front.inst.is_store() || matches!(front.inst, Inst::Flush { .. });
+                let blocked = self.rob.is_full()
+                    || self.iq_occupancy >= self.cfg.iq_entries
+                    || (front.inst.is_load() && self.lq_occupancy >= self.cfg.lq_entries)
+                    || (needs_sq && self.sq.is_full())
+                    || front
+                        .inst
+                        .dest()
+                        .is_some_and(|d| self.free.available(RegClass::of(d)) == 0);
+                if !blocked {
+                    return None;
+                }
+            }
+        }
+
+        // Commit: a Done head would (pseudo-)retire next step. And unless
+        // the head is held up for a while (a DRAM-bound load, a long divide),
+        // the window to skip is too short to repay the ROB scan below —
+        // bail in O(1). Purely a heuristic: it can only forgo skips, never
+        // admit an unsound one.
+        const MIN_STALL: u64 = 8;
+        let head_seq = self.seq_of_head();
+        if let Some(head) = self.rob.head() {
+            if head.state != EntryState::Executing || head.ready_at <= now + MIN_STALL {
+                return None;
+            }
+        }
+
+        // Host-scheduled flushes fire at fixed cycles.
+        for &(cycle, _) in &self.scheduled_flushes {
+            if cycle <= now {
+                return None;
+            }
+            next = next.min(cycle);
+        }
+        // Runahead exit is scheduled for the stalling load's data return.
+        if let Mode::Runahead(ep) = self.mode {
+            if ep.exit_at <= now {
+                return None;
+            }
+            next = next.min(ep.exit_at);
+        }
+        // SL-cache fills land at their DRAM completion cycles.
+        for fill in &self.secure.pending_fills {
+            if fill.complete_at <= now {
+                return None;
+            }
+            next = next.min(fill.complete_at);
+        }
+        // Runahead entry while a DRAM load stalls at the head: the trigger
+        // conditions (queue occupancies, policy) are frozen while quiescent,
+        // except the useless-episode backoff, which lapses at a known cycle.
+        if !self.in_runahead() && self.ra_backoff_until > now {
+            next = next.min(self.ra_backoff_until);
+        }
+
+        // Execute/writeback: every in-flight entry either completes at a
+        // known cycle or is stuck on an operand/order dependency that only
+        // a tracked event can satisfy.
+        let mut serializing_pending = false;
+        for e in self.rob.iter() {
+            match e.state {
+                EntryState::Done => {}
+                EntryState::Executing => {
+                    if e.ready_at <= now {
+                        return None;
+                    }
+                    next = next.min(e.ready_at);
+                }
+                EntryState::Waiting => {
+                    if !self.waiting_entry_is_stuck(e, head_seq, serializing_pending) {
+                        return None;
+                    }
+                }
+            }
+            if e.state != EntryState::Done && e.inst.is_serializing() {
+                serializing_pending = true;
+            }
+        }
+
+        (next != u64::MAX).then_some(next)
+    }
+
+    /// Whether a `Waiting` entry provably cannot leave `Waiting` (nor make
+    /// partial progress, such as a store's address phase) until an operand
+    /// producer writes back or the ROB head changes.
+    fn waiting_entry_is_stuck(
+        &self,
+        e: &RobEntry,
+        head_seq: Option<u64>,
+        serializing_pending: bool,
+    ) -> bool {
+        // Younger than an unresolved serializing instruction: issue() skips
+        // it outright until the serializer completes (a tracked event).
+        if serializing_pending {
+            return true;
+        }
+        // A serializing instruction issues only at the head; the head can
+        // change only at a commit driven by a tracked writeback event.
+        if e.inst.is_serializing() {
+            return Some(e.seq) != head_seq;
+        }
+        // Two-phase stores make progress per phase; mirror the operand
+        // layout of `issue_store_two_phase`.
+        match e.inst {
+            Inst::Store { src, base, .. } => {
+                let data_phys = if src.is_zero() { None } else { e.srcs[0] };
+                let base_phys = if base.is_zero() {
+                    None
+                } else if data_phys.is_some() {
+                    e.srcs[1]
+                } else {
+                    e.srcs[0]
+                };
+                self.store_phase_is_stuck(e, data_phys, base_phys)
+            }
+            Inst::FpStore { base, .. } => {
+                let data_phys = e.srcs[0];
+                let base_phys = if base.is_zero() { None } else { e.srcs[1] };
+                self.store_phase_is_stuck(e, data_phys, base_phys)
+            }
+            // Everything else issues in one shot once all sources are
+            // ready; a single pending source pins it (INV counts as ready —
+            // poisoned registers complete instantly at issue).
+            _ => e.srcs.iter().flatten().any(|p| !self.regs.is_ready(*p)),
+        }
+    }
+
+    /// Stuck check for the two store phases: address generation waits on
+    /// the base register, data delivery on the data register.
+    fn store_phase_is_stuck(
+        &self,
+        e: &RobEntry,
+        data_phys: Option<PhysRef>,
+        base_phys: Option<PhysRef>,
+    ) -> bool {
+        let gating = if e.addr_ready { data_phys } else { base_phys };
+        match gating {
+            Some(p) => !self.regs.is_ready(p),
+            None => false,
+        }
+    }
+
+    /// Fast-forward self-check (`CpuConfig::ff_check`): steps a cloned core
+    /// through the window about to be skipped and asserts that nothing but
+    /// the cycle counter advanced.
+    fn verify_fast_forward(&self, skipped: u64) {
+        let mut shadow = self.clone();
+        shadow.cfg.ff_check = false;
+        shadow.cfg.fast_forward = false;
+        for _ in 0..skipped {
+            shadow.step();
+        }
+        let mut expected = self.stats;
+        expected.cycles += skipped;
+        assert_eq!(
+            shadow.stats, expected,
+            "fast-forward would skip a state change over {skipped} cycles at cycle {}",
+            self.cycle
+        );
+        assert_eq!(shadow.cycle, self.cycle + skipped);
+    }
+
+    // ------------------------------------------------------------------
     // Writeback
     // ------------------------------------------------------------------
 
     fn writeback(&mut self, now: u64) {
-        let mut resolutions: Vec<u64> = Vec::new();
-        let mut completed: Vec<u64> = Vec::new();
+        let mut resolutions = std::mem::take(&mut self.scratch_resolutions);
+        let mut completed = std::mem::take(&mut self.scratch_completed);
+        resolutions.clear();
+        completed.clear();
         for e in self.rob.iter() {
             if e.state == EntryState::Executing && e.ready_at <= now {
                 completed.push(e.seq);
             }
         }
-        for seq in completed {
+        for seq in completed.drain(..) {
             // Loads from memory read their data at completion so stores
             // that committed in the meantime are visible.
             let (needs_mem_read, addr, width) = {
@@ -357,7 +608,7 @@ impl Core {
                 dest_write = Some((d.new, value, e.inv, e.taint));
             }
             e.state = EntryState::Done;
-            let resolve = e.branch.map_or(false, |b| !b.resolved) && !e.inv;
+            let resolve = e.branch.is_some_and(|b| !b.resolved) && !e.inv;
             if resolve {
                 if let Some(b) = e.branch.as_mut() {
                     if is_ret {
@@ -376,9 +627,11 @@ impl Core {
                 self.regs.set_taint(phys, taint);
             }
         }
-        for seq in resolutions {
+        for seq in resolutions.drain(..) {
             self.resolve_branch(seq, now);
         }
+        self.scratch_resolutions = resolutions;
+        self.scratch_completed = completed;
     }
 
     /// Resolves a branch whose operands were valid. May squash.
@@ -559,8 +812,10 @@ impl Core {
         let mut issued = 0usize;
         let mut older_serializing_pending = false;
         let head_seq = self.seq_of_head();
-        let candidates: Vec<u64> = self.rob.iter().map(|e| e.seq).collect();
-        for seq in candidates {
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
+        candidates.extend(self.rob.iter().map(|e| e.seq));
+        for seq in candidates.drain(..) {
             if issued >= self.cfg.width {
                 break;
             }
@@ -585,6 +840,7 @@ impl Core {
                 self.iq_occupancy = self.iq_occupancy.saturating_sub(1);
             }
         }
+        self.scratch_candidates = candidates;
     }
 
     /// Attempts to issue one entry. Returns whether it left `Waiting`.
@@ -1238,7 +1494,9 @@ impl Core {
         if now < self.fetch_stalled_until {
             return;
         }
-        let Some(program) = self.program.clone() else { return };
+        // Borrow the program once per step by parking it: cloning the `Arc`
+        // here put refcount traffic on every simulated cycle.
+        let Some(program) = self.program.take() else { return };
         for _ in 0..self.cfg.width {
             if self.pipe.len() >= self.cfg.fetch_queue {
                 break;
@@ -1283,6 +1541,7 @@ impl Core {
                 break;
             }
         }
+        self.program = Some(program);
     }
 
     /// Streaming instruction prefetcher (stands in for the trace cache and

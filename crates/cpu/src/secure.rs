@@ -150,7 +150,7 @@ impl Core {
                     .records
                     .entry(f.pc)
                     .or_default()
-                    .push((id, f.pred.map_or(false, |p| p.taken)));
+                    .push((id, f.pred.is_some_and(|p| p.taken)));
                 self.secure.pending_scopes.insert(id);
                 Some(id)
             }

@@ -204,9 +204,10 @@ mod tests {
         let b1 = t.on_branch(0x00, 0x78);
         // Predicate rX is tainted by B1 (paper: `r1 = rB + rX  // tainted`).
         taint.insert("rX", scope_bit(b1));
-        let mut results: Vec<(&str, Option<(ScopeId, u32)>, u64)> = Vec::new();
+        type LoadRecord = (&'static str, Option<(ScopeId, u32)>, u64);
+        let mut results: Vec<LoadRecord> = Vec::new();
         let load = |t: &mut TaintTracker,
-                        results: &mut Vec<(&str, Option<(ScopeId, u32)>, u64)>,
+                        results: &mut Vec<LoadRecord>,
                         pc: u64,
                         name: &'static str,
                         addr_taint: u64| {
@@ -262,7 +263,7 @@ mod tests {
         // load r14 (rH): completely safe.
         let _r14 = load(&mut t, &mut results, 0x98, "r14", 0);
 
-        let expect: Vec<(&str, Option<(ScopeId, u32)>, u64)> = vec![
+        let expect: Vec<LoadRecord> = vec![
             ("r0", Some((b1, 0)), 0),
             ("r2", Some((b1, 1)), scope_bit(b1)),
             ("r5", Some((b2, 1)), scope_bit(b2)),

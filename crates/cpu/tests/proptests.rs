@@ -95,6 +95,25 @@ proptest! {
         prop_assert_eq!(&reference, &final_regs(&program, precise));
     }
 
+    /// Idle-cycle fast-forward is invisible: identical cycle counts, stats
+    /// and architectural results for arbitrary programs on every machine.
+    #[test]
+    fn fast_forward_is_cycle_exact(ops in proptest::collection::vec(op(), 1..40)) {
+        let program = build(&ops);
+        for base in [CpuConfig::no_runahead(), CpuConfig::default(), CpuConfig::secure_runahead()] {
+            let run = |ff: bool| {
+                let mut cfg = base.clone();
+                cfg.fast_forward = ff;
+                let mut core = Core::new(cfg);
+                core.load_program(&program);
+                core.run(5_000_000);
+                let regs: Vec<u64> = (1..=9).map(|i| core.read_int_reg(r(i))).collect();
+                (*core.stats(), regs)
+            };
+            prop_assert_eq!(run(true), run(false));
+        }
+    }
+
     /// The simulator is deterministic for arbitrary programs.
     #[test]
     fn simulation_is_deterministic(ops in proptest::collection::vec(op(), 1..30)) {

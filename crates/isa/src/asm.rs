@@ -243,7 +243,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
 }
 
 fn strip_comment(line: &str) -> &str {
-    let cut = line.find(|c| c == ';' || c == '#').unwrap_or(line.len());
+    let cut = line.find([';', '#']).unwrap_or(line.len());
     &line[..cut]
 }
 

@@ -68,20 +68,8 @@ impl AluOp {
             AluOp::Shr => a.wrapping_shr(b as u32),
             AluOp::Sar => (a as i64).wrapping_shr(b as u32) as u64,
             AluOp::Mul => a.wrapping_mul(b),
-            AluOp::Div => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
-            AluOp::Rem => {
-                if b == 0 {
-                    a
-                } else {
-                    a % b
-                }
-            }
+            AluOp::Div => a.checked_div(b).unwrap_or(u64::MAX),
+            AluOp::Rem => a.checked_rem(b).unwrap_or(a),
             AluOp::Slt => u64::from((a as i64) < (b as i64)),
             AluOp::Sltu => u64::from(a < b),
         }

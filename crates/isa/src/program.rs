@@ -83,7 +83,7 @@ impl Program {
     /// The instruction at `pc`, or `None` outside the text image or at a
     /// misaligned PC.
     pub fn fetch(&self, pc: u64) -> Option<Inst> {
-        if pc < self.text_base || (pc - self.text_base) % INST_BYTES != 0 {
+        if pc < self.text_base || !(pc - self.text_base).is_multiple_of(INST_BYTES) {
             return None;
         }
         let idx = (pc - self.text_base) / INST_BYTES;

@@ -3,11 +3,47 @@
 //! Holds the simulated machine's data memory. The cache hierarchy models
 //! *timing* only; actual bytes always live here, so functional values are
 //! exact regardless of cache state.
+//!
+//! Pages live in a flat `Vec` and are located through an FxHash-style map
+//! plus a one-entry last-page cache: simulated programs overwhelmingly
+//! stream within a page, so the common lookup is one compare, not a SipHash
+//! invocation.
 
+use core::cell::Cell;
+use core::hash::{BuildHasherDefault, Hasher};
 use std::collections::HashMap;
 
 const PAGE_BITS: u32 = 12;
 const PAGE_BYTES: usize = 1 << PAGE_BITS;
+
+/// Sentinel page number for the empty last-page cache (page numbers are
+/// addresses shifted right by 12, so this value is unreachable).
+const NO_PAGE: u64 = u64::MAX;
+
+/// Multiplicative hasher for page numbers (FxHash-style). Page numbers are
+/// already well-distributed small integers; SipHash is pure overhead here.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FxHasher {
+    state: u64,
+}
+
+impl Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.state = (self.state.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// Sparse 64-bit byte-addressable memory, allocated in 4 KiB pages on first
 /// touch. Untouched memory reads as zero.
@@ -20,9 +56,22 @@ const PAGE_BYTES: usize = 1 << PAGE_BITS;
 /// assert_eq!(m.read(0x1000, 4), 0xdead_beef);
 /// assert_eq!(m.read(0x1004, 4), 0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BackingStore {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    pages: Vec<Box<[u8; PAGE_BYTES]>>,
+    index: HashMap<u64, u32, FxBuildHasher>,
+    /// Last page touched: `(page number, index into pages)`.
+    last: Cell<(u64, u32)>,
+}
+
+impl Default for BackingStore {
+    fn default() -> BackingStore {
+        BackingStore {
+            pages: Vec::new(),
+            index: HashMap::default(),
+            last: Cell::new((NO_PAGE, 0)),
+        }
+    }
 }
 
 impl BackingStore {
@@ -31,12 +80,38 @@ impl BackingStore {
         BackingStore::default()
     }
 
+    #[inline]
     fn page(&self, addr: u64) -> Option<&[u8; PAGE_BYTES]> {
-        self.pages.get(&(addr >> PAGE_BITS)).map(|b| &**b)
+        let number = addr >> PAGE_BITS;
+        let (last_number, last_idx) = self.last.get();
+        if number == last_number {
+            return Some(&self.pages[last_idx as usize]);
+        }
+        let idx = *self.index.get(&number)?;
+        self.last.set((number, idx));
+        Some(&self.pages[idx as usize])
     }
 
+    #[inline]
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_BYTES] {
-        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0; PAGE_BYTES]))
+        let number = addr >> PAGE_BITS;
+        let (last_number, last_idx) = self.last.get();
+        let idx = if number == last_number {
+            last_idx
+        } else {
+            let idx = match self.index.get(&number) {
+                Some(&idx) => idx,
+                None => {
+                    let idx = u32::try_from(self.pages.len()).expect("page count fits in u32");
+                    self.pages.push(Box::new([0; PAGE_BYTES]));
+                    self.index.insert(number, idx);
+                    idx
+                }
+            };
+            self.last.set((number, idx));
+            idx
+        };
+        &mut self.pages[idx as usize]
     }
 
     /// Reads one byte.
@@ -56,6 +131,17 @@ impl BackingStore {
     /// Panics if `width` is not 1, 2, 4 or 8.
     pub fn read(&self, addr: u64, width: u64) -> u64 {
         assert!(matches!(width, 1 | 2 | 4 | 8), "invalid access width {width}");
+        // Fast path: the whole access inside one page (the common case —
+        // only accesses straddling a 4 KiB boundary go byte-by-byte).
+        let offset = (addr as usize) & (PAGE_BYTES - 1);
+        if offset + width as usize <= PAGE_BYTES {
+            let Some(p) = self.page(addr) else { return 0 };
+            let mut v = 0u64;
+            for i in (0..width as usize).rev() {
+                v = (v << 8) | u64::from(p[offset + i]);
+            }
+            return v;
+        }
         let mut v = 0u64;
         for i in 0..width {
             v |= u64::from(self.read_u8(addr + i)) << (8 * i);
@@ -70,6 +156,14 @@ impl BackingStore {
     /// Panics if `width` is not 1, 2, 4 or 8.
     pub fn write(&mut self, addr: u64, width: u64, value: u64) {
         assert!(matches!(width, 1 | 2 | 4 | 8), "invalid access width {width}");
+        let offset = (addr as usize) & (PAGE_BYTES - 1);
+        if offset + width as usize <= PAGE_BYTES {
+            let p = self.page_mut(addr);
+            for i in 0..width as usize {
+                p[offset + i] = (value >> (8 * i)) as u8;
+            }
+            return;
+        }
         for i in 0..width {
             self.write_u8(addr + i, (value >> (8 * i)) as u8);
         }
@@ -135,6 +229,28 @@ mod tests {
         let mut m = BackingStore::new();
         m.write_bytes(100, b"specrun");
         assert_eq!(m.read_bytes(100, 7), b"specrun");
+    }
+
+    #[test]
+    fn alternating_pages_hit_through_the_cache() {
+        let mut m = BackingStore::new();
+        m.write(0x0000, 8, 1);
+        m.write(0x9000, 8, 2);
+        for _ in 0..32 {
+            assert_eq!(m.read(0x0000, 8), 1);
+            assert_eq!(m.read(0x9000, 8), 2);
+        }
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn clone_keeps_contents() {
+        let mut m = BackingStore::new();
+        m.write(0x2000, 8, 77);
+        let c = m.clone();
+        m.write(0x2000, 8, 88);
+        assert_eq!(c.read(0x2000, 8), 77);
+        assert_eq!(m.read(0x2000, 8), 88);
     }
 
     #[test]

@@ -3,6 +3,12 @@
 //! Caches model presence and timing only; data bytes live in the
 //! [`BackingStore`](crate::BackingStore). This matches how the attack works:
 //! what leaks is *which lines are resident*, not their contents.
+//!
+//! Storage is a single contiguous line array (`sets × ways`, way-major
+//! within a set) with one validity bitmask per set, so the per-access path
+//! is a masked index plus a short scan of a cache-resident slice — no
+//! nested `Vec<Vec<Option<_>>>` pointer chasing on the simulator's hottest
+//! loop.
 
 use core::fmt;
 
@@ -35,6 +41,7 @@ impl CacheConfig {
             cfg.num_sets().is_power_of_two(),
             "set count must be a power of two (size={size_bytes}, ways={ways})"
         );
+        assert!((1..=64).contains(&ways), "associativity must be in 1..=64");
         cfg
     }
 
@@ -44,7 +51,8 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+/// One way of one set. Meaningful only when the set's validity bit is set.
+#[derive(Debug, Clone, Copy, Default)]
 struct Line {
     tag: u64,
     dirty: bool,
@@ -78,15 +86,30 @@ pub enum Evicted {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Option<Line>>>,
+    /// `num_sets × ways` lines, way-major within a set.
+    lines: Box<[Line]>,
+    /// One validity bitmask per set (bit `w` = way `w` holds a line).
+    valid: Box<[u64]>,
+    ways: usize,
+    set_mask: u64,
+    set_shift: u32,
     stamp: u64,
 }
 
 impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Cache {
-        let sets = (0..config.num_sets()).map(|_| vec![None; config.ways as usize]).collect();
-        Cache { config, sets, stamp: 0 }
+        let sets = config.num_sets();
+        let ways = config.ways as usize;
+        Cache {
+            lines: vec![Line::default(); (sets as usize) * ways].into_boxed_slice(),
+            valid: vec![0u64; sets as usize].into_boxed_slice(),
+            ways,
+            set_mask: sets - 1,
+            set_shift: sets.trailing_zeros(),
+            stamp: 0,
+            config,
+        }
     }
 
     /// This cache's configuration.
@@ -99,45 +122,59 @@ impl Cache {
         addr / self.config.line_bytes
     }
 
+    #[inline]
     fn set_and_tag(&self, line: u64) -> (usize, u64) {
-        let sets = self.config.num_sets();
-        ((line % sets) as usize, line / sets)
+        ((line & self.set_mask) as usize, line >> self.set_shift)
     }
 
+    #[inline]
     fn bump(&mut self) -> u64 {
         self.stamp += 1;
         self.stamp
     }
 
+    /// Index of the way holding `tag` in `set`, if resident.
+    #[inline]
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.ways;
+        let mut mask = self.valid[set];
+        while mask != 0 {
+            let way = mask.trailing_zeros() as usize;
+            if self.lines[base + way].tag == tag {
+                return Some(way);
+            }
+            mask &= mask - 1;
+        }
+        None
+    }
+
     /// Whether the line is resident, without touching LRU state.
     pub fn probe(&self, line: u64) -> bool {
         let (set, tag) = self.set_and_tag(line);
-        self.sets[set].iter().flatten().any(|l| l.tag == tag)
+        self.find(set, tag).is_some()
     }
 
     /// Looks up the line, updating LRU state on hit. Returns whether it hit.
     pub fn access(&mut self, line: u64, _now: u64) -> bool {
         let stamp = self.bump();
         let (set, tag) = self.set_and_tag(line);
-        for way in self.sets[set].iter_mut().flatten() {
-            if way.tag == tag {
-                way.last_used = stamp;
-                return true;
-            }
+        if let Some(way) = self.find(set, tag) {
+            self.lines[set * self.ways + way].last_used = stamp;
+            true
+        } else {
+            false
         }
-        false
     }
 
     /// Marks the line dirty if resident (store hit). Returns whether it hit.
     pub fn mark_dirty(&mut self, line: u64) -> bool {
         let (set, tag) = self.set_and_tag(line);
-        for way in self.sets[set].iter_mut().flatten() {
-            if way.tag == tag {
-                way.dirty = true;
-                return true;
-            }
+        if let Some(way) = self.find(set, tag) {
+            self.lines[set * self.ways + way].dirty = true;
+            true
+        } else {
+            false
         }
-        false
     }
 
     /// Installs the line (no-op if already resident), evicting the LRU way
@@ -145,30 +182,37 @@ impl Cache {
     pub fn fill(&mut self, line: u64, _now: u64, dirty: bool) -> Evicted {
         let stamp = self.bump();
         let (set, tag) = self.set_and_tag(line);
-        let ways = &mut self.sets[set];
+        let base = set * self.ways;
         // Already resident: refresh.
-        for way in ways.iter_mut().flatten() {
-            if way.tag == tag {
-                way.last_used = stamp;
-                way.dirty |= dirty;
-                return Evicted::None;
-            }
+        if let Some(way) = self.find(set, tag) {
+            let l = &mut self.lines[base + way];
+            l.last_used = stamp;
+            l.dirty |= dirty;
+            return Evicted::None;
         }
-        // Free way available.
-        if let Some(slot) = ways.iter_mut().find(|w| w.is_none()) {
-            *slot = Some(Line { tag, dirty, last_used: stamp });
+        // Free way available (lowest-index first, as before).
+        let occupancy = self.valid[set];
+        let free = (!occupancy).trailing_zeros() as usize;
+        if free < self.ways {
+            self.lines[base + free] = Line { tag, dirty, last_used: stamp };
+            self.valid[set] |= 1u64 << free;
             return Evicted::None;
         }
         // Evict true-LRU.
-        let victim_idx = ways
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.map_or(0, |l| l.last_used))
-            .map(|(i, _)| i)
-            .expect("non-zero associativity");
-        let victim = ways[victim_idx].replace(Line { tag, dirty, last_used: stamp }).expect("set full");
-        let sets = self.config.num_sets();
-        let victim_line = victim.tag * sets + set as u64;
+        let mut victim_way = 0;
+        let mut victim_stamp = u64::MAX;
+        for way in 0..self.ways {
+            let used = self.lines[base + way].last_used;
+            if used < victim_stamp {
+                victim_stamp = used;
+                victim_way = way;
+            }
+        }
+        let victim = core::mem::replace(
+            &mut self.lines[base + victim_way],
+            Line { tag, dirty, last_used: stamp },
+        );
+        let victim_line = (victim.tag << self.set_shift) | set as u64;
         if victim.dirty {
             Evicted::Dirty(victim_line)
         } else {
@@ -179,25 +223,22 @@ impl Cache {
     /// Removes the line if resident; returns whether it was present.
     pub fn invalidate(&mut self, line: u64) -> bool {
         let (set, tag) = self.set_and_tag(line);
-        for way in self.sets[set].iter_mut() {
-            if way.map_or(false, |l| l.tag == tag) {
-                *way = None;
-                return true;
-            }
+        if let Some(way) = self.find(set, tag) {
+            self.valid[set] &= !(1u64 << way);
+            true
+        } else {
+            false
         }
-        false
     }
 
     /// Empties the cache.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.fill(None);
-        }
+        self.valid.fill(0);
     }
 
     /// Number of resident lines.
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(|s| s.iter().flatten().count()).sum()
+        self.valid.iter().map(|m| m.count_ones() as usize).sum()
     }
 }
 
@@ -298,6 +339,31 @@ mod tests {
         c.fill(2, 0, false);
         c.clear();
         assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn invalidated_way_is_reused() {
+        let mut c = small();
+        c.fill(0, 0, false);
+        c.fill(4, 1, false);
+        c.invalidate(0);
+        assert_eq!(c.fill(8, 2, false), Evicted::None, "freed way must be reused");
+        assert!(c.probe(4));
+        assert!(c.probe(8));
+    }
+
+    #[test]
+    fn high_tags_round_trip() {
+        let mut c = small();
+        let line = (1u64 << 40) | 3; // large tag, set 3
+        c.fill(line, 0, false);
+        assert!(c.probe(line));
+        c.mark_dirty(line);
+        // Conflict-evict it and check the victim line address is exact.
+        let other1 = (1u64 << 41) | 3;
+        let other2 = (1u64 << 42) | 3;
+        c.fill(other1, 1, false);
+        assert_eq!(c.fill(other2, 2, false), Evicted::Dirty(line));
     }
 
     #[test]

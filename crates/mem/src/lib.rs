@@ -36,6 +36,7 @@ mod hierarchy;
 mod runahead_cache;
 mod sl_cache;
 mod stats;
+mod table;
 
 pub use backing::BackingStore;
 pub use cache::{Cache, CacheConfig, Evicted};

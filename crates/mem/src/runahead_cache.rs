@@ -6,11 +6,20 @@
 //! Every byte carries an INV bit so that stores with invalid data poison
 //! their readers instead of silently supplying garbage.
 //!
-//! The structure is bounded; when full, the oldest bytes are evicted (their
-//! readers then fall back to stale memory data, exactly as a real runahead
-//! cache's limited capacity allows).
+//! Storage is **line-granular**, exactly like the hardware structure the
+//! paper describes: a small open-addressed table of 64-byte lines
+//! ([`OpenTable`]), each with per-byte written/INV bitmasks. The structure
+//! is bounded; when a write needs a new line and the cache is full, the
+//! oldest *line* is evicted (its readers then fall back to stale memory
+//! data, exactly as a real runahead cache's limited capacity allows).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use crate::table::OpenTable;
+
+/// Bytes per runahead-cache line.
+const LINE_BYTES: u64 = 64;
+const LINE_SHIFT: u32 = 6;
 
 /// One buffered byte written during runahead mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +43,23 @@ pub enum RunaheadRead {
     Invalid,
 }
 
-/// Byte-granular buffer for runahead stores, with FIFO eviction.
+/// One 64-byte line of buffered runahead stores.
+#[derive(Debug, Clone)]
+struct RaLine {
+    data: [u8; LINE_BYTES as usize],
+    /// Bit `i` set: byte `i` of the line has been written.
+    written: u64,
+    /// Bit `i` set: byte `i` of the line is INV-poisoned.
+    inv: u64,
+}
+
+impl Default for RaLine {
+    fn default() -> RaLine {
+        RaLine { data: [0; 64], written: 0, inv: 0 }
+    }
+}
+
+/// Byte-masked line buffer for runahead stores, with FIFO line eviction.
 ///
 /// ```
 /// use specrun_mem::{RunaheadCache, RunaheadRead};
@@ -46,35 +71,70 @@ pub enum RunaheadRead {
 /// ```
 #[derive(Debug, Clone)]
 pub struct RunaheadCache {
-    bytes: HashMap<u64, RunaheadByte>,
+    table: OpenTable<RaLine>,
+    /// Lines resident, oldest first (FIFO eviction order).
     order: VecDeque<u64>,
-    capacity: usize,
+    capacity_lines: usize,
+    bytes: usize,
 }
 
 impl RunaheadCache {
-    /// Creates a cache buffering at most `capacity_bytes` bytes.
+    /// Creates a cache buffering at most `capacity_bytes` bytes, rounded up
+    /// to whole 64-byte lines.
     ///
     /// # Panics
     ///
     /// Panics if `capacity_bytes` is zero.
     pub fn new(capacity_bytes: usize) -> RunaheadCache {
         assert!(capacity_bytes > 0, "runahead cache needs nonzero capacity");
-        RunaheadCache { bytes: HashMap::new(), order: VecDeque::new(), capacity: capacity_bytes }
+        let capacity_lines = capacity_bytes.div_ceil(LINE_BYTES as usize).max(1);
+        RunaheadCache {
+            table: OpenTable::with_capacity(capacity_lines),
+            order: VecDeque::with_capacity(capacity_lines),
+            capacity_lines,
+            bytes: 0,
+        }
+    }
+
+    /// Slot for `line`, inserting (and evicting the oldest line if full).
+    fn find_or_insert(&mut self, line: u64) -> usize {
+        if let Some(idx) = self.table.find(line) {
+            return idx;
+        }
+        if self.order.len() >= self.capacity_lines {
+            let oldest = self.order.pop_front().expect("capacity is nonzero");
+            if let Some(idx) = self.table.find(oldest) {
+                self.bytes -= self.table.remove_at(idx).written.count_ones() as usize;
+            }
+        }
+        self.order.push_back(line);
+        self.table.insert(line)
     }
 
     /// Buffers a store of `width` bytes; `inv` poisons all written bytes.
     pub fn write(&mut self, addr: u64, width: u64, value: u64, inv: bool) {
-        for i in 0..width {
-            let a = addr + i;
-            let byte = RunaheadByte { value: (value >> (8 * i)) as u8, inv };
-            if self.bytes.insert(a, byte).is_none() {
-                self.order.push_back(a);
-                if self.bytes.len() > self.capacity {
-                    if let Some(old) = self.order.pop_front() {
-                        self.bytes.remove(&old);
-                    }
+        let mut i = 0;
+        while i < width {
+            let line = (addr + i) >> LINE_SHIFT;
+            let idx = self.find_or_insert(line);
+            let mut added = 0;
+            let s = self.table.value_mut(idx);
+            while i < width && (addr + i) >> LINE_SHIFT == line {
+                let off = ((addr + i) & (LINE_BYTES - 1)) as usize;
+                let bit = 1u64 << off;
+                if s.written & bit == 0 {
+                    s.written |= bit;
+                    added += 1;
                 }
+                s.data[off] = (value >> (8 * i)) as u8;
+                if inv {
+                    s.inv |= bit;
+                } else {
+                    s.inv &= !bit;
+                }
+                i += 1;
             }
+            self.bytes += added;
         }
     }
 
@@ -88,14 +148,22 @@ impl RunaheadCache {
         let mut value = 0u64;
         let mut present = 0u64;
         let mut poisoned = false;
-        for i in 0..width {
-            match self.bytes.get(&(addr + i)) {
-                Some(b) => {
-                    present += 1;
-                    poisoned |= b.inv;
-                    value |= u64::from(b.value) << (8 * i);
+        let mut i = 0;
+        while i < width {
+            let line = (addr + i) >> LINE_SHIFT;
+            let slot = self.table.find(line);
+            while i < width && (addr + i) >> LINE_SHIFT == line {
+                if let Some(idx) = slot {
+                    let s = self.table.value(idx);
+                    let off = ((addr + i) & (LINE_BYTES - 1)) as usize;
+                    let bit = 1u64 << off;
+                    if s.written & bit != 0 {
+                        present += 1;
+                        poisoned |= s.inv & bit != 0;
+                        value |= u64::from(s.data[off]) << (8 * i);
+                    }
                 }
-                None => {}
+                i += 1;
             }
         }
         if present == 0 {
@@ -109,18 +177,19 @@ impl RunaheadCache {
 
     /// Number of buffered bytes.
     pub fn len(&self) -> usize {
-        self.bytes.len()
+        self.bytes
     }
 
     /// Whether nothing is buffered.
     pub fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
+        self.bytes == 0
     }
 
     /// Discards everything (runahead exit).
     pub fn clear(&mut self) {
-        self.bytes.clear();
+        self.table.clear();
         self.order.clear();
+        self.bytes = 0;
     }
 }
 
@@ -137,7 +206,7 @@ mod tests {
         assert_eq!(rc.read(12, 4), RunaheadRead::Hit(0x11223344));
         // Range extending past the buffered bytes is Invalid, not Miss.
         assert_eq!(rc.read(12, 8), RunaheadRead::Invalid);
-        assert_eq!(rc.read(100, 8), RunaheadRead::Miss);
+        assert_eq!(rc.read(1000, 8), RunaheadRead::Miss);
     }
 
     #[test]
@@ -157,14 +226,35 @@ mod tests {
     }
 
     #[test]
-    fn capacity_evicts_oldest() {
-        let mut rc = RunaheadCache::new(4);
+    fn capacity_evicts_oldest_line() {
+        let mut rc = RunaheadCache::new(4); // rounds up to one 64-byte line
         rc.write(0, 4, 0xaabbccdd, false);
-        rc.write(100, 1, 7, false);
-        assert_eq!(rc.len(), 4);
-        // Byte at addr 0 (oldest) was evicted.
-        assert_eq!(rc.read(0, 4), RunaheadRead::Invalid);
+        rc.write(100, 1, 7, false); // new line: evicts the line holding 0..4
+        assert_eq!(rc.len(), 1);
+        assert_eq!(rc.read(0, 4), RunaheadRead::Miss);
         assert_eq!(rc.read(100, 1), RunaheadRead::Hit(7));
+    }
+
+    #[test]
+    fn eviction_churn_stays_bounded() {
+        let mut rc = RunaheadCache::new(256); // 4 lines
+        for i in 0..1000u64 {
+            rc.write(i * 64, 8, i, false);
+        }
+        assert_eq!(rc.len(), 4 * 8);
+        // The four newest lines survive, all older ones are gone.
+        assert_eq!(rc.read(999 * 64, 8), RunaheadRead::Hit(999));
+        assert_eq!(rc.read(996 * 64, 8), RunaheadRead::Hit(996));
+        assert_eq!(rc.read(995 * 64, 8), RunaheadRead::Miss);
+    }
+
+    #[test]
+    fn cross_line_write_and_read() {
+        let mut rc = RunaheadCache::new(1024);
+        rc.write(60, 8, 0x1122_3344_5566_7788, false);
+        assert_eq!(rc.read(60, 8), RunaheadRead::Hit(0x1122_3344_5566_7788));
+        assert_eq!(rc.read(63, 2), RunaheadRead::Hit(0x4455));
+        assert_eq!(rc.len(), 8);
     }
 
     #[test]

@@ -17,8 +17,13 @@
 //! entries wait for their branch verdict, and on a misprediction the `IS`
 //! masks select the entries to delete. The entry counter `C` lets the
 //! processor stop consulting the SL cache once it is empty.
+//!
+//! Storage is the shared fixed-size [`OpenTable`] (the hardware analogue:
+//! a fully-associative CAM of `capacity` lines), consulted on every
+//! post-exit load while `C != 0` — so lookups must not chase `HashMap`
+//! buckets.
 
-use std::collections::HashMap;
+use crate::table::OpenTable;
 
 /// Identifier of a (dynamic) branch scope, the `n` in `B(n, m)`.
 pub type BranchId = u32;
@@ -69,10 +74,16 @@ impl SlTags {
 /// sl.remove(0x40);
 /// assert_eq!(sl.counter(), 0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SlCache {
-    entries: HashMap<u64, SlTags>,
+    table: OpenTable<SlTags>,
     capacity: usize,
+}
+
+impl Default for SlCache {
+    fn default() -> SlCache {
+        SlCache::new(64)
+    }
 }
 
 impl SlCache {
@@ -83,7 +94,7 @@ impl SlCache {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> SlCache {
         assert!(capacity > 0, "SL cache needs nonzero capacity");
-        SlCache { entries: HashMap::new(), capacity }
+        SlCache { table: OpenTable::with_capacity(capacity), capacity }
     }
 
     /// Inserts (or re-tags) a line. When full, the insert is dropped — a
@@ -91,26 +102,28 @@ impl SlCache {
     ///
     /// Returns whether the line is resident afterwards.
     pub fn insert(&mut self, line: u64, tags: SlTags) -> bool {
-        if let Some(existing) = self.entries.get_mut(&line) {
-            *existing = tags;
+        if let Some(idx) = self.table.find(line) {
+            *self.table.value_mut(idx) = tags;
             return true;
         }
-        if self.entries.len() >= self.capacity {
+        if self.table.len() >= self.capacity {
             return false;
         }
-        self.entries.insert(line, tags);
+        let idx = self.table.insert(line);
+        *self.table.value_mut(idx) = tags;
         true
     }
 
     /// Tags of a resident line.
     pub fn lookup(&self, line: u64) -> Option<&SlTags> {
-        self.entries.get(&line)
+        self.table.find(line).map(|idx| self.table.value(idx))
     }
 
     /// Removes one line (Algorithm 1's per-entry promote-or-drop); returns
     /// its tags if it was resident.
     pub fn remove(&mut self, line: u64) -> Option<SlTags> {
-        self.entries.remove(&line)
+        let idx = self.table.find(line)?;
+        Some(*self.table.remove_at(idx))
     }
 
     /// Deletes every entry whose `IS` mask intersects `mask` — the bulk
@@ -118,38 +131,34 @@ impl SlCache {
     /// ("use IS to delete entries related to B_n"). Returns `d`, the number
     /// deleted.
     pub fn remove_tainted_by(&mut self, mask: u64) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|_, tags| tags.is_mask & mask == 0);
-        before - self.entries.len()
+        self.table.retain(|_, tags| tags.is_mask & mask == 0)
     }
 
     /// Deletes every entry whose `Btag` scope is `branch` (the entries
     /// guarded by the branch itself, USL or not).
     pub fn remove_in_scope(&mut self, branch: BranchId) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|_, tags| tags.btag.map(|b| b.branch) != Some(branch));
-        before - self.entries.len()
+        self.table.retain(|_, tags| tags.btag.map(|b| b.branch) != Some(branch))
     }
 
     /// The counter `C`: number of resident entries.
     pub fn counter(&self) -> usize {
-        self.entries.len()
+        self.table.len()
     }
 
     /// Whether the SL cache is empty (processor switches back to the
     /// regular load path).
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.table.len() == 0
     }
 
     /// Iterates over resident `(line, tags)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &SlTags)> {
-        self.entries.iter().map(|(k, v)| (*k, v))
+        self.table.iter()
     }
 
     /// Empties the cache.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.table.clear();
     }
 }
 
@@ -213,6 +222,19 @@ mod tests {
         sl.insert(3, SlTags::safe());
         assert_eq!(sl.remove_in_scope(3), 2);
         assert_eq!(sl.counter(), 1);
+    }
+
+    #[test]
+    fn remove_reinsert_churn_at_capacity() {
+        let mut sl = SlCache::new(2);
+        for round in 0..100u64 {
+            assert!(sl.insert(round, SlTags::safe()));
+            assert!(sl.insert(round + 1000, SlTags::safe()));
+            assert_eq!(sl.counter(), 2);
+            assert!(sl.remove(round).is_some());
+            assert!(sl.remove(round + 1000).is_some());
+            assert!(sl.is_empty());
+        }
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! A small fixed-size open-addressed hash table with tombstone deletion,
+//! shared by the runahead cache and the SL cache.
+//!
+//! Both structures model bounded hardware CAMs: a few dozen to a few
+//! hundred line-keyed entries, consulted on the simulator's hot path.
+//! Linear probing over a flat slot array beats `HashMap` here — no SipHash,
+//! no bucket pointers — and the capacity policy (evict vs drop) stays with
+//! the caller.
+//!
+//! Invariants: the slot array holds `>= 2 × capacity` slots, callers keep
+//! `len <= capacity`, and `insert` rebuilds (dropping tombstones) once
+//! tombstones exceed `capacity` — together guaranteeing every probe
+//! terminates on an empty or reusable slot.
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Empty,
+    Full,
+    Tombstone,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    state: SlotState,
+    key: u64,
+    value: V,
+}
+
+/// Fixed-size open-addressed table mapping `u64` keys to `V`.
+#[derive(Debug, Clone)]
+pub(crate) struct OpenTable<V> {
+    slots: Box<[Slot<V>]>,
+    mask: usize,
+    len: usize,
+    tombstones: usize,
+    /// Rebuild (drop tombstones) when they exceed this.
+    rebuild_at: usize,
+}
+
+#[inline]
+fn hash(key: u64) -> u64 {
+    // FxHash-style multiplicative mix: plenty for line indices.
+    key.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+impl<V: Clone + Default> OpenTable<V> {
+    /// A table for at most `capacity` live entries (callers enforce that).
+    pub fn with_capacity(capacity: usize) -> OpenTable<V> {
+        let capacity = capacity.max(1);
+        let table = (capacity * 2).next_power_of_two();
+        OpenTable {
+            slots: vec![Slot { state: SlotState::Empty, key: 0, value: V::default() }; table]
+                .into_boxed_slice(),
+            mask: table - 1,
+            len: 0,
+            tombstones: 0,
+            rebuild_at: capacity,
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Slot index of `key`, if present.
+    pub fn find(&self, key: u64) -> Option<usize> {
+        let mut idx = hash(key) as usize & self.mask;
+        for _ in 0..self.slots.len() {
+            match self.slots[idx].state {
+                SlotState::Empty => return None,
+                SlotState::Full if self.slots[idx].key == key => return Some(idx),
+                _ => idx = (idx + 1) & self.mask,
+            }
+        }
+        None
+    }
+
+    /// Inserts `key` with a default value and returns its slot index.
+    /// The key must be absent and the caller must have kept `len` below
+    /// the table's capacity (evicting or dropping first).
+    pub fn insert(&mut self, key: u64) -> usize {
+        debug_assert!(self.find(key).is_none(), "insert of a present key");
+        if self.tombstones > self.rebuild_at {
+            self.rebuild();
+        }
+        let mut idx = hash(key) as usize & self.mask;
+        loop {
+            match self.slots[idx].state {
+                SlotState::Empty | SlotState::Tombstone => {
+                    if self.slots[idx].state == SlotState::Tombstone {
+                        self.tombstones -= 1;
+                    }
+                    self.slots[idx] = Slot { state: SlotState::Full, key, value: V::default() };
+                    self.len += 1;
+                    return idx;
+                }
+                SlotState::Full => idx = (idx + 1) & self.mask,
+            }
+        }
+    }
+
+    /// Value of a live slot.
+    pub fn value(&self, idx: usize) -> &V {
+        debug_assert_eq!(self.slots[idx].state, SlotState::Full);
+        &self.slots[idx].value
+    }
+
+    /// Mutable value of a live slot.
+    pub fn value_mut(&mut self, idx: usize) -> &mut V {
+        debug_assert_eq!(self.slots[idx].state, SlotState::Full);
+        &mut self.slots[idx].value
+    }
+
+    /// Deletes the entry at `idx`, returning a borrow of its value.
+    pub fn remove_at(&mut self, idx: usize) -> &V {
+        debug_assert_eq!(self.slots[idx].state, SlotState::Full);
+        self.slots[idx].state = SlotState::Tombstone;
+        self.tombstones += 1;
+        self.len -= 1;
+        &self.slots[idx].value
+    }
+
+    /// Deletes entries failing the predicate; returns how many died.
+    pub fn retain(&mut self, mut keep: impl FnMut(u64, &V) -> bool) -> usize {
+        let mut dropped = 0;
+        for slot in self.slots.iter_mut() {
+            if slot.state == SlotState::Full && !keep(slot.key, &slot.value) {
+                slot.state = SlotState::Tombstone;
+                dropped += 1;
+            }
+        }
+        self.tombstones += dropped;
+        self.len -= dropped;
+        dropped
+    }
+
+    /// Iterates over live `(key, value)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.slots
+            .iter()
+            .filter(|s| s.state == SlotState::Full)
+            .map(|s| (s.key, &s.value))
+    }
+
+    /// Empties the table.
+    pub fn clear(&mut self) {
+        for slot in self.slots.iter_mut() {
+            slot.state = SlotState::Empty;
+        }
+        self.len = 0;
+        self.tombstones = 0;
+    }
+
+    /// Rehashes live entries, dropping all tombstones.
+    fn rebuild(&mut self) {
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![Slot { state: SlotState::Empty, key: 0, value: V::default() }; self.mask + 1]
+                .into_boxed_slice(),
+        );
+        self.tombstones = 0;
+        for slot in old.iter().filter(|s| s.state == SlotState::Full) {
+            let mut idx = hash(slot.key) as usize & self.mask;
+            while self.slots[idx].state == SlotState::Full {
+                idx = (idx + 1) & self.mask;
+            }
+            self.slots[idx] = slot.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_find_remove_round_trip() {
+        let mut t: OpenTable<u32> = OpenTable::with_capacity(4);
+        let idx = t.insert(10);
+        *t.value_mut(idx) = 7;
+        assert_eq!(t.find(10), Some(idx));
+        assert_eq!(*t.value(idx), 7);
+        assert_eq!(*t.remove_at(idx), 7);
+        assert_eq!(t.find(10), None);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn heavy_churn_terminates_and_stays_consistent() {
+        let mut t: OpenTable<u64> = OpenTable::with_capacity(4);
+        for round in 0..1000u64 {
+            while t.len() >= 4 {
+                let oldest = t.iter().map(|(k, _)| k).min().unwrap();
+                let idx = t.find(oldest).unwrap();
+                t.remove_at(idx);
+            }
+            let idx = t.insert(round);
+            *t.value_mut(idx) = round;
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.iter().count(), 4);
+        assert_eq!(*t.value(t.find(999).unwrap()), 999);
+    }
+
+    #[test]
+    fn retain_drops_matching() {
+        let mut t: OpenTable<u64> = OpenTable::with_capacity(8);
+        for k in 0..8 {
+            let idx = t.insert(k);
+            *t.value_mut(idx) = k;
+        }
+        assert_eq!(t.retain(|_, &v| v % 2 == 0), 4);
+        assert_eq!(t.len(), 4);
+        assert!(t.iter().all(|(_, &v)| v % 2 == 0));
+    }
+}

@@ -1,0 +1,318 @@
+//! Parallel trial harness: config-matrix building and multi-threaded
+//! fan-out over independent simulations.
+//!
+//! Every SPECRUN experiment is a sweep: Fig. 7 runs six kernels on two
+//! machines, Fig. 9-style covert-channel evaluations average over many
+//! attack trials (the Spectre-PoC methodology), Fig. 11 compares machines
+//! point-wise, and the defense table crosses kernels with three defense
+//! configurations. All of those trials are *independent* — each owns a
+//! fresh [`Core`](specrun_cpu::Core) — so they parallelize embarrassingly.
+//!
+//! The harness has three parts:
+//!
+//! * [`ConfigMatrix`] — builds the cartesian product of machine-config axes
+//!   into a flat list of [`TrialSpec`]s, each with a deterministic per-trial
+//!   RNG seed;
+//! * [`parallel_map`] — fans a closure out over a slice on a scoped thread
+//!   pool (work-stealing via an atomic cursor), preserving input order;
+//! * [`Summary`] — aggregates per-trial metrics (n/mean/min/max).
+//!
+//! ```
+//! use specrun_workloads::harness::{parallel_map, Summary};
+//! let squares = parallel_map(&[1u64, 2, 3, 4], 4, |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! let s = Summary::of(squares.iter().map(|&x| x as f64));
+//! assert_eq!(s.max, 16.0);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use specrun_cpu::{CpuConfig, RunaheadPolicy, SecureConfig};
+
+use crate::rng::SplitMix64;
+
+/// Number of worker threads the host offers.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f` over `items` on up to `threads` scoped worker threads and
+/// returns the results in input order.
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven trial
+/// durations — a no-runahead machine simulates far more slowly than a
+/// fast-forwarding one — still load all cores. With `threads <= 1` the map
+/// runs inline, which keeps call sites free of special cases.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("trial worker panicked")).collect()
+    });
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter().map(|r| r.expect("every index produced")).collect()
+}
+
+/// One point of a configuration sweep.
+#[derive(Debug, Clone)]
+pub struct TrialSpec {
+    /// Flat index in the sweep (also the result position).
+    pub id: usize,
+    /// Machine configuration for this trial.
+    pub config: CpuConfig,
+    /// Deterministic seed for this trial's randomness.
+    pub seed: u64,
+    /// Repetition number within its config point (0-based).
+    pub repeat: u32,
+    /// Human-readable config-point label, e.g. `"Original"`.
+    pub label: String,
+}
+
+impl TrialSpec {
+    /// A fresh RNG seeded for this trial.
+    pub fn rng(&self) -> SplitMix64 {
+        SplitMix64::new(self.seed)
+    }
+}
+
+/// Cartesian-product builder for machine-configuration sweeps.
+///
+/// Axes left unset contribute the base configuration's value. Each config
+/// point is repeated `trials` times with distinct per-trial seeds.
+///
+/// ```
+/// use specrun_cpu::{CpuConfig, RunaheadPolicy};
+/// use specrun_workloads::harness::ConfigMatrix;
+/// let specs = ConfigMatrix::new(CpuConfig::default())
+///     .policies(&[RunaheadPolicy::Original, RunaheadPolicy::Precise])
+///     .trials(3)
+///     .build();
+/// assert_eq!(specs.len(), 6);
+/// assert_ne!(specs[0].seed, specs[1].seed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfigMatrix {
+    base: CpuConfig,
+    policies: Vec<RunaheadPolicy>,
+    secures: Vec<SecureConfig>,
+    trials: u32,
+    base_seed: u64,
+}
+
+impl ConfigMatrix {
+    /// Starts a matrix from a base configuration.
+    pub fn new(base: CpuConfig) -> ConfigMatrix {
+        ConfigMatrix {
+            base,
+            policies: Vec::new(),
+            secures: Vec::new(),
+            trials: 1,
+            base_seed: 0x5045_4352_554e, // "SPECRUN"
+        }
+    }
+
+    /// Sweeps the runahead policy axis.
+    pub fn policies(mut self, policies: &[RunaheadPolicy]) -> ConfigMatrix {
+        self.policies = policies.to_vec();
+        self
+    }
+
+    /// Sweeps the defense axis.
+    pub fn secures(mut self, secures: &[SecureConfig]) -> ConfigMatrix {
+        self.secures = secures.to_vec();
+        self
+    }
+
+    /// Repetitions per config point (independent seeds).
+    pub fn trials(mut self, trials: u32) -> ConfigMatrix {
+        self.trials = trials.max(1);
+        self
+    }
+
+    /// Base seed from which all per-trial seeds derive.
+    pub fn seed(mut self, seed: u64) -> ConfigMatrix {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Expands the matrix into a flat trial list.
+    pub fn build(&self) -> Vec<TrialSpec> {
+        let policies: Vec<Option<RunaheadPolicy>> = if self.policies.is_empty() {
+            vec![None]
+        } else {
+            self.policies.iter().copied().map(Some).collect()
+        };
+        let secures: Vec<Option<SecureConfig>> = if self.secures.is_empty() {
+            vec![None]
+        } else {
+            self.secures.iter().copied().map(Some).collect()
+        };
+        let mut seeder = SplitMix64::new(self.base_seed);
+        let mut specs = Vec::new();
+        for policy in &policies {
+            for secure in &secures {
+                for repeat in 0..self.trials {
+                    let mut config = self.base.clone();
+                    let mut label = String::new();
+                    if let Some(p) = policy {
+                        config.runahead.policy = *p;
+                        label = format!("{p:?}");
+                    }
+                    if let Some(s) = secure {
+                        config.runahead.secure = *s;
+                        if !label.is_empty() {
+                            label.push('/');
+                        }
+                        label.push_str(if s.sl_cache {
+                            "sl_cache"
+                        } else if s.skip_inv_branches {
+                            "skip_inv"
+                        } else {
+                            "undefended"
+                        });
+                    }
+                    specs.push(TrialSpec {
+                        id: specs.len(),
+                        config,
+                        seed: seeder.next_u64(),
+                        repeat,
+                        label: label.clone(),
+                    });
+                }
+            }
+        }
+        specs
+    }
+}
+
+/// Aggregate of a per-trial metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Aggregates an iterator of samples.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Summary {
+        let mut n = 0usize;
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in values {
+            n += 1;
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if n == 0 {
+            Summary { n: 0, mean: 0.0, min: 0.0, max: 0.0 }
+        } else {
+            Summary { n, mean: sum / n as f64, min, max }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ipc::run_workload, kernels};
+
+    #[test]
+    fn parallel_map_preserves_order_and_covers_all() {
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = parallel_map(&items, 8, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_edge_sizes() {
+        assert!(parallel_map::<u64, u64, _>(&[], 4, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u64], 16, |_, &x| x + 1), vec![8]);
+        // More threads than items, single-threaded fallback.
+        assert_eq!(parallel_map(&[1u64, 2], 1, |_, &x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn matrix_covers_product_with_distinct_seeds() {
+        let specs = ConfigMatrix::new(CpuConfig::default())
+            .policies(&[RunaheadPolicy::Original, RunaheadPolicy::Precise, RunaheadPolicy::Vector])
+            .trials(4)
+            .build();
+        assert_eq!(specs.len(), 12);
+        let mut seeds: Vec<u64> = specs.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 12, "per-trial seeds must be distinct");
+        assert_eq!(specs[0].label, "Original");
+        // Deterministic: rebuilding yields the same seeds.
+        let again = ConfigMatrix::new(CpuConfig::default())
+            .policies(&[RunaheadPolicy::Original, RunaheadPolicy::Precise, RunaheadPolicy::Vector])
+            .trials(4)
+            .build();
+        assert_eq!(again[5].seed, specs[5].seed);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let s = Summary::of([2.0, 4.0, 6.0]);
+        assert_eq!((s.n, s.mean, s.min, s.max), (3, 4.0, 2.0, 6.0));
+        assert_eq!(Summary::of([]).n, 0);
+    }
+
+    #[test]
+    fn parallel_simulation_matches_serial() {
+        let w = kernels::lbm(60);
+        let specs = ConfigMatrix::new(CpuConfig::default()).trials(4).build();
+        let serial = parallel_map(&specs, 1, |_, s| {
+            run_workload(&w, s.config.clone(), 5_000_000).cycles
+        });
+        let parallel = parallel_map(&specs, 4, |_, s| {
+            run_workload(&w, s.config.clone(), 5_000_000).cycles
+        });
+        assert_eq!(serial, parallel, "simulation must be thread-invariant");
+    }
+}

@@ -85,6 +85,43 @@ pub fn compare_with(workload: &Workload, runahead_cfg: CpuConfig, max_cycles: u6
     }
 }
 
+/// Runs every workload on both machines with all runs fanned out over
+/// `threads` workers (`0` = all host cores) — the parallel Fig. 7 harness.
+/// Results are identical to calling [`compare`] per workload, in order.
+pub fn compare_parallel(workloads: &[Workload], max_cycles: u64, threads: usize) -> Vec<IpcComparison> {
+    compare_matrix_parallel(workloads, CpuConfig::default(), max_cycles, threads)
+}
+
+/// [`compare_parallel`] with a custom "runahead" machine configuration
+/// (defense-overhead and policy-ablation sweeps).
+pub fn compare_matrix_parallel(
+    workloads: &[Workload],
+    runahead_cfg: CpuConfig,
+    max_cycles: u64,
+    threads: usize,
+) -> Vec<IpcComparison> {
+    let threads = if threads == 0 { crate::harness::default_threads() } else { threads };
+    // Flatten to one job per (workload, machine) so uneven kernels still
+    // fill every worker.
+    let jobs: Vec<(usize, CpuConfig)> = workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| [(i, CpuConfig::no_runahead()), (i, runahead_cfg.clone())])
+        .collect();
+    let mut results = crate::harness::parallel_map(&jobs, threads, |_, (wi, cfg)| {
+        run_workload(&workloads[*wi], cfg.clone(), max_cycles)
+    })
+    .into_iter();
+    workloads
+        .iter()
+        .map(|w| {
+            let baseline = results.next().expect("two results per workload");
+            let runahead = results.next().expect("two results per workload");
+            IpcComparison { name: w.name, baseline, runahead }
+        })
+        .collect()
+}
+
 /// Geometric-mean speedup across comparisons (the paper's "average
 /// performance improvement of 11%").
 pub fn geomean_speedup(results: &[IpcComparison]) -> f64 {
@@ -124,5 +161,17 @@ mod tests {
     #[test]
     fn geomean_of_identities_is_one() {
         assert!((geomean_speedup(&[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_compare_matches_serial() {
+        let ws = vec![kernels::lbm(80), kernels::wrf(80)];
+        let par = compare_parallel(&ws, 5_000_000, 4);
+        for (p, w) in par.iter().zip(&ws) {
+            let s = compare(w, 5_000_000);
+            assert_eq!(p.name, s.name);
+            assert_eq!(p.baseline.cycles, s.baseline.cycles);
+            assert_eq!(p.runahead.cycles, s.runahead.cycles);
+        }
     }
 }

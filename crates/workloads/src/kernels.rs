@@ -90,6 +90,38 @@ pub fn mcf(iters: u32) -> Workload {
     Workload { name: "mcf", program: b.build().expect("mcf closed"), setup: vec![(DATA_A, image)] }
 }
 
+/// A pure serial pointer chase over an L3-exceeding cyclic permutation:
+/// every hop is a dependent DRAM miss with nothing else to execute. This is
+/// the degenerate latency-bound workload runahead was invented for — and,
+/// host-side, the stress test for the simulator's idle-cycle fast-forward
+/// (the core is quiescent for most of every miss).
+pub fn pointer_chase(iters: u32) -> Workload {
+    let nodes = 128 * 1024; // 8 MiB of 64-byte nodes: twice the 4 MiB L3
+    let mut rng = SplitMix64::new(0x6368_6173_6500); // "chase"
+    let mut order: Vec<usize> = (0..nodes).collect();
+    rng.shuffle(&mut order);
+    let node_addr = |i: usize| DATA_A + (i as u64) * 64;
+    let mut image = vec![0u8; nodes * 64];
+    for w in 0..nodes {
+        let from = order[w];
+        let to = order[(w + 1) % nodes];
+        image[from * 64..from * 64 + 8].copy_from_slice(&node_addr(to).to_le_bytes());
+    }
+    let mut b = ProgramBuilder::new(TEXT_BASE);
+    b.li64(r(1), node_addr(order[0]));
+    b.li(r(7), 0);
+    counted_loop(&mut b, iters, |b| {
+        b.ld(r(1), r(1), 0); // the only real work: chase to the next node
+        b.add(r(7), r(7), r(1));
+    });
+    b.halt();
+    Workload {
+        name: "pointer_chase",
+        program: b.build().expect("pointer_chase closed"),
+        setup: vec![(DATA_A, image)],
+    }
+}
+
 /// `470.lbm` — lattice-Boltzmann streaming: a forward stencil that reads
 /// the current and next cell lines and writes a result stream. Almost pure
 /// memory bandwidth with trivial FP.

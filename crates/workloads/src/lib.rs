@@ -16,10 +16,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
 pub mod ipc;
 pub mod kernels;
 pub mod rng;
 
+pub use harness::{parallel_map, ConfigMatrix, Summary, TrialSpec};
 pub use ipc::{compare, compare_with, geomean_speedup, IpcComparison, IpcResult, DEFAULT_ITERS};
 pub use kernels::Workload;
 pub use rng::SplitMix64;
@@ -43,6 +45,7 @@ pub fn suite_with_iters(iters: u32) -> Vec<Workload> {
 
 /// Commonly used items for examples and tests.
 pub mod prelude {
+    pub use crate::harness::{parallel_map, ConfigMatrix, Summary};
     pub use crate::ipc::{compare, geomean_speedup, IpcComparison};
     pub use crate::kernels::Workload;
     pub use crate::{fig7_suite, suite_with_iters};

@@ -1,0 +1,59 @@
+//! `any::<T>()` support for the primitive types the tests draw from.
+
+use core::fmt::Debug;
+use core::marker::PhantomData;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Debug + Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct ArbitraryStrategy<A>(PhantomData<A>);
+
+/// The full-domain strategy for `A` (mirrors `proptest::prelude::any`).
+pub fn any<A: Arbitrary>() -> ArbitraryStrategy<A> {
+    ArbitraryStrategy(PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for ArbitraryStrategy<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias toward boundary values (real proptest does the same):
+                // they find overflow/edge bugs far faster than uniform draws.
+                if rng.one_in(8) {
+                    match rng.below(4) {
+                        0 => 0 as $t,
+                        1 => 1 as $t,
+                        2 => <$t>::MAX,
+                        _ => <$t>::MIN,
+                    }
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

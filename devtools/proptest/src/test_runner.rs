@@ -1,0 +1,21 @@
+//! Runner configuration (`ProptestConfig`).
+
+/// How many cases each property test runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256 }
+    }
+}

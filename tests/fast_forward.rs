@@ -1,0 +1,71 @@
+//! Idle-cycle fast-forward equivalence: for every workload kernel and every
+//! machine variant, the fast-forwarding simulator must be *bit-identical*
+//! to the naive one-cycle-at-a-time loop — same cycle count, same retired
+//! instructions, same full statistics block, same architectural registers.
+
+use specrun_cpu::{Core, CpuConfig, CpuStats, RunExit};
+use specrun_isa::IntReg;
+use specrun_workloads::{kernels, suite_with_iters, Workload};
+
+/// Runs `w` to completion and returns (stats, architectural registers).
+fn run(w: &Workload, cfg: CpuConfig) -> (CpuStats, Vec<u64>) {
+    let mut core = Core::new(cfg);
+    for (addr, bytes) in &w.setup {
+        core.mem_mut().write_bytes(*addr, bytes);
+    }
+    core.load_program(&w.program);
+    let exit = core.run(100_000_000);
+    assert_eq!(exit, RunExit::Halted, "{} must halt", w.name);
+    let regs = (1..32)
+        .map(|i| core.read_int_reg(IntReg::new(i).unwrap()))
+        .collect();
+    (*core.stats(), regs)
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut ws = suite_with_iters(150);
+    ws.push(kernels::pointer_chase(60));
+    ws
+}
+
+#[test]
+fn fast_forward_matches_naive_loop_exactly() {
+    for w in workloads() {
+        for (machine, base) in [
+            ("no_runahead", CpuConfig::no_runahead()),
+            ("runahead", CpuConfig::default()),
+            ("secure", CpuConfig::secure_runahead()),
+        ] {
+            let mut ff = base.clone();
+            ff.fast_forward = true;
+            let mut naive = base;
+            naive.fast_forward = false;
+            let (ff_stats, ff_regs) = run(&w, ff);
+            let (naive_stats, naive_regs) = run(&w, naive);
+            assert_eq!(
+                ff_stats, naive_stats,
+                "stats diverge on {}/{machine}",
+                w.name
+            );
+            assert_eq!(
+                ff_regs, naive_regs,
+                "architectural registers diverge on {}/{machine}",
+                w.name
+            );
+        }
+    }
+}
+
+/// The self-checking mode: every jump is re-validated by stepping a cloned
+/// core through the skipped window. Any unsound skip panics inside run().
+#[test]
+fn ff_check_mode_validates_every_jump() {
+    for w in [kernels::pointer_chase(40), kernels::mcf(60)] {
+        for base in [CpuConfig::no_runahead(), CpuConfig::default()] {
+            let mut cfg = base;
+            cfg.ff_check = true;
+            let (stats, _) = run(&w, cfg);
+            assert!(stats.cycles > 0);
+        }
+    }
+}
