@@ -14,7 +14,7 @@ use specrun::attack::{run_pht_sweep, SweepConfig};
 use specrun_bench::BenchReport;
 use specrun_cpu::CpuConfig;
 use specrun_workloads::harness;
-use specrun_workloads::ipc::run_workload;
+use specrun_workloads::ipc::run_workload_timed;
 use specrun_workloads::kernels;
 use specrun_workloads::Workload;
 
@@ -30,13 +30,11 @@ fn measure_kernel(w: &Workload, base: CpuConfig, max_cycles: u64) -> KernelResul
     let mut ff_cfg = base;
     ff_cfg.fast_forward = true;
 
-    let t = Instant::now();
-    let naive = run_workload(w, naive_cfg, max_cycles);
-    let naive_secs = t.elapsed().as_secs_f64();
-
-    let t = Instant::now();
-    let ff = run_workload(w, ff_cfg, max_cycles);
-    let ff_secs = t.elapsed().as_secs_f64();
+    // `run_workload_timed` times only the simulation loop, so cycles/sec
+    // is iteration-count-independent and a quick CI run stays comparable
+    // to the committed full-mode baseline.
+    let (naive, naive_secs) = run_workload_timed(w, naive_cfg, max_cycles);
+    let (ff, ff_secs) = run_workload_timed(w, ff_cfg, max_cycles);
 
     assert_eq!(
         (naive.cycles, naive.committed),
@@ -119,4 +117,61 @@ fn main() {
     let path = report.write().expect("BENCH_step.json is writable");
     println!();
     println!("wrote {}", path.display());
+
+    // Perf-regression gate (CI): compare this run's throughput against a
+    // committed baseline report and fail on a >25% drop in any scenario.
+    if let Ok(baseline_path) = std::env::var("SPECRUN_BENCH_BASELINE") {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        check_against_baseline(&report, &specrun_bench::parse_metrics(&baseline));
+    }
+}
+
+/// Fails (exit 1) if any `*_cycles_per_sec` metric present in both reports
+/// dropped more than `SPECRUN_BENCH_GATE_MAX_DROP` (default 0.25) below
+/// the baseline. Cycle counts and sweep wall times vary with quick mode
+/// and host load; the cycles-per-second rates are iteration-count-
+/// independent, so quick CI runs gate against the committed full-mode
+/// baseline. Rates are still *host*-dependent — on a runner much slower
+/// than the baseline host, widen the threshold via the env var (or
+/// re-commit a baseline measured on the runner class) rather than letting
+/// the gate track machine speed instead of regressions.
+fn check_against_baseline(report: &BenchReport, baseline: &[(String, f64)]) {
+    let max_drop: f64 = std::env::var("SPECRUN_BENCH_GATE_MAX_DROP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    println!();
+    println!("== perf gate: >={:.0}% drop vs baseline fails ==", max_drop * 100.0);
+    println!("metric,baseline,current,ratio");
+    for (key, current) in report.metrics() {
+        if !key.ends_with("_cycles_per_sec") {
+            continue;
+        }
+        let Some((_, base)) = baseline.iter().find(|(k, _)| k == key) else { continue };
+        compared += 1;
+        let ratio = current / base;
+        println!("{key},{base:.0},{current:.0},{ratio:.2}");
+        if ratio < 1.0 - max_drop {
+            failures.push(format!("{key}: {current:.0}/s is {ratio:.2}x of baseline {base:.0}/s"));
+        }
+    }
+    if compared == 0 {
+        // A renamed scenario or stale baseline must not disable the gate.
+        failures.push(
+            "no *_cycles_per_sec metric matched the baseline — renamed scenarios or a \
+             stale baseline file would otherwise gate nothing"
+            .to_string(),
+        );
+    }
+    if !failures.is_empty() {
+        eprintln!("perf gate FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("perf gate passed");
 }

@@ -50,6 +50,11 @@ impl BenchReport {
         self
     }
 
+    /// The numeric metrics collected so far, in insertion order.
+    pub fn metrics(&self) -> &[(String, f64)] {
+        &self.metrics
+    }
+
     /// Renders the report as a JSON object.
     pub fn to_json(&self) -> String {
         let mut fields = vec![format!("  \"bench\": {}", json_string(&self.name))];
@@ -96,6 +101,26 @@ fn json_string(s: &str) -> String {
     out
 }
 
+/// Parses the numeric metrics out of a flat `BENCH_*.json` report (the
+/// shape [`BenchReport::to_json`] writes: one `"key": value` pair per
+/// line). String notes are skipped. Used by the CI perf-regression gate to
+/// read the committed baseline without a JSON dependency.
+pub fn parse_metrics(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else { continue };
+        let key = key.trim();
+        if key.len() < 2 || !key.starts_with('"') || !key.ends_with('"') {
+            continue;
+        }
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((key[1..key.len() - 1].to_string(), v));
+        }
+    }
+    out
+}
+
 fn json_number(v: f64) -> String {
     if v.is_finite() {
         if v == v.trunc() && v.abs() < 1e15 {
@@ -126,6 +151,20 @@ mod tests {
         assert!(json.contains("\"cycles\": 600227"));
         // No trailing comma before the closing brace.
         assert!(!json.contains(",\n}"));
+    }
+
+    #[test]
+    fn parse_metrics_round_trips_a_report() {
+        let mut r = BenchReport::new("step");
+        r.note("quick_mode", "yes");
+        r.metric("a_cycles_per_sec", 1234.5);
+        r.metric("cycles", 600227.0);
+        let parsed = parse_metrics(&r.to_json());
+        assert_eq!(
+            parsed,
+            vec![("a_cycles_per_sec".to_string(), 1234.5), ("cycles".to_string(), 600227.0)],
+            "string notes are skipped, numbers survive"
+        );
     }
 
     #[test]

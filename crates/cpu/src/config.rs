@@ -220,6 +220,13 @@ pub struct CpuConfig {
     /// through the skipped window cycle-by-cycle and the stats are asserted
     /// equal. Orders of magnitude slower — for tests only.
     pub ff_check: bool,
+    /// Event-scheduler self-check: every cycle, the retired scan-based
+    /// scheduler logic runs in parallel with the event-driven one —
+    /// writeback's due-completion set is recomputed by a full ROB scan, and
+    /// the issue-ready queue is audited against every waiting entry's
+    /// operand state — and any divergence panics. Orders of magnitude
+    /// slower — for tests only.
+    pub sched_check: bool,
 }
 
 impl Default for CpuConfig {
@@ -243,6 +250,7 @@ impl Default for CpuConfig {
             ifetch_prefetch_lines: 48,
             fast_forward: true,
             ff_check: false,
+            sched_check: false,
         }
     }
 }
@@ -281,6 +289,31 @@ impl CpuConfig {
         );
         assert!(self.iq_entries > 0 && self.lq_entries > 0 && self.sq_entries > 0);
         assert!(self.fetch_queue >= self.width);
+        // The event-driven scheduler requires every completion to land
+        // strictly after its issue cycle (the writeback pop order equals
+        // the old oldest-first scan order only because all events due at a
+        // given cycle share that cycle as their key), so zero-latency
+        // functional units and caches are rejected here.
+        for (name, latency) in [
+            ("int_add", self.fu.int_add.latency),
+            ("int_mul", self.fu.int_mul.latency),
+            ("int_div", self.fu.int_div.latency),
+            ("fp_add", self.fu.fp_add.latency),
+            ("fp_mul", self.fu.fp_mul.latency),
+            ("fp_div", self.fu.fp_div.latency),
+            ("mem_ports", self.fu.mem_ports.latency),
+        ] {
+            assert!(latency > 0, "{name} latency must be at least one cycle");
+        }
+        for (name, latency) in [
+            ("l1i", self.mem.l1i.hit_latency),
+            ("l1d", self.mem.l1d.hit_latency),
+            ("l2", self.mem.l2.hit_latency),
+            ("l3", self.mem.l3.hit_latency),
+            ("dram", self.mem.dram.latency),
+        ] {
+            assert!(latency > 0, "{name} latency must be at least one cycle");
+        }
     }
 }
 
@@ -333,6 +366,22 @@ mod tests {
     #[should_panic(expected = "spare int physical register")]
     fn validate_rejects_tiny_prf() {
         let c = CpuConfig { int_prf: 32, ..CpuConfig::default() };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be at least one cycle")]
+    fn validate_rejects_zero_latency_units() {
+        let mut c = CpuConfig::default();
+        c.fu.int_add.latency = 0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be at least one cycle")]
+    fn validate_rejects_zero_latency_caches() {
+        let mut c = CpuConfig::default();
+        c.mem.l1d.hit_latency = 0;
         c.validate();
     }
 }

@@ -20,6 +20,7 @@ use crate::lsq::{LoadCheck, StoreQueue};
 use crate::regs::{ArchCheckpoint, FreeLists, PhysRef, Rat, RegClass, RegFile};
 use crate::rob::{BranchInfo, DestInfo, EntryState, Rob, RobEntry};
 use crate::runahead::{Episode, StrideEntry};
+use crate::sched::{Scheduler, TimerQueue};
 use crate::secure::SecureState;
 use crate::stats::CpuStats;
 use crate::taint::TaintTracker;
@@ -108,10 +109,15 @@ pub struct Core {
     pub(crate) secure: SecureState,
     pub(crate) strides: HashMap<u64, StrideEntry>,
     pub(crate) ra_backoff_until: u64,
-    pub(crate) scheduled_flushes: Vec<(u64, u64)>,
+    /// Quiescence-probe throttle: after a failed fast-forward probe the
+    /// next one waits a few cycles, so a busy pipeline (where probes keep
+    /// failing) pays almost nothing for having fast-forward enabled.
+    ff_probe_at: u64,
+    pub(crate) scheduled_flushes: TimerQueue<u64>,
+    // Event-driven scheduling: completion events, ready queue, wakeups.
+    pub(crate) sched: Scheduler,
     pub(crate) stats: CpuStats,
     // Reusable per-cycle scratch buffers (the hot loop must not allocate).
-    scratch_candidates: Vec<u64>,
     scratch_completed: Vec<u64>,
     scratch_resolutions: Vec<u64>,
 }
@@ -154,9 +160,10 @@ impl Core {
             secure: SecureState::new(SlCache::new(sl_entries)),
             strides: HashMap::new(),
             ra_backoff_until: 0,
-            scheduled_flushes: Vec::new(),
+            ff_probe_at: 0,
+            scheduled_flushes: TimerQueue::new(),
+            sched: Scheduler::new(cfg.int_prf, cfg.fp_prf),
             stats: CpuStats::default(),
-            scratch_candidates: Vec::new(),
             scratch_completed: Vec::new(),
             scratch_resolutions: Vec::new(),
             cfg,
@@ -201,6 +208,7 @@ impl Core {
         self.lq_occupancy = 0;
         self.iq_occupancy = 0;
         self.fu.clear();
+        self.sched.clear_inflight();
         self.fetch_stalled_until = 0;
     }
 
@@ -262,7 +270,7 @@ impl Core {
     /// co-resident attacker thread of the paper's §5.3 scenario ➂, which
     /// re-flushes the trigger line to chain runahead episodes.
     pub fn schedule_flush(&mut self, cycle: u64, addr: u64) {
-        self.scheduled_flushes.push((cycle, addr));
+        self.scheduled_flushes.push(cycle, addr);
     }
 
     /// Runs until `halt` commits, progress becomes impossible, or
@@ -281,7 +289,7 @@ impl Core {
                 exit = RunExit::Wedged;
                 break;
             }
-            if self.cfg.fast_forward {
+            if self.cfg.fast_forward && self.cycle >= self.ff_probe_at {
                 self.fast_forward(limit);
             }
         }
@@ -290,8 +298,10 @@ impl Core {
         }
         // Land any fills that completed during the run so host-side
         // residency checks see them. A halted program's last loads may
-        // still be travelling; account for their arrival time.
-        let settle = self.cycle + self.cfg.mem.dram.latency + 64;
+        // still be travelling; drain exactly to the latest pending fill
+        // (the MSHR view of the event queue) rather than a fixed slack.
+        let settle =
+            self.mem.latest_inflight_completion().map_or(self.cycle, |at| at.max(self.cycle));
         self.mem.drain_completed(settle);
         exit
     }
@@ -312,15 +322,11 @@ impl Core {
     }
 
     fn apply_scheduled_flushes(&mut self, now: u64) {
-        let mem = &mut self.mem;
-        self.scheduled_flushes.retain(|&(cycle, addr)| {
-            if cycle <= now {
-                mem.flush_line(addr, now);
-                false
-            } else {
-                true
-            }
-        });
+        // O(1) peek when the queue is idle; due events pop in insertion
+        // order, matching the retired `retain` sweep.
+        while let Some(addr) = self.scheduled_flushes.pop_due(now) {
+            self.mem.flush_line(addr, now);
+        }
     }
 
     pub(crate) fn in_runahead(&self) -> bool {
@@ -341,7 +347,17 @@ impl Core {
     /// cycles one at a time: statistics advance only by the skipped cycle
     /// count, all other state is untouched.
     fn fast_forward(&mut self, limit: u64) {
-        let Some(event) = self.next_quiet_event() else { return };
+        // A failed probe throttles the next attempt: quiescence windows are
+        // long compared to this backoff, so little skippable time is lost,
+        // while a busy pipeline stops paying the probe on every cycle.
+        // Purely a host-side heuristic — fast-forward stays stats-invisible
+        // whether a window is entered at its first cycle or a few in.
+        const PROBE_BACKOFF: u64 = 16;
+        let Some(event) = self.next_quiet_event() else {
+            self.ff_probe_at = self.cycle + PROBE_BACKOFF;
+            return;
+        };
+        debug_assert!(event > self.cycle, "quiet event must lie in the future");
         let target = event.min(limit).saturating_sub(1);
         if target <= self.cycle {
             return;
@@ -365,7 +381,16 @@ impl Core {
     /// to be impossible *now* for a reason that can only lapse at one of the
     /// collected event cycles. Since the state is therefore identical at
     /// `now + 1`, the same reasoning applies until the earliest event.
-    fn next_quiet_event(&self) -> Option<u64> {
+    ///
+    /// With the event-driven scheduler this check is O(ready queue), not
+    /// O(ROB): every `Executing` entry's completion is in the event queue
+    /// (its minimum is the earliest writeback), and every `Waiting` entry
+    /// outside the ready queue is operand-blocked, so the pipeline can jump
+    /// even while instructions are *in flight* — the busy-but-stalled state
+    /// (e.g. runahead mcf waiting on a DRAM batch) where the old full-scan
+    /// check was too expensive to pay every cycle and bailed out behind a
+    /// minimum-stall heuristic.
+    fn next_quiet_event(&mut self) -> Option<u64> {
         if self.halted {
             return None;
         }
@@ -373,11 +398,18 @@ impl Core {
         let mut next = u64::MAX;
 
         // Cheap O(1) gates first: an actively fetching or dispatching core
-        // is the common non-quiescent state, and it must be rejected without
-        // paying for the ROB scan below.
+        // is the common non-quiescent state.
 
         // Fetch and the stream prefetcher.
         if !self.fetch_halted {
+            let stalled = self.fetch_stalled_until > now;
+            let has_room = self.pipe.len() < self.cfg.fetch_queue;
+            if !stalled && has_room {
+                // Fetch is live and has room: it will act next step. This
+                // is the common busy-pipeline case — reject it before the
+                // prefetcher check below pays a division.
+                return None;
+            }
             // The prefetcher must have saturated its lookahead, or it will
             // issue requests next step regardless of the demand stall.
             let depth = self.cfg.ifetch_prefetch_lines;
@@ -387,16 +419,11 @@ impl Core {
                     return None;
                 }
             }
-            if self.fetch_stalled_until > now {
+            if stalled && has_room {
                 // Demand fetch resumes at the stall deadline — an event
                 // only if the pipe has room by then; a full pipe gates the
                 // resumption on dispatch, which is tracked below.
-                if self.pipe.len() < self.cfg.fetch_queue {
-                    next = next.min(self.fetch_stalled_until);
-                }
-            } else if self.pipe.len() < self.cfg.fetch_queue {
-                // Fetch is live and has room: it will act next step.
-                return None;
+                next = next.min(self.fetch_stalled_until);
             }
         }
 
@@ -422,25 +449,22 @@ impl Core {
             }
         }
 
-        // Commit: a Done head would (pseudo-)retire next step. And unless
-        // the head is held up for a while (a DRAM-bound load, a long divide),
-        // the window to skip is too short to repay the ROB scan below —
-        // bail in O(1). Purely a heuristic: it can only forgo skips, never
-        // admit an unsound one.
-        const MIN_STALL: u64 = 8;
-        let head_seq = self.seq_of_head();
-        if let Some(head) = self.rob.head() {
-            if head.state != EntryState::Executing || head.ready_at <= now + MIN_STALL {
-                return None;
-            }
+        // Commit: a Done head would (pseudo-)retire next step; any other
+        // head advances only on a tracked completion event. The commit-side
+        // observations while a DRAM load stalls at the head (stall-window
+        // maximum, runahead entry trigger) are frozen during quiescence:
+        // occupancies cannot change, and the only time-varying input — the
+        // useless-episode backoff — is collected below.
+        if self.rob.head().is_some_and(|h| h.state == EntryState::Done) {
+            return None;
         }
 
         // Host-scheduled flushes fire at fixed cycles.
-        for &(cycle, _) in &self.scheduled_flushes {
-            if cycle <= now {
+        if let Some(at) = self.scheduled_flushes.peek_at() {
+            if at <= now {
                 return None;
             }
-            next = next.min(cycle);
+            next = next.min(at);
         }
         // Runahead exit is scheduled for the stalling load's data return.
         if let Mode::Runahead(ep) = self.mode {
@@ -450,11 +474,11 @@ impl Core {
             next = next.min(ep.exit_at);
         }
         // SL-cache fills land at their DRAM completion cycles.
-        for fill in &self.secure.pending_fills {
-            if fill.complete_at <= now {
+        if let Some(at) = self.secure.pending_fills.peek_at() {
+            if at <= now {
                 return None;
             }
-            next = next.min(fill.complete_at);
+            next = next.min(at);
         }
         // Runahead entry while a DRAM load stalls at the head: the trigger
         // conditions (queue occupancies, policy) are frozen while quiescent,
@@ -463,90 +487,75 @@ impl Core {
             next = next.min(self.ra_backoff_until);
         }
 
-        // Execute/writeback: every in-flight entry either completes at a
-        // known cycle or is stuck on an operand/order dependency that only
-        // a tracked event can satisfy.
-        let mut serializing_pending = false;
-        for e in self.rob.iter() {
-            match e.state {
-                EntryState::Done => {}
-                EntryState::Executing => {
-                    if e.ready_at <= now {
-                        return None;
-                    }
-                    next = next.min(e.ready_at);
-                }
-                EntryState::Waiting => {
-                    if !self.waiting_entry_is_stuck(e, head_seq, serializing_pending) {
-                        return None;
-                    }
-                }
+        // Execute/writeback: every `Executing` entry has a completion event
+        // in the queue, so its minimum (after shedding stale events left by
+        // squashes) is the earliest possible writeback.
+        self.prune_stale_completions();
+        if let Some((at, _)) = self.sched.completions.peek() {
+            if at <= now {
+                return None;
             }
-            if e.state != EntryState::Done && e.inst.is_serializing() {
-                serializing_pending = true;
+            next = next.min(at);
+        }
+
+        // Issue: `Waiting` entries outside the ready queue are blocked on an
+        // operand whose production is itself a tracked completion event (or
+        // a runahead entry/exit, both tracked). Ready entries could act
+        // unless pinned by the serializing rules, which only lapse when the
+        // serializer completes or the head changes — tracked events both.
+        let head_seq = self.seq_of_head();
+        let gate = self.sched.serializer_gate();
+        for &seq in self.sched.ready_seqs() {
+            if gate.is_some_and(|g| seq > g) {
+                // Younger than a pending serializer: issue() skips these.
+                break;
             }
+            let Some(e) = self.rob.get(seq) else { continue };
+            if e.inst.is_serializing() && Some(seq) != head_seq {
+                // Serializers issue only from the head of the ROB.
+                continue;
+            }
+            // An issue candidate may act (or at least probe a functional
+            // unit or the store queue) next step: not quiescent.
+            return None;
         }
 
         (next != u64::MAX).then_some(next)
     }
 
-    /// Whether a `Waiting` entry provably cannot leave `Waiting` (nor make
-    /// partial progress, such as a store's address phase) until an operand
-    /// producer writes back or the ROB head changes.
-    fn waiting_entry_is_stuck(
-        &self,
-        e: &RobEntry,
-        head_seq: Option<u64>,
-        serializing_pending: bool,
-    ) -> bool {
-        // Younger than an unresolved serializing instruction: issue() skips
-        // it outright until the serializer completes (a tracked event).
-        if serializing_pending {
-            return true;
-        }
-        // A serializing instruction issues only at the head; the head can
-        // change only at a commit driven by a tracked writeback event.
-        if e.inst.is_serializing() {
-            return Some(e.seq) != head_seq;
-        }
-        // Two-phase stores make progress per phase; mirror the operand
-        // layout of `issue_store_two_phase`.
-        match e.inst {
-            Inst::Store { src, base, .. } => {
-                let data_phys = if src.is_zero() { None } else { e.srcs[0] };
-                let base_phys = if base.is_zero() {
-                    None
-                } else if data_phys.is_some() {
-                    e.srcs[1]
-                } else {
-                    e.srcs[0]
-                };
-                self.store_phase_is_stuck(e, data_phys, base_phys)
+    /// Discards completion events whose ROB entry no longer exists or is no
+    /// longer `Executing` with that deadline (misprediction squashes and
+    /// runahead-entry poisoning orphan their events).
+    fn prune_stale_completions(&mut self) {
+        while let Some((at, seq)) = self.sched.completions.peek() {
+            let live = self
+                .rob
+                .get(seq)
+                .is_some_and(|e| e.state == EntryState::Executing && e.ready_at == at);
+            if live {
+                break;
             }
-            Inst::FpStore { base, .. } => {
-                let data_phys = e.srcs[0];
-                let base_phys = if base.is_zero() { None } else { e.srcs[1] };
-                self.store_phase_is_stuck(e, data_phys, base_phys)
+            self.sched.completions.pop();
+        }
+    }
+
+    /// Whether a `Waiting` entry cannot issue (nor make partial progress,
+    /// such as a store's address phase) until an operand is produced. This
+    /// is the scan-side twin of the wakeup network's ready criterion, used
+    /// by the `sched_check` audit.
+    fn stuck_on_operands(&self, e: &RobEntry) -> bool {
+        match e.inst {
+            // Two-phase stores make progress per phase; mirror the operand
+            // layout of `issue_store_two_phase`.
+            Inst::Store { .. } | Inst::FpStore { .. } => {
+                let (data_phys, base_phys) = store_operand_phys(e);
+                let gating = if e.addr_ready { data_phys } else { base_phys };
+                gating.is_some_and(|p| !self.regs.is_ready(p))
             }
             // Everything else issues in one shot once all sources are
             // ready; a single pending source pins it (INV counts as ready —
             // poisoned registers complete instantly at issue).
             _ => e.srcs.iter().flatten().any(|p| !self.regs.is_ready(*p)),
-        }
-    }
-
-    /// Stuck check for the two store phases: address generation waits on
-    /// the base register, data delivery on the data register.
-    fn store_phase_is_stuck(
-        &self,
-        e: &RobEntry,
-        data_phys: Option<PhysRef>,
-        base_phys: Option<PhysRef>,
-    ) -> bool {
-        let gating = if e.addr_ready { data_phys } else { base_phys };
-        match gating {
-            Some(p) => !self.regs.is_ready(p),
-            None => false,
         }
     }
 
@@ -579,10 +588,26 @@ impl Core {
         let mut completed = std::mem::take(&mut self.scratch_completed);
         resolutions.clear();
         completed.clear();
-        for e in self.rob.iter() {
-            if e.state == EntryState::Executing && e.ready_at <= now {
-                completed.push(e.seq);
+        // Pop due completion events instead of scanning the ROB. Issue
+        // always schedules completions in the future and writeback runs on
+        // every live cycle, so all due events carry the same `ready_at` and
+        // the (ready_at, seq) heap order equals the old oldest-first scan
+        // order. Stale events (squashed or poisoned entries) are dropped.
+        while let Some((at, seq)) = self.sched.completions.peek() {
+            if at > now {
+                break;
             }
+            self.sched.completions.pop();
+            let live = self
+                .rob
+                .get(seq)
+                .is_some_and(|e| e.state == EntryState::Executing && e.ready_at == at);
+            if live {
+                completed.push(seq);
+            }
+        }
+        if self.cfg.sched_check {
+            self.check_writeback_set(&completed, now);
         }
         for seq in completed.drain(..) {
             // Loads from memory read their data at completion so stores
@@ -601,6 +626,7 @@ impl Core {
             let is_ret = matches!(e.inst, Inst::Ret);
             let result = e.result;
             let aux_sp = e.aux_sp;
+            let serializing = e.inst.is_serializing();
             let mut dest_write: Option<(PhysRef, u64, bool, u64)> = None;
             if let Some(d) = e.dest {
                 // `Ret` writes the SP update, not the loaded value.
@@ -618,11 +644,15 @@ impl Core {
                 }
                 resolutions.push(seq);
             }
+            if serializing {
+                // A completed serializer stops gating younger issue.
+                self.sched.retire_serializer(seq);
+            }
             if let Some((phys, value, inv, taint)) = dest_write {
                 if inv {
-                    self.regs.write_inv(phys);
+                    self.produce_inv(phys);
                 } else {
-                    self.regs.write(phys, value);
+                    self.produce(phys, value);
                 }
                 self.regs.set_taint(phys, taint);
             }
@@ -632,6 +662,97 @@ impl Core {
         }
         self.scratch_resolutions = resolutions;
         self.scratch_completed = completed;
+    }
+
+    // ------------------------------------------------------------------
+    // Operand-wakeup network
+    // ------------------------------------------------------------------
+
+    /// Produces a valid value into `p` and wakes its waiters.
+    pub(crate) fn produce(&mut self, p: PhysRef, value: u64) {
+        self.regs.write(p, value);
+        self.wake_reg(p);
+    }
+
+    /// Produces an INV (poisoned) result into `p` and wakes its waiters —
+    /// poison satisfies operand readiness just like a valid value.
+    pub(crate) fn produce_inv(&mut self, p: PhysRef) {
+        self.regs.write_inv(p);
+        self.wake_reg(p);
+    }
+
+    /// Delivers wakeups for a newly produced register: every waiter's
+    /// pending-operand count drops, and entries reaching zero join the
+    /// issue-ready queue. Waiter lists never hold live entries for a
+    /// *reallocated* register — a physical register is freed only when the
+    /// instruction that overwrote its architectural mapping commits, by
+    /// which point every reader of the old mapping has retired (or, on a
+    /// squash, the readers died in the same squash) — so a stale sequence
+    /// number here simply no longer resolves in the ROB and is skipped.
+    fn wake_reg(&mut self, p: PhysRef) {
+        let mut woken = std::mem::take(&mut self.sched.scratch);
+        self.sched.take_waiters(p, &mut woken);
+        for seq in woken.drain(..) {
+            let Some(e) = self.rob.get_mut(seq) else { continue };
+            if e.state != EntryState::Waiting {
+                continue;
+            }
+            e.wait_count = e.wait_count.saturating_sub(1);
+            if e.wait_count == 0 {
+                self.sched.mark_ready(seq);
+                self.stats.sched_wakeups += 1;
+            }
+        }
+        self.sched.scratch = woken;
+    }
+
+    /// `sched_check`: recomputes writeback's due set with the retired full
+    /// ROB scan and asserts the event queue delivered exactly it, in order.
+    fn check_writeback_set(&self, completed: &[u64], now: u64) {
+        let expected: Vec<u64> = self
+            .rob
+            .iter()
+            .filter(|e| e.state == EntryState::Executing && e.ready_at <= now)
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(
+            completed, &expected[..],
+            "sched_check: completion events diverge from the ROB scan at cycle {now}"
+        );
+    }
+
+    /// `sched_check`: audits the ready queue and serializer gate against
+    /// the retired scan-based issue logic.
+    fn check_issue_invariants(&self) {
+        let scan_gate = self
+            .rob
+            .iter()
+            .find(|e| e.inst.is_serializing() && e.state != EntryState::Done)
+            .map(|e| e.seq);
+        assert_eq!(
+            self.sched.serializer_gate(),
+            scan_gate,
+            "sched_check: serializer gate diverges from the ROB scan"
+        );
+        for e in self.rob.iter() {
+            if e.state == EntryState::Waiting {
+                if !self.sched.contains_ready(e.seq) {
+                    assert!(
+                        self.stuck_on_operands(e),
+                        "sched_check: entry {} (pc {:#x}) is issueable but absent from the \
+                         ready queue",
+                        e.seq,
+                        e.pc
+                    );
+                }
+            } else {
+                assert!(
+                    !self.sched.contains_ready(e.seq),
+                    "sched_check: non-waiting entry {} in the ready queue",
+                    e.seq
+                );
+            }
+        }
     }
 
     /// Resolves a branch whose operands were valid. May squash.
@@ -698,6 +819,7 @@ impl Core {
 
     /// Removes all entries younger than `seq`, unwinding renames.
     pub(crate) fn squash_after(&mut self, seq: u64, _now: u64) {
+        self.sched.squash_younger(seq);
         let removed = self.rob.squash_younger(seq);
         for e in &removed {
             if let Some(d) = e.dest {
@@ -809,38 +931,39 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn issue(&mut self, now: u64) {
+        if self.cfg.sched_check {
+            self.check_issue_invariants();
+        }
         let mut issued = 0usize;
-        let mut older_serializing_pending = false;
         let head_seq = self.seq_of_head();
-        let mut candidates = std::mem::take(&mut self.scratch_candidates);
-        candidates.clear();
-        candidates.extend(self.rob.iter().map(|e| e.seq));
-        for seq in candidates.drain(..) {
-            if issued >= self.cfg.width {
+        // The oldest in-flight serializer blocks everything younger, even in
+        // the cycle it issues itself (it stops gating only once Done). If it
+        // is squashed mid-loop the stale gate is harmless: every entry the
+        // gate would wrongly block is younger and died in the same squash.
+        let gate = self.sched.serializer_gate();
+        // Walk the ready queue in program order through a cursor, so
+        // wakeups delivered mid-issue (an older entry poisoning its INV
+        // destination) are picked up this same cycle, exactly like the
+        // in-order scan, while squashes prune unvisited candidates.
+        let mut cursor: Option<u64> = None;
+        while issued < self.cfg.width {
+            let Some(seq) = self.sched.first_ready_after(cursor) else { break };
+            cursor = Some(seq);
+            if gate.is_some_and(|g| seq > g) {
                 break;
             }
-            let (state, serializing) = {
-                let Some(e) = self.rob.get_mut(seq) else { continue };
-                (e.state, e.inst.is_serializing())
-            };
-            if state != EntryState::Waiting {
-                if serializing && state != EntryState::Done {
-                    older_serializing_pending = true;
-                }
+            let state = self.rob.get(seq).map(|e| e.state);
+            if state != Some(EntryState::Waiting) {
+                debug_assert!(state.is_none(), "ready queue holds only Waiting entries");
+                self.sched.remove_ready(seq);
                 continue;
-            }
-            if older_serializing_pending {
-                continue;
-            }
-            if serializing {
-                older_serializing_pending = true;
             }
             if self.try_issue_entry(seq, head_seq, now) {
                 issued += 1;
+                self.sched.remove_ready(seq);
                 self.iq_occupancy = self.iq_occupancy.saturating_sub(1);
             }
         }
-        self.scratch_candidates = candidates;
     }
 
     /// Attempts to issue one entry. Returns whether it left `Waiting`.
@@ -877,7 +1000,7 @@ impl Core {
             e.inv = true;
             let dest = e.dest;
             if let Some(d) = dest {
-                self.regs.write_inv(d.new);
+                self.produce_inv(d.new);
             }
             return true;
         }
@@ -925,6 +1048,7 @@ impl Core {
                     b.actual_taken = true;
                     b.actual_target = target;
                 }
+                self.sched.completions.schedule(now + latency, seq);
                 true
             }
             _ => {
@@ -978,6 +1102,7 @@ impl Core {
             b.actual_taken = b.predicted_taken;
             b.actual_target = b.predicted_target;
         }
+        self.sched.completions.schedule(now + latency, seq);
         true
     }
 
@@ -1019,6 +1144,7 @@ impl Core {
             b.actual_taken = taken;
             b.actual_target = if taken { pc.wrapping_add_signed(i64::from(offset)) } else { pc + INST_BYTES };
         }
+        self.sched.completions.schedule(now + latency, seq);
         true
     }
 
@@ -1068,6 +1194,7 @@ impl Core {
                 b.resolved = true; // direct target can never mispredict
             }
         }
+        self.sched.completions.schedule(now + 1, seq);
         true
     }
 
@@ -1104,6 +1231,7 @@ impl Core {
         e.inv = inv;
         e.taint = taint;
         e.load_addr = Some(addr);
+        self.sched.completions.schedule(now + 1, seq);
         true
     }
 
@@ -1112,31 +1240,15 @@ impl Core {
     /// once it is ready and completes the store. Returns whether the entry
     /// left `Waiting`.
     fn issue_store_two_phase(&mut self, seq: u64, inst: Inst, now: u64) -> bool {
-        let (data_reg, base_reg, width, offset, is_fp) = match inst {
-            Inst::Store { width, src, base, offset } => {
-                (Some(ArchReg::Int(src)), base, width.bytes(), offset, false)
-            }
-            Inst::FpStore { fs, base, offset } => (Some(ArchReg::Fp(fs)), base, 8, offset, true),
+        let (width, offset) = match inst {
+            Inst::Store { width, offset, .. } => (width.bytes(), offset),
+            Inst::FpStore { offset, .. } => (8, offset),
             _ => unreachable!("two-phase issue is for data stores"),
         };
-        // Recover phys refs from the packed source list: [data?, base?].
-        let srcs = {
-            let e = self.rob.get_mut(seq).expect("entry exists");
-            e.srcs
-        };
-        let data_is_zero_reg = matches!(data_reg, Some(ArchReg::Int(r)) if r.is_zero());
-        let data_phys = if data_is_zero_reg || data_reg.is_none() { None } else { srcs[0] };
-        let base_phys = if base_reg.is_zero() {
-            None
-        } else if data_phys.is_some() {
-            srcs[1]
-        } else {
-            srcs[0]
-        };
-        let _ = is_fp;
-        let addr_done = {
-            let e = self.rob.get_mut(seq).expect("entry exists");
-            e.addr_ready
+        let (data_phys, base_phys, addr_done) = {
+            let e = self.rob.get(seq).expect("entry exists");
+            let (data, base) = store_operand_phys(e);
+            (data, base, e.addr_ready)
         };
         let in_runahead = self.in_runahead();
         // Phase A: address generation.
@@ -1171,7 +1283,14 @@ impl Core {
         let (value, data_inv, data_taint) = match data_phys {
             Some(p) => {
                 if !self.regs.is_ready(p) {
-                    return false; // address done, waiting for data
+                    // Address done, data still in flight: park on the data
+                    // register's waiter list instead of burning a retry
+                    // every cycle — its production re-queues the entry.
+                    self.sched.remove_ready(seq);
+                    self.sched.add_waiter(p, seq);
+                    let e = self.rob.get_mut(seq).expect("entry exists");
+                    e.wait_count = 1;
+                    return false;
                 }
                 (self.regs.value(p), self.regs.is_inv(p), self.regs.taint(p))
             }
@@ -1193,6 +1312,7 @@ impl Core {
         e.ready_at = now + 1;
         e.inv = inv;
         e.taint = taint;
+        self.sched.completions.schedule(now + 1, seq);
         true
     }
 
@@ -1226,8 +1346,9 @@ impl Core {
             e.state = EntryState::Done;
             e.inv = true;
             e.taint = taint;
-            if let Some(d) = e.dest {
-                self.regs.write_inv(d.new);
+            let dest = e.dest;
+            if let Some(d) = dest {
+                self.produce_inv(d.new);
                 self.regs.set_taint(d.new, taint);
             }
             if sp_like {
@@ -1274,8 +1395,9 @@ impl Core {
                         e.state = EntryState::Done;
                         e.inv = true;
                         e.taint = taint;
-                        if let Some(d) = e.dest {
-                            self.regs.write_inv(d.new);
+                        let dest = e.dest;
+                        if let Some(d) = dest {
+                            self.produce_inv(d.new);
                             self.regs.set_taint(d.new, taint);
                         }
                         return true;
@@ -1336,8 +1458,9 @@ impl Core {
             e.taint = taint;
             e.load_level = Some(access.level);
             e.load_addr = Some(addr);
-            if let Some(d) = e.dest {
-                self.regs.write_inv(d.new);
+            let dest = e.dest;
+            if let Some(d) = dest {
+                self.produce_inv(d.new);
                 self.regs.set_taint(d.new, taint);
             }
             return true;
@@ -1388,6 +1511,7 @@ impl Core {
             // destination value — `result` carries the popped target).
             e.aux_sp = addr.wrapping_add(8);
         }
+        self.sched.completions.schedule(ready_at, seq);
         true
     }
 
@@ -1439,9 +1563,43 @@ impl Core {
         // Rename destination.
         if let Some(arch) = f.inst.dest() {
             let new = self.free.allocate(RegClass::of(arch)).expect("checked in dispatch");
+            self.sched.clear_waiters(new);
             self.regs.mark_pending(new);
             let prev = self.rat.set(arch, new);
             entry.dest = Some(DestInfo { arch, new, prev });
+        }
+        // Operand-wakeup registration: the entry joins the issue-ready
+        // queue once its gating operands are produced. Data stores gate on
+        // the base register first (address generation runs ahead of the
+        // data, see `issue_store_two_phase`); everything else gates on all
+        // of its sources (INV counts as produced).
+        if f.inst.is_serializing() {
+            self.sched.add_serializer(seq);
+        }
+        match f.inst {
+            Inst::Store { .. } | Inst::FpStore { .. } => {
+                let (_, base_phys) = store_operand_phys(&entry);
+                match base_phys.filter(|p| !self.regs.is_ready(*p)) {
+                    Some(p) => {
+                        entry.wait_count = 1;
+                        self.sched.add_waiter(p, seq);
+                    }
+                    None => self.sched.mark_ready(seq),
+                }
+            }
+            _ => {
+                let mut waits = 0u8;
+                for p in entry.srcs.iter().flatten() {
+                    if !self.regs.is_ready(*p) {
+                        waits += 1;
+                        self.sched.add_waiter(*p, seq);
+                    }
+                }
+                entry.wait_count = waits;
+                if waits == 0 {
+                    self.sched.mark_ready(seq);
+                }
+            }
         }
         // Branch bookkeeping.
         if let Some(p) = f.pred {
@@ -1573,6 +1731,31 @@ impl Core {
             );
             budget -= 1;
         }
+    }
+}
+
+/// Recovers a data store's `(data, base)` physical sources from the packed
+/// source list `[data?, base?]` (reads of `r0` are elided by
+/// `Inst::sources`). Returns `(None, None)` for non-stores.
+fn store_operand_phys(e: &RobEntry) -> (Option<PhysRef>, Option<PhysRef>) {
+    match e.inst {
+        Inst::Store { src, base, .. } => {
+            let data = if src.is_zero() { None } else { e.srcs[0] };
+            let base_p = if base.is_zero() {
+                None
+            } else if data.is_some() {
+                e.srcs[1]
+            } else {
+                e.srcs[0]
+            };
+            (data, base_p)
+        }
+        Inst::FpStore { base, .. } => {
+            let data = e.srcs[0];
+            let base_p = if base.is_zero() { None } else { e.srcs[1] };
+            (data, base_p)
+        }
+        _ => (None, None),
     }
 }
 

@@ -42,6 +42,7 @@ mod lsq;
 mod regs;
 mod rob;
 mod runahead;
+mod sched;
 mod secure;
 mod stats;
 mod taint;

@@ -96,6 +96,9 @@ pub struct RobEntry {
     /// base register is ready, before the data arrives, so younger loads
     /// can disambiguate instead of stalling).
     pub addr_ready: bool,
+    /// Unproduced gating operands remaining (operand-wakeup network): the
+    /// entry joins the issue-ready queue when this reaches zero.
+    pub wait_count: u8,
 }
 
 impl RobEntry {
@@ -121,6 +124,7 @@ impl RobEntry {
             runahead: false,
             dispatch_scope: None,
             addr_ready: false,
+            wait_count: 0,
         }
     }
 }
@@ -212,9 +216,18 @@ impl Rob {
         removed
     }
 
-    /// The entry with sequence number `seq`, if present.
+    /// The entry with sequence number `seq`, if present. Entries are pushed
+    /// in ascending sequence order and removed only at either end, so the
+    /// deque is always sorted and a binary search suffices.
+    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
+        let i = self.entries.partition_point(|e| e.seq < seq);
+        self.entries.get(i).filter(|e| e.seq == seq)
+    }
+
+    /// Mutable [`Rob::get`].
     pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
-        self.entries.iter_mut().find(|e| e.seq == seq)
+        let i = self.entries.partition_point(|e| e.seq < seq);
+        self.entries.get_mut(i).filter(|e| e.seq == seq)
     }
 }
 
@@ -273,6 +286,23 @@ mod tests {
         assert_eq!(removed.len(), 3);
         assert!(rob.is_empty());
         assert_eq!(removed[0].seq, 3, "youngest first");
+    }
+
+    #[test]
+    fn get_binary_search_handles_seq_gaps() {
+        let mut rob = Rob::new(8);
+        // Squashes leave gaps in the resident sequence numbers.
+        for s in [3, 4, 9, 12] {
+            rob.push(entry(s));
+        }
+        for s in [3, 4, 9, 12] {
+            assert_eq!(rob.get(s).map(|e| e.seq), Some(s));
+            assert_eq!(rob.get_mut(s).map(|e| e.seq), Some(s));
+        }
+        for s in [0, 5, 10, 13] {
+            assert!(rob.get(s).is_none());
+            assert!(rob.get_mut(s).is_none());
+        }
     }
 
     #[test]

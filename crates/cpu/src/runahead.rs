@@ -144,7 +144,9 @@ impl Core {
                 e.dest
             };
             if let Some(d) = dest {
-                self.regs.write_inv(d.new);
+                // Wake-aware poison: waiters on the load's result must move
+                // to the issue-ready queue (poison counts as produced).
+                self.produce_inv(d.new);
             }
         }
         // Entry penalty: the checkpoint is not free.
@@ -175,6 +177,7 @@ impl Core {
         self.lq_occupancy = 0;
         self.iq_occupancy = 0;
         self.fu.clear();
+        self.sched.clear_inflight();
         self.rat = Rat::identity();
         self.retire_rat = Rat::identity();
         self.free = FreeLists::new(self.cfg.int_prf, self.cfg.fp_prf);

@@ -1,0 +1,374 @@
+//! Event-driven pipeline scheduling: the unified event queue and the
+//! operand-wakeup network that replace the per-cycle O(ROB) scans.
+//!
+//! Before this module, every simulated cycle paid a full reorder-buffer walk
+//! in `writeback` (looking for due completions) and another in `issue`
+//! (re-checking every waiting entry's operands), plus `retain` sweeps over
+//! the host-scheduled flush list and the secure-mode SL-fill list. All of
+//! that is replaced by three structures:
+//!
+//! * [`CompletionQueue`] — a min-heap keyed on `(ready_at, seq)`. Every ROB
+//!   entry that enters `Executing` schedules exactly one completion event;
+//!   `writeback` pops the due events instead of scanning. Squashed entries
+//!   leave stale events behind; they are validated lazily against the ROB
+//!   and discarded on pop. Because issue always produces `ready_at > now`
+//!   and writeback runs every live cycle, all events due at a given cycle
+//!   share that cycle as their key, so the `(ready_at, seq)` pop order is
+//!   exactly the oldest-first ROB-scan order the scan-based scheduler used.
+//! * [`TimerQueue`] — a min-heap of `(cycle, insertion order, payload)`
+//!   used for host-scheduled `clflush`es and secure-runahead SL fills.
+//!   Same-cycle events pop in insertion order, matching the retired
+//!   `retain` sweeps bit for bit, and an idle queue costs one O(1) peek
+//!   per cycle instead of a sweep.
+//! * [`Scheduler`] — the operand-wakeup network: per-physical-register
+//!   waiter lists, a program-ordered ready queue of issue candidates, and
+//!   the pending-serializer list that gates issue. A dispatched entry whose
+//!   gating operands are unready parks on the producers' waiter lists;
+//!   when a producer writes back (or poisons its destination with INV) the
+//!   waiters' pending counts drop and entries whose count reaches zero
+//!   join the ready queue. `issue` then walks only the ready queue, in
+//!   sequence order, preserving program-order issue priority.
+//!
+//! The `CpuConfig::sched_check` mode re-runs the retired scan logic in
+//! parallel each cycle and asserts the event-driven structures reach
+//! identical decisions (see `Core::check_issue_invariants` and
+//! `Core::check_writeback_set`).
+
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+use std::ops::Bound;
+
+use crate::regs::{PhysRef, RegClass};
+
+// ---------------------------------------------------------------------
+// Completion events
+// ---------------------------------------------------------------------
+
+/// Min-heap of `(ready_at, seq)` completion events for `Executing` ROB
+/// entries. Stale events (squashed or runahead-poisoned entries) are the
+/// caller's responsibility to detect on pop.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CompletionQueue {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl CompletionQueue {
+    /// Schedules entry `seq` to complete at `ready_at`.
+    pub fn schedule(&mut self, ready_at: u64, seq: u64) {
+        self.heap.push(Reverse((ready_at, seq)));
+    }
+
+    /// The earliest `(ready_at, seq)` event, if any.
+    pub fn peek(&self) -> Option<(u64, u64)> {
+        self.heap.peek().map(|Reverse(e)| *e)
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(u64, u64)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Drops every event (pipeline flush).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timed host events
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct TimerEvent<T> {
+    at: u64,
+    order: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for TimerEvent<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.order == other.order
+    }
+}
+
+impl<T> Eq for TimerEvent<T> {}
+
+impl<T> PartialOrd for TimerEvent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for TimerEvent<T> {
+    // Reversed so the `BinaryHeap` becomes a min-heap on (cycle, order).
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.order).cmp(&(self.at, self.order))
+    }
+}
+
+/// A min-heap of timed events carrying a payload. Events due at the same
+/// cycle pop in insertion order, so replacing an insertion-ordered `Vec`
+/// swept with `retain` preserves processing order exactly.
+#[derive(Debug, Clone)]
+pub(crate) struct TimerQueue<T> {
+    heap: BinaryHeap<TimerEvent<T>>,
+    next_order: u64,
+}
+
+impl<T> Default for TimerQueue<T> {
+    fn default() -> Self {
+        TimerQueue { heap: BinaryHeap::new(), next_order: 0 }
+    }
+}
+
+impl<T> TimerQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` to fire at `at`.
+    pub fn push(&mut self, at: u64, payload: T) {
+        let order = self.next_order;
+        self.next_order += 1;
+        self.heap.push(TimerEvent { at, order, payload });
+    }
+
+    /// Pops the earliest event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: u64) -> Option<T> {
+        if self.heap.peek().is_some_and(|e| e.at <= now) {
+            self.heap.pop().map(|e| e.payload)
+        } else {
+            None
+        }
+    }
+
+    /// Cycle of the earliest pending event.
+    pub fn peek_at(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Operand-wakeup network
+// ---------------------------------------------------------------------
+
+/// The wakeup network plus completion queue: everything the core needs to
+/// schedule issue and writeback without scanning the ROB.
+#[derive(Debug, Clone)]
+pub(crate) struct Scheduler {
+    /// Completion events for `Executing` entries.
+    pub completions: CompletionQueue,
+    /// Issue candidates in program order: `Waiting` entries whose gating
+    /// operands are all produced (they may still be blocked on a functional
+    /// unit, store disambiguation, or the serializing-at-head rule, and are
+    /// retried each cycle like the scan-based scheduler did).
+    ready: BTreeSet<u64>,
+    /// Per-physical-register waiter lists (sequence numbers of entries
+    /// blocked on this register's production).
+    int_waiters: Vec<Vec<u64>>,
+    fp_waiters: Vec<Vec<u64>>,
+    /// In-flight serializing instructions, oldest first. The front entry
+    /// gates issue of everything younger until it leaves `Waiting`+`Executing`.
+    serializers: Vec<u64>,
+    /// Reusable drain buffer for wakeups (the hot loop must not allocate).
+    pub scratch: Vec<u64>,
+}
+
+impl Scheduler {
+    /// Creates a network sized to the physical register files.
+    pub fn new(int_prf: usize, fp_prf: usize) -> Scheduler {
+        Scheduler {
+            completions: CompletionQueue::default(),
+            ready: BTreeSet::new(),
+            int_waiters: vec![Vec::new(); int_prf],
+            fp_waiters: vec![Vec::new(); fp_prf],
+            serializers: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn waiters_mut(&mut self, p: PhysRef) -> &mut Vec<u64> {
+        match p.class {
+            RegClass::Int => &mut self.int_waiters[p.index as usize],
+            RegClass::Fp => &mut self.fp_waiters[p.index as usize],
+        }
+    }
+
+    /// Inserts `seq` into the ready queue.
+    pub fn mark_ready(&mut self, seq: u64) {
+        self.ready.insert(seq);
+    }
+
+    /// Removes `seq` from the ready queue.
+    pub fn remove_ready(&mut self, seq: u64) {
+        self.ready.remove(&seq);
+    }
+
+    /// Whether `seq` is an issue candidate.
+    pub fn contains_ready(&self, seq: u64) -> bool {
+        self.ready.contains(&seq)
+    }
+
+    /// The smallest ready sequence number strictly greater than `prev`
+    /// (`None` starts from the beginning). Cursor-based so wakeups fired
+    /// mid-issue (INV poisoning by an older entry) are picked up in the
+    /// same cycle, exactly like the in-order ROB scan.
+    pub fn first_ready_after(&self, prev: Option<u64>) -> Option<u64> {
+        let lower = match prev {
+            Some(s) => Bound::Excluded(s),
+            None => Bound::Unbounded,
+        };
+        self.ready.range((lower, Bound::Unbounded)).next().copied()
+    }
+
+    /// Iterates the ready queue in program order.
+    pub fn ready_seqs(&self) -> impl Iterator<Item = &u64> {
+        self.ready.iter()
+    }
+
+    /// Registers `seq` as blocked on the production of `p`.
+    pub fn add_waiter(&mut self, p: PhysRef, seq: u64) {
+        self.waiters_mut(p).push(seq);
+    }
+
+    /// Drains the waiter list of `p` into `out` (called when `p` is
+    /// produced, valid or INV).
+    pub fn take_waiters(&mut self, p: PhysRef, out: &mut Vec<u64>) {
+        out.append(self.waiters_mut(p));
+    }
+
+    /// Drops any waiters parked on `p` (defensive: called when `p` is
+    /// reallocated; the list is provably empty then, see `wake_reg`).
+    pub fn clear_waiters(&mut self, p: PhysRef) {
+        self.waiters_mut(p).clear();
+    }
+
+    /// Records a dispatched serializing instruction (dispatch order is
+    /// ascending, so the list stays sorted).
+    pub fn add_serializer(&mut self, seq: u64) {
+        self.serializers.push(seq);
+    }
+
+    /// Removes a serializing instruction that reached `Done`.
+    pub fn retire_serializer(&mut self, seq: u64) {
+        self.serializers.retain(|&s| s != seq);
+    }
+
+    /// The oldest in-flight serializing instruction: entries younger than
+    /// it must not issue this cycle.
+    pub fn serializer_gate(&self) -> Option<u64> {
+        self.serializers.first().copied()
+    }
+
+    /// Drops all bookkeeping for entries younger than `seq` (misprediction
+    /// squash). Waiter-list entries are left to lazy validation: squashed
+    /// sequence numbers are never reused, so a stale wakeup is ignored.
+    pub fn squash_younger(&mut self, seq: u64) {
+        self.ready.split_off(&(seq + 1));
+        self.serializers.retain(|&s| s <= seq);
+    }
+
+    /// Drops all in-flight bookkeeping (pipeline flush, runahead exit).
+    pub fn clear_inflight(&mut self) {
+        self.completions.clear();
+        self.ready.clear();
+        self.serializers.clear();
+        for w in &mut self.int_waiters {
+            w.clear();
+        }
+        for w in &mut self.fp_waiters {
+            w.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(i: u16) -> PhysRef {
+        PhysRef { class: RegClass::Int, index: i }
+    }
+
+    #[test]
+    fn completion_queue_orders_by_cycle_then_seq() {
+        let mut q = CompletionQueue::default();
+        q.schedule(10, 7);
+        q.schedule(5, 9);
+        q.schedule(10, 3);
+        assert_eq!(q.pop(), Some((5, 9)));
+        assert_eq!(q.pop(), Some((10, 3)), "same cycle pops oldest seq first");
+        assert_eq!(q.pop(), Some((10, 7)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn timer_queue_same_cycle_is_fifo() {
+        let mut q: TimerQueue<u32> = TimerQueue::new();
+        q.push(20, 1);
+        q.push(10, 2);
+        q.push(10, 3);
+        assert_eq!(q.peek_at(), Some(10));
+        assert_eq!(q.pop_due(9), None, "nothing due before its cycle");
+        assert_eq!(q.pop_due(10), Some(2));
+        assert_eq!(q.pop_due(10), Some(3), "same-cycle events keep insertion order");
+        assert_eq!(q.pop_due(10), None);
+        assert_eq!(q.pop_due(25), Some(1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ready_queue_cursor_iteration() {
+        let mut s = Scheduler::new(4, 2);
+        s.mark_ready(5);
+        s.mark_ready(2);
+        s.mark_ready(9);
+        assert_eq!(s.first_ready_after(None), Some(2));
+        assert_eq!(s.first_ready_after(Some(2)), Some(5));
+        // Wakeups landing mid-iteration are seen if younger than the cursor.
+        s.mark_ready(7);
+        assert_eq!(s.first_ready_after(Some(5)), Some(7));
+        assert_eq!(s.first_ready_after(Some(9)), None);
+    }
+
+    #[test]
+    fn waiters_drain_once() {
+        let mut s = Scheduler::new(4, 2);
+        s.add_waiter(int(1), 10);
+        s.add_waiter(int(1), 11);
+        let mut out = Vec::new();
+        s.take_waiters(int(1), &mut out);
+        assert_eq!(out, vec![10, 11]);
+        out.clear();
+        s.take_waiters(int(1), &mut out);
+        assert!(out.is_empty(), "a produced register has no residual waiters");
+    }
+
+    #[test]
+    fn squash_prunes_ready_and_serializers() {
+        let mut s = Scheduler::new(4, 2);
+        for seq in [1, 4, 6, 9] {
+            s.mark_ready(seq);
+        }
+        s.add_serializer(3);
+        s.add_serializer(8);
+        s.squash_younger(4);
+        assert!(s.contains_ready(1) && s.contains_ready(4));
+        assert!(!s.contains_ready(6) && !s.contains_ready(9));
+        assert_eq!(s.serializer_gate(), Some(3));
+        s.retire_serializer(3);
+        assert_eq!(s.serializer_gate(), None, "seq 8 was squashed");
+    }
+}

@@ -18,13 +18,14 @@ use specrun_mem::{Btag, SlCache, SlTags};
 
 use crate::core::{Core, Fetched};
 use crate::rob::RobEntry;
+use crate::sched::TimerQueue;
 use crate::taint::{scope_bit, ScopeId};
 
-/// A DRAM fill headed for the SL cache.
+/// A DRAM fill headed for the SL cache (its completion cycle is the event
+/// key in the pending-fill queue).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct PendingFill {
     pub line: u64,
-    pub complete_at: u64,
     pub tags: SlTags,
 }
 
@@ -48,8 +49,9 @@ pub(crate) enum SlOutcome {
 pub(crate) struct SecureState {
     /// The SL cache itself.
     pub sl: SlCache,
-    /// Fills still travelling from DRAM toward the SL cache.
-    pub pending_fills: Vec<PendingFill>,
+    /// Fills still travelling from DRAM toward the SL cache, keyed on their
+    /// completion cycle (same event-queue machinery as scheduled flushes).
+    pub pending_fills: TimerQueue<PendingFill>,
     /// Runahead branches awaiting an architectural verdict: PC → scopes
     /// predicted at that PC with their predicted direction.
     pub records: HashMap<u64, Vec<(ScopeId, bool)>>,
@@ -67,7 +69,7 @@ impl SecureState {
     pub(crate) fn new(sl: SlCache) -> SecureState {
         SecureState {
             sl,
-            pending_fills: Vec::new(),
+            pending_fills: TimerQueue::new(),
             records: HashMap::new(),
             pending_scopes: HashSet::new(),
             verdicts: HashMap::new(),
@@ -171,7 +173,7 @@ impl Core {
         });
         let line = self.mem.line_of(addr);
         let tags = SlTags { btag, is_mask: taint };
-        self.secure.pending_fills.push(PendingFill { line, complete_at, tags });
+        self.secure.pending_fills.push(complete_at, PendingFill { line, tags });
     }
 
     /// Moves completed fills into the SL cache. A fill that is already
@@ -184,23 +186,17 @@ impl Core {
             return;
         }
         let in_runahead = self.in_runahead();
-        let sl = &mut self.secure.sl;
-        let mem = &mut self.mem;
-        let stats = &mut self.stats;
-        let line_bytes = mem.line_bytes();
-        self.secure.pending_fills.retain(|f| {
-            if f.complete_at <= now {
-                if !in_runahead && f.tags.is_safe() {
-                    mem.install(f.line * line_bytes);
-                    stats.sl_promotions += 1;
-                } else {
-                    sl.insert(f.line, f.tags);
-                }
-                false
+        let line_bytes = self.mem.line_bytes();
+        // Due fills pop in insertion order (the old sweep's processing
+        // order); the SL cache's eviction behaviour depends on it.
+        while let Some(f) = self.secure.pending_fills.pop_due(now) {
+            if !in_runahead && f.tags.is_safe() {
+                self.mem.install(f.line * line_bytes);
+                self.stats.sl_promotions += 1;
             } else {
-                true
+                self.secure.sl.insert(f.line, f.tags);
             }
-        });
+        }
     }
 
     /// Branch-resolution hook for verdict bookkeeping. Called for every

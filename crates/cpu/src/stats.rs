@@ -59,6 +59,11 @@ pub struct CpuStats {
     pub sl_verdict_waits: u64,
     /// INV-source branches suppressed by the skip-INV-branch mitigation.
     pub skipped_inv_branches: u64,
+    /// Operand wakeups delivered by the event-driven scheduler (a waiting
+    /// instruction's last unproduced operand arriving moves it to the
+    /// issue-ready queue). Identical across fast-forward and naive runs:
+    /// wakeups only happen on cycles where state changes.
+    pub sched_wakeups: u64,
 }
 
 impl CpuStats {

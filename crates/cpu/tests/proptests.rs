@@ -114,6 +114,28 @@ proptest! {
         }
     }
 
+    /// The event-driven scheduler is decision-identical to the scan-based
+    /// one on arbitrary programs: `sched_check` re-runs the retired ROB
+    /// scans in parallel every cycle (panicking on any divergence in
+    /// writeback due-sets, the issue-ready queue, or the serializer gate)
+    /// and the resulting stats and architectural state stay bit-identical.
+    #[test]
+    fn event_scheduler_matches_scan_pipeline(ops in proptest::collection::vec(op(), 1..40)) {
+        let program = build(&ops);
+        for base in [CpuConfig::no_runahead(), CpuConfig::default(), CpuConfig::secure_runahead()] {
+            let run = |check: bool| {
+                let mut cfg = base.clone();
+                cfg.sched_check = check;
+                let mut core = Core::new(cfg);
+                core.load_program(&program);
+                core.run(5_000_000);
+                let regs: Vec<u64> = (1..=9).map(|i| core.read_int_reg(r(i))).collect();
+                (*core.stats(), regs)
+            };
+            prop_assert_eq!(run(true), run(false));
+        }
+    }
+
     /// The simulator is deterministic for arbitrary programs.
     #[test]
     fn simulation_is_deterministic(ops in proptest::collection::vec(op(), 1..30)) {

@@ -114,6 +114,10 @@ pub struct MemHierarchy {
     l3: Cache,
     dram: Dram,
     inflight: Vec<Inflight>,
+    /// Earliest `complete_at` among in-flight fills (`u64::MAX` when none):
+    /// lets the per-access drain bail in O(1) instead of sweeping the MSHRs
+    /// while nothing is due.
+    next_complete: u64,
     data: BackingStore,
     stats: MemStats,
 }
@@ -129,6 +133,7 @@ impl MemHierarchy {
             l3: Cache::new(config.l3),
             dram: Dram::new(config.dram),
             inflight: Vec::new(),
+            next_complete: u64::MAX,
             data: BackingStore::new(),
             stats: MemStats::default(),
         }
@@ -157,8 +162,13 @@ impl MemHierarchy {
         }
     }
 
-    /// Installs fills whose DRAM access has completed by `now`.
+    /// Installs fills whose DRAM access has completed by `now`. O(1) while
+    /// nothing is due (the common case on a hot access path).
     fn drain(&mut self, now: u64) {
+        if now < self.next_complete {
+            return;
+        }
+        let mut next = u64::MAX;
         let mut i = 0;
         while i < self.inflight.len() {
             if self.inflight[i].complete_at <= now {
@@ -169,9 +179,11 @@ impl MemHierarchy {
                     self.stats.fills += 1;
                 }
             } else {
+                next = next.min(self.inflight[i].complete_at);
                 i += 1;
             }
         }
+        self.next_complete = next;
     }
 
     /// Installs any fills whose DRAM access has completed by `now` (the
@@ -249,6 +261,7 @@ impl MemHierarchy {
         // DRAM.
         let complete_at = self.dram.request(now);
         self.inflight.push(Inflight { line, complete_at, install: promote, ifetch: is_ifetch });
+        self.next_complete = self.next_complete.min(complete_at);
         self.stats.record_hit(HitLevel::Mem, is_ifetch);
         Access { ready_at: complete_at, level: HitLevel::Mem }
     }
@@ -357,6 +370,21 @@ impl MemHierarchy {
         self.stats = MemStats::default();
     }
 
+    /// Earliest completion cycle among in-flight fills, if any — the cached
+    /// horizon behind the O(1) drain early-out, exposed for host-side
+    /// inspection. (The simulator's fast-forward does not consult it: fills
+    /// reach the core as load completion events, and pending fills install
+    /// lazily on the next access without needing a clock tick.)
+    pub fn next_inflight_completion(&self) -> Option<u64> {
+        (self.next_complete != u64::MAX).then_some(self.next_complete)
+    }
+
+    /// Latest completion cycle among in-flight fills, if any — the exact
+    /// settle horizon for end-of-run draining (no fill lands later).
+    pub fn latest_inflight_completion(&self) -> Option<u64> {
+        self.inflight.iter().map(|f| f.complete_at).max()
+    }
+
     /// Drops all cached lines and in-flight fills; keeps data memory.
     pub fn clear_caches(&mut self) {
         self.l1i.clear();
@@ -364,6 +392,7 @@ impl MemHierarchy {
         self.l2.clear();
         self.l3.clear();
         self.inflight.clear();
+        self.next_complete = u64::MAX;
         self.dram.reset_timing();
     }
 }
@@ -505,6 +534,24 @@ mod tests {
         let a = m.access(0x10000, 0, AccessKind::Load, FillPolicy::Normal);
         let b = m.access(0x20000, 0, AccessKind::Load, FillPolicy::Normal);
         assert!(b.ready_at > a.ready_at);
+    }
+
+    #[test]
+    fn inflight_completion_horizons_track_mshrs() {
+        let mut m = mem();
+        assert_eq!(m.next_inflight_completion(), None);
+        assert_eq!(m.latest_inflight_completion(), None);
+        let a = m.access(0x1000, 0, AccessKind::Load, FillPolicy::Normal);
+        let b = m.access(0x2000, 0, AccessKind::Load, FillPolicy::Normal);
+        assert_eq!(m.next_inflight_completion(), Some(a.ready_at));
+        assert_eq!(m.latest_inflight_completion(), Some(b.ready_at));
+        // Draining past the first fill advances the horizon to the second.
+        m.drain_completed(a.ready_at);
+        assert_eq!(m.next_inflight_completion(), Some(b.ready_at));
+        m.drain_completed(b.ready_at);
+        assert_eq!(m.next_inflight_completion(), None);
+        assert_eq!(m.residency(0x1000), HitLevel::L1);
+        assert_eq!(m.residency(0x2000), HitLevel::L1);
     }
 
     #[test]

@@ -27,20 +27,39 @@ pub struct IpcResult {
 ///
 /// Panics if the kernel does not halt within the cycle budget.
 pub fn run_workload(workload: &Workload, config: CpuConfig, max_cycles: u64) -> IpcResult {
+    run_workload_timed(workload, config, max_cycles).0
+}
+
+/// [`run_workload`], additionally returning the wall-clock seconds spent in
+/// the simulation loop alone — setup (core construction, cache allocation,
+/// program load) is excluded, so derived cycles-per-second rates are
+/// iteration-count-independent. Used by the `bench_step` throughput anchor.
+///
+/// # Panics
+///
+/// Panics if the kernel does not halt within the cycle budget.
+pub fn run_workload_timed(
+    workload: &Workload,
+    config: CpuConfig,
+    max_cycles: u64,
+) -> (IpcResult, f64) {
     let mut core = Core::new(config);
     for (addr, bytes) in &workload.setup {
         core.mem_mut().write_bytes(*addr, bytes);
     }
     core.load_program(&workload.program);
+    let start = std::time::Instant::now();
     let exit = core.run(max_cycles);
+    let secs = start.elapsed().as_secs_f64();
     assert_eq!(exit, RunExit::Halted, "{} did not halt (stats: {})", workload.name, core.stats());
     let stats = core.stats();
-    IpcResult {
+    let result = IpcResult {
         committed: stats.committed,
         cycles: stats.cycles,
         ipc: stats.ipc(),
         runahead_entries: stats.runahead_entries,
-    }
+    };
+    (result, secs)
 }
 
 /// One Fig. 7 bar pair: a kernel's IPC without and with runahead.

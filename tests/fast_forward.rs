@@ -1,8 +1,12 @@
-//! Idle-cycle fast-forward equivalence: for every workload kernel and every
-//! machine variant, the fast-forwarding simulator must be *bit-identical*
-//! to the naive one-cycle-at-a-time loop — same cycle count, same retired
-//! instructions, same full statistics block, same architectural registers.
+//! Fast-forward and event-scheduler equivalence: for every workload kernel
+//! and every machine variant, the fast-forwarding simulator must be
+//! *bit-identical* to the naive one-cycle-at-a-time loop — same cycle
+//! count, same retired instructions, same full statistics block, same
+//! architectural registers — and the event-driven scheduler must reach the
+//! same decisions as the retired scan-based one (`sched_check`).
 
+use specrun::attack::{run_pht_poc, PocConfig};
+use specrun::Machine;
 use specrun_cpu::{Core, CpuConfig, CpuStats, RunExit};
 use specrun_isa::IntReg;
 use specrun_workloads::{kernels, suite_with_iters, Workload};
@@ -68,4 +72,53 @@ fn ff_check_mode_validates_every_jump() {
             assert!(stats.cycles > 0);
         }
     }
+}
+
+/// The event-scheduler self-check: the retired scan-based logic runs in
+/// parallel every cycle (writeback due-sets recomputed by a full ROB scan,
+/// the issue-ready queue audited against every waiting entry's operands)
+/// and any divergence panics inside run(). The checked run must also be
+/// bit-identical — stats and architectural state — to the unchecked one.
+#[test]
+fn sched_check_validates_event_scheduler() {
+    let mut ws = suite_with_iters(60);
+    ws.push(kernels::pointer_chase(30));
+    for w in ws {
+        for (machine, base) in [
+            ("no_runahead", CpuConfig::no_runahead()),
+            ("runahead", CpuConfig::default()),
+            ("secure", CpuConfig::secure_runahead()),
+        ] {
+            let mut checked = base.clone();
+            checked.sched_check = true;
+            let (checked_stats, checked_regs) = run(&w, checked);
+            let (plain_stats, plain_regs) = run(&w, base);
+            assert_eq!(
+                checked_stats, plain_stats,
+                "sched_check changes stats on {}/{machine}",
+                w.name
+            );
+            assert_eq!(
+                checked_regs, plain_regs,
+                "sched_check changes architectural state on {}/{machine}",
+                w.name
+            );
+        }
+    }
+}
+
+/// Extended fast-forward (jumps with instructions in flight) must be
+/// invisible to the end-to-end SpectrePHT-in-runahead proof of concept:
+/// same leaked byte, same probe-relevant statistics, with and without it.
+#[test]
+fn fast_forward_is_invisible_to_the_attack_poc() {
+    let mut outcomes = Vec::new();
+    for ff in [true, false] {
+        let cfg = CpuConfig { fast_forward: ff, ..CpuConfig::default() };
+        let mut machine = Machine::new(cfg);
+        let out = run_pht_poc(&mut machine, &PocConfig::default());
+        outcomes.push((out.leaked, out.expected, *machine.core().stats()));
+    }
+    assert_eq!(outcomes[0], outcomes[1], "fast-forward changed the PoC outcome");
+    assert_eq!(outcomes[0].0, Some(86), "the runahead machine must leak the secret");
 }
