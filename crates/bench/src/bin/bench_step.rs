@@ -12,11 +12,21 @@ use std::time::Instant;
 
 use specrun::attack::{run_pht_sweep, SweepConfig};
 use specrun_bench::BenchReport;
-use specrun_cpu::CpuConfig;
+use specrun_cpu::{Core, CpuConfig};
+use specrun_isa::ProgramBuilder;
 use specrun_workloads::harness;
 use specrun_workloads::ipc::run_workload_timed;
 use specrun_workloads::kernels;
 use specrun_workloads::Workload;
+
+/// Metrics that the baseline gate must always manage to compare — the
+/// busy-pipeline (non-fast-forward) rates a front-end or scheduler
+/// regression would hit first. A renamed scenario silently dropping one of
+/// these from the comparison must fail CI, not pass it.
+const GATE_REQUIRED: &[&str] = &[
+    "mcf_runahead_naive_cycles_per_sec",
+    "pointer_chase_runahead_naive_cycles_per_sec",
+];
 
 struct KernelResult {
     cycles: u64,
@@ -81,6 +91,21 @@ fn main() {
         report.metric(format!("{key}_ff_speedup"), speedup);
     }
 
+    // Front-end sub-timer: a warmed nop slide has no memory operands, no
+    // branches and no scheduler pressure, so its cycles/s isolates the
+    // fetch → predecode-lookup → rename → retire path. Front-end wins (or
+    // regressions) show up here even when the kernel rates above are
+    // dominated by the memory system.
+    println!();
+    println!("== front-end sub-timer: warmed nop slide ==");
+    println!("slide_insts,cycles,naive_Mcyc_per_s");
+    let slide = if quick { 40_000 } else { 200_000 };
+    let (fe_cycles, fe_secs) = measure_frontend_nop_slide(slide);
+    let fe_rate = fe_cycles as f64 / fe_secs;
+    println!("{slide},{fe_cycles},{:.2}", fe_rate / 1e6);
+    report.metric("frontend_nop_slide_cycles", fe_cycles as f64);
+    report.metric("frontend_nop_slide_naive_cycles_per_sec", fe_rate);
+
     println!();
     let host_threads = harness::default_threads();
     println!("== Fig. 9-style sweep scaling ({sweep_trials} trials, host has {host_threads} core(s)) ==");
@@ -127,6 +152,28 @@ fn main() {
     }
 }
 
+/// Runs a nop slide of `n` instructions to completion with the text image
+/// pre-warmed into L1I, timing only the simulation loop. Naive stepping
+/// (fast-forward off): the pipeline is busy every cycle, which is exactly
+/// the case the sub-timer exists to measure.
+fn measure_frontend_nop_slide(n: usize) -> (u64, f64) {
+    let mut b = ProgramBuilder::new(0x1000);
+    b.nops(n);
+    b.halt();
+    let program = b.build().expect("nop slide builds");
+    let mut cfg = CpuConfig::no_runahead();
+    cfg.fast_forward = false;
+    let mut core = Core::new(cfg);
+    let text_len = program.text_end() - program.text_base();
+    core.mem_mut().warm_ifetch_range(program.text_base(), text_len);
+    core.load_program(&program);
+    let start = Instant::now();
+    let exit = core.run(100_000_000);
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(exit, specrun_cpu::RunExit::Halted, "nop slide must halt");
+    (core.stats().cycles, secs)
+}
+
 /// Fails (exit 1) if any `*_cycles_per_sec` metric present in both reports
 /// dropped more than `SPECRUN_BENCH_GATE_MAX_DROP` (default 0.25) below
 /// the baseline. Cycle counts and sweep wall times vary with quick mode
@@ -142,7 +189,7 @@ fn check_against_baseline(report: &BenchReport, baseline: &[(String, f64)]) {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.25);
     let mut failures = Vec::new();
-    let mut compared = 0usize;
+    let mut compared = Vec::new();
     println!();
     println!("== perf gate: >={:.0}% drop vs baseline fails ==", max_drop * 100.0);
     println!("metric,baseline,current,ratio");
@@ -151,20 +198,31 @@ fn check_against_baseline(report: &BenchReport, baseline: &[(String, f64)]) {
             continue;
         }
         let Some((_, base)) = baseline.iter().find(|(k, _)| k == key) else { continue };
-        compared += 1;
+        compared.push(key.as_str());
         let ratio = current / base;
         println!("{key},{base:.0},{current:.0},{ratio:.2}");
         if ratio < 1.0 - max_drop {
             failures.push(format!("{key}: {current:.0}/s is {ratio:.2}x of baseline {base:.0}/s"));
         }
     }
-    if compared == 0 {
+    if compared.is_empty() {
         // A renamed scenario or stale baseline must not disable the gate.
         failures.push(
             "no *_cycles_per_sec metric matched the baseline — renamed scenarios or a \
              stale baseline file would otherwise gate nothing"
             .to_string(),
         );
+    }
+    // The busy-pipeline rates must always be part of the comparison: they
+    // are where front-end and scheduler regressions land, and fast-forward
+    // cannot mask them.
+    for required in GATE_REQUIRED {
+        if !compared.contains(required) {
+            failures.push(format!(
+                "required metric {required} was not compared (missing from the report or \
+                 the baseline) — the busy-pipeline gate would be silently disabled"
+            ));
+        }
     }
     if !failures.is_empty() {
         eprintln!("perf gate FAILED:");

@@ -97,6 +97,12 @@ impl Machine {
         self.core.mem().read_bytes(addr, len)
     }
 
+    /// Reads bytes from simulated memory into a caller-owned buffer
+    /// (allocation-free [`Machine::read_bytes`]).
+    pub fn read_bytes_into(&self, addr: u64, out: &mut [u8]) {
+        self.core.mem().read_bytes_into(addr, out);
+    }
+
     /// Reads a little-endian value from simulated memory.
     pub fn read_value(&self, addr: u64, width: u64) -> u64 {
         self.core.mem().read_data(addr, width)

@@ -9,7 +9,9 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use specrun_bp::{BranchKind, BranchPredictor, Prediction};
-use specrun_isa::{ArchReg, BranchCond, Inst, IntReg, Program, INST_BYTES};
+use specrun_isa::{
+    ArchReg, BranchCond, CtrlClass, DecodedProgram, Inst, IntReg, Program, UopMeta, INST_BYTES,
+};
 use specrun_mem::{
     AccessKind, FillPolicy, HitLevel, MemHierarchy, RunaheadCache, RunaheadRead, SlCache,
 };
@@ -48,13 +50,25 @@ pub(crate) enum Mode {
     Runahead(Episode),
 }
 
-/// An instruction moving through the front-end delay line.
+/// An instruction moving through the front-end delay line, carrying its
+/// predecoded metadata so rename never re-derives static facts.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Fetched {
     pub pc: u64,
     pub inst: Inst,
+    pub meta: UopMeta,
     pub available_at: u64,
     pub pred: Option<PredInfo>,
+}
+
+/// The slice of a ROB entry that (pseudo-)retirement consumes.
+#[derive(Debug, Clone, Copy)]
+struct RetireInfo {
+    seq: u64,
+    dest: Option<DestInfo>,
+    is_load: bool,
+    is_store: bool,
+    is_halt: bool,
 }
 
 /// Prediction attached to a fetched control instruction.
@@ -70,6 +84,10 @@ pub(crate) struct PredInfo {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct RunaheadMachinery {
     pub cache: Option<RunaheadCache>,
+    /// Cleared cache allocation parked between episodes (entry/exit happen
+    /// hundreds of times per run; reusing the buffers keeps the allocator
+    /// off that path).
+    pub cache_pool: Option<RunaheadCache>,
     pub checkpoint: Option<ArchCheckpoint>,
     pub rsb_checkpoint: usize,
     pub history_checkpoint: Option<Vec<u64>>,
@@ -90,7 +108,7 @@ pub struct Core {
     pub(crate) lq_occupancy: usize,
     pub(crate) iq_occupancy: usize,
     pub(crate) fu: FuPool,
-    pub(crate) program: Option<Arc<Program>>,
+    pub(crate) program: Option<Arc<DecodedProgram>>,
     pub(crate) scope_map: HashMap<u64, u64>,
     // Front end.
     pub(crate) fetch_pc: u64,
@@ -98,6 +116,11 @@ pub struct Core {
     pub(crate) fetch_halted: bool,
     pub(crate) pipe: VecDeque<Fetched>,
     pub(crate) ipf_frontier: u64,
+    /// Stream-prefetch probe memo: the last frontier line that hit L1I and
+    /// the L1I content generation it was observed under. While the
+    /// generation is unchanged the line is still resident, so re-probing it
+    /// (after a redirect re-anchors the frontier) is skipped.
+    ipf_probe_memo: (u64, u64),
     // Sequencing.
     pub(crate) next_seq: u64,
     pub(crate) cycle: u64,
@@ -120,6 +143,7 @@ pub struct Core {
     // Reusable per-cycle scratch buffers (the hot loop must not allocate).
     scratch_completed: Vec<u64>,
     scratch_resolutions: Vec<u64>,
+    scratch_due: Vec<(u64, u64)>,
 }
 
 impl Core {
@@ -151,6 +175,7 @@ impl Core {
             fetch_halted: true,
             pipe: VecDeque::new(),
             ipf_frontier: 0,
+            ipf_probe_memo: (u64::MAX, 0),
             next_seq: 0,
             cycle: 0,
             halted: true,
@@ -166,6 +191,7 @@ impl Core {
             stats: CpuStats::default(),
             scratch_completed: Vec::new(),
             scratch_resolutions: Vec::new(),
+            scratch_due: Vec::new(),
             cfg,
         }
     }
@@ -190,7 +216,9 @@ impl Core {
         self.regs.restore(sp, self.cfg.stack_top);
         self.scope_map =
             program.branch_scopes().iter().map(|s| (s.branch_pc, s.end_pc)).collect();
-        self.program = Some(Arc::new(program.clone()));
+        // Predecode once: every instruction is lowered to its `UopMeta`
+        // here, and the pipeline never re-derives static facts per cycle.
+        self.program = Some(Arc::new(DecodedProgram::new(program.clone())));
         self.fetch_pc = program.entry();
         self.fetch_halted = false;
         self.halted = false;
@@ -414,7 +442,7 @@ impl Core {
             // issue requests next step regardless of the demand stall.
             let depth = self.cfg.ifetch_prefetch_lines;
             if depth > 0 {
-                let cur = self.fetch_pc / self.mem.line_bytes();
+                let cur = self.mem.line_of(self.fetch_pc);
                 if self.ipf_frontier < cur + depth || self.ipf_frontier > cur + 2 * depth {
                     return None;
                 }
@@ -433,15 +461,13 @@ impl Core {
             if front.available_at > now {
                 next = next.min(front.available_at);
             } else {
-                let needs_sq =
-                    front.inst.is_store() || matches!(front.inst, Inst::Flush { .. });
                 let blocked = self.rob.is_full()
                     || self.iq_occupancy >= self.cfg.iq_entries
-                    || (front.inst.is_load() && self.lq_occupancy >= self.cfg.lq_entries)
-                    || (needs_sq && self.sq.is_full())
+                    || (front.meta.is_load() && self.lq_occupancy >= self.cfg.lq_entries)
+                    || (front.meta.needs_sq() && self.sq.is_full())
                     || front
-                        .inst
-                        .dest()
+                        .meta
+                        .dest
                         .is_some_and(|d| self.free.available(RegClass::of(d)) == 0);
                 if !blocked {
                     return None;
@@ -511,7 +537,7 @@ impl Core {
                 break;
             }
             let Some(e) = self.rob.get(seq) else { continue };
-            if e.inst.is_serializing() && Some(seq) != head_seq {
+            if e.meta.is_serializing() && Some(seq) != head_seq {
                 // Serializers issue only from the head of the ROB.
                 continue;
             }
@@ -590,14 +616,16 @@ impl Core {
         completed.clear();
         // Pop due completion events instead of scanning the ROB. Issue
         // always schedules completions in the future and writeback runs on
-        // every live cycle, so all due events carry the same `ready_at` and
-        // the (ready_at, seq) heap order equals the old oldest-first scan
-        // order. Stale events (squashed or poisoned entries) are dropped.
-        while let Some((at, seq)) = self.sched.completions.peek() {
-            if at > now {
-                break;
-            }
-            self.sched.completions.pop();
+        // every live cycle, so all *live* due events carry the same
+        // `ready_at` and sorting by `(ready_at, seq)` reproduces the old
+        // oldest-first scan order exactly (stale events sort first but are
+        // dropped by the liveness check anyway). Stale events are ones left
+        // behind by squashes or runahead-entry poisoning.
+        let mut due = std::mem::take(&mut self.scratch_due);
+        due.clear();
+        self.sched.completions.pop_due_into(now, &mut due);
+        due.sort_unstable();
+        for &(at, seq) in &due {
             let live = self
                 .rob
                 .get(seq)
@@ -606,27 +634,23 @@ impl Core {
                 completed.push(seq);
             }
         }
+        self.scratch_due = due;
         if self.cfg.sched_check {
             self.check_writeback_set(&completed, now);
         }
         for seq in completed.drain(..) {
+            let e = self.rob.get_mut(seq).expect("entry exists");
             // Loads from memory read their data at completion so stores
             // that committed in the meantime are visible.
-            let (needs_mem_read, addr, width) = {
-                let e = self.rob.get_mut(seq).expect("entry exists");
-                let needs =
-                    e.is_load && !e.inv && e.load_level.is_some() && e.load_addr.is_some();
-                (needs, e.load_addr.unwrap_or(0), load_width(&e.inst))
-            };
-            let mem_value = if needs_mem_read { Some(self.mem.read_data(addr, width)) } else { None };
-            let e = self.rob.get_mut(seq).expect("entry exists");
-            if let Some(v) = mem_value {
-                e.result = v;
+            if e.is_load && !e.inv && e.load_level.is_some() {
+                if let Some(addr) = e.load_addr {
+                    e.result = self.mem.read_data(addr, u64::from(e.meta.mem_width));
+                }
             }
-            let is_ret = matches!(e.inst, Inst::Ret);
+            let is_ret = e.meta.ctrl == CtrlClass::Return;
             let result = e.result;
             let aux_sp = e.aux_sp;
-            let serializing = e.inst.is_serializing();
+            let serializing = e.meta.is_serializing();
             let mut dest_write: Option<(PhysRef, u64, bool, u64)> = None;
             if let Some(d) = e.dest {
                 // `Ret` writes the SP update, not the loaded value.
@@ -872,11 +896,21 @@ impl Core {
                 }
                 break;
             }
-            let entry = self.rob.pop_head().expect("head exists");
+            // Retirement needs only a handful of the entry's fields; copy
+            // them out and discard the entry in place instead of moving the
+            // whole ~200-byte struct out of the buffer.
+            let retire = RetireInfo {
+                seq: head.seq,
+                dest: head.dest,
+                is_load: head.is_load,
+                is_store: head.is_store,
+                is_halt: head.meta.is_halt(),
+            };
+            self.rob.pop_head_discard();
             if self.in_runahead() {
-                self.pseudo_retire(entry);
+                self.pseudo_retire(retire);
             } else {
-                self.commit_entry(entry, now);
+                self.commit_entry(retire, now);
                 if self.halted {
                     break;
                 }
@@ -884,7 +918,7 @@ impl Core {
         }
     }
 
-    fn commit_entry(&mut self, e: RobEntry, now: u64) {
+    fn commit_entry(&mut self, e: RetireInfo, now: u64) {
         if let Some(d) = e.dest {
             self.retire_rat.set(d.arch, d.new);
             self.free.free(d.prev);
@@ -905,13 +939,13 @@ impl Core {
                 }
             }
         }
-        if matches!(e.inst, Inst::Halt) {
+        if e.is_halt {
             self.halted = true;
         }
         self.stats.committed += 1;
     }
 
-    fn pseudo_retire(&mut self, e: RobEntry) {
+    fn pseudo_retire(&mut self, e: RetireInfo) {
         if let Some(d) = e.dest {
             self.retire_rat.set(d.arch, d.new);
             self.free.free(d.prev);
@@ -952,13 +986,15 @@ impl Core {
             if gate.is_some_and(|g| seq > g) {
                 break;
             }
-            let state = self.rob.get(seq).map(|e| e.state);
-            if state != Some(EntryState::Waiting) {
-                debug_assert!(state.is_none(), "ready queue holds only Waiting entries");
+            // Gather operand state without holding a ROB borrow.
+            let Some(e) = self.rob.get(seq) else {
+                // Squashed since it was queued (stale entry).
                 self.sched.remove_ready(seq);
                 continue;
-            }
-            if self.try_issue_entry(seq, head_seq, now) {
+            };
+            debug_assert!(e.state == EntryState::Waiting, "ready queue holds only Waiting entries");
+            let (inst, meta, pc, srcs) = (e.inst, e.meta, e.pc, e.srcs);
+            if self.try_issue_entry(seq, inst, meta, pc, srcs, head_seq, now) {
                 issued += 1;
                 self.sched.remove_ready(seq);
                 self.iq_occupancy = self.iq_occupancy.saturating_sub(1);
@@ -966,17 +1002,23 @@ impl Core {
         }
     }
 
-    /// Attempts to issue one entry. Returns whether it left `Waiting`.
-    fn try_issue_entry(&mut self, seq: u64, head_seq: Option<u64>, now: u64) -> bool {
-        // Gather operand state without holding a ROB borrow.
-        let (inst, pc, srcs) = {
-            let e = self.rob.get_mut(seq).expect("entry exists");
-            (e.inst, e.pc, e.srcs)
-        };
+    /// Attempts to issue one entry (its invariant fields pre-gathered by
+    /// the caller's single ROB lookup). Returns whether it left `Waiting`.
+    #[allow(clippy::too_many_arguments)]
+    fn try_issue_entry(
+        &mut self,
+        seq: u64,
+        inst: Inst,
+        meta: UopMeta,
+        pc: u64,
+        srcs: [Option<PhysRef>; 3],
+        head_seq: Option<u64>,
+        now: u64,
+    ) -> bool {
         // Stores split into address generation (base ready) and data
         // delivery (data ready), so younger loads can disambiguate without
         // waiting for the store's data.
-        if matches!(inst, Inst::Store { .. } | Inst::FpStore { .. }) {
+        if meta.is_data_store() {
             return self.issue_store_two_phase(seq, inst, now);
         }
         let mut vals = [0u64; 3];
@@ -1048,13 +1090,14 @@ impl Core {
                     b.actual_taken = true;
                     b.actual_target = target;
                 }
-                self.sched.completions.schedule(now + latency, seq);
+                self.sched.completions.schedule(now, now + latency, seq);
                 true
             }
             _ => {
                 let result = eval_simple(&inst, vals, now);
-                let kind = FuKind::for_inst(&inst);
-                let Some(latency) = self.fu.try_issue(kind, now) else { return false };
+                let Some(latency) = self.fu.try_issue(FuKind::of_class(meta.exec), now) else {
+                    return false;
+                };
                 self.finish_alu(seq, now, latency, result, inv, taint)
             }
         }
@@ -1102,7 +1145,7 @@ impl Core {
             b.actual_taken = b.predicted_taken;
             b.actual_target = b.predicted_target;
         }
-        self.sched.completions.schedule(now + latency, seq);
+        self.sched.completions.schedule(now, now + latency, seq);
         true
     }
 
@@ -1144,7 +1187,7 @@ impl Core {
             b.actual_taken = taken;
             b.actual_target = if taken { pc.wrapping_add_signed(i64::from(offset)) } else { pc + INST_BYTES };
         }
-        self.sched.completions.schedule(now + latency, seq);
+        self.sched.completions.schedule(now, now + latency, seq);
         true
     }
 
@@ -1194,7 +1237,7 @@ impl Core {
                 b.resolved = true; // direct target can never mispredict
             }
         }
-        self.sched.completions.schedule(now + 1, seq);
+        self.sched.completions.schedule(now, now + 1, seq);
         true
     }
 
@@ -1231,7 +1274,7 @@ impl Core {
         e.inv = inv;
         e.taint = taint;
         e.load_addr = Some(addr);
-        self.sched.completions.schedule(now + 1, seq);
+        self.sched.completions.schedule(now, now + 1, seq);
         true
     }
 
@@ -1312,7 +1355,7 @@ impl Core {
         e.ready_at = now + 1;
         e.inv = inv;
         e.taint = taint;
-        self.sched.completions.schedule(now + 1, seq);
+        self.sched.completions.schedule(now, now + 1, seq);
         true
     }
 
@@ -1376,9 +1419,11 @@ impl Core {
             }
             LoadCheck::NoConflict => {}
         }
-        // Runahead cache (runahead store-to-load forwarding).
+        // Runahead cache (runahead store-to-load forwarding). Empty until
+        // the episode's first store, so the common probe is one counter
+        // read, not a hash lookup.
         if in_runahead {
-            if let Some(rc) = self.ra.cache.as_ref() {
+            if let Some(rc) = self.ra.cache.as_ref().filter(|rc| !rc.is_empty()) {
                 match rc.read(addr, width) {
                     RunaheadRead::Hit(value) => {
                         if self.fu.try_issue(FuKind::Mem, now).is_none() {
@@ -1511,7 +1556,7 @@ impl Core {
             // destination value — `result` carries the popped target).
             e.aux_sp = addr.wrapping_add(8);
         }
-        self.sched.completions.schedule(ready_at, seq);
+        self.sched.completions.schedule(_now, ready_at, seq);
         true
     }
 
@@ -1525,23 +1570,21 @@ impl Core {
             if front.available_at > now {
                 break;
             }
-            let f = *front;
             if self.rob.is_full() || self.iq_occupancy >= self.cfg.iq_entries {
                 break;
             }
-            if f.inst.is_load() && self.lq_occupancy >= self.cfg.lq_entries {
+            if front.meta.is_load() && self.lq_occupancy >= self.cfg.lq_entries {
                 break;
             }
-            let needs_sq = f.inst.is_store() || matches!(f.inst, Inst::Flush { .. });
-            if needs_sq && self.sq.is_full() {
+            if front.meta.needs_sq() && self.sq.is_full() {
                 break;
             }
-            if let Some(dest) = f.inst.dest() {
+            if let Some(dest) = front.meta.dest {
                 if self.free.available(RegClass::of(dest)) == 0 {
                     break;
                 }
             }
-            self.pipe.pop_front();
+            let f = self.pipe.pop_front().expect("front exists");
             self.dispatch_one(f, now);
         }
     }
@@ -1549,10 +1592,10 @@ impl Core {
     fn dispatch_one(&mut self, f: Fetched, _now: u64) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let mut entry = RobEntry::new(seq, f.pc, f.inst);
+        let mut entry = RobEntry::with_meta(seq, f.pc, f.inst, f.meta);
         entry.runahead = self.in_runahead();
-        // Rename sources.
-        for (i, src) in f.inst.sources().iter().enumerate() {
+        // Rename sources (predecoded — `Inst::sources` ran once at load).
+        for (i, src) in f.meta.srcs.iter().enumerate() {
             if let Some(arch) = src {
                 entry.srcs[i] = Some(self.rat.get(*arch));
             }
@@ -1561,7 +1604,7 @@ impl Core {
         let (scope_id, dispatch_scope) = self.secure_on_dispatch(&f, &entry);
         entry.dispatch_scope = dispatch_scope;
         // Rename destination.
-        if let Some(arch) = f.inst.dest() {
+        if let Some(arch) = f.meta.dest {
             let new = self.free.allocate(RegClass::of(arch)).expect("checked in dispatch");
             self.sched.clear_waiters(new);
             self.regs.mark_pending(new);
@@ -1573,32 +1616,29 @@ impl Core {
         // the base register first (address generation runs ahead of the
         // data, see `issue_store_two_phase`); everything else gates on all
         // of its sources (INV counts as produced).
-        if f.inst.is_serializing() {
+        if f.meta.is_serializing() {
             self.sched.add_serializer(seq);
         }
-        match f.inst {
-            Inst::Store { .. } | Inst::FpStore { .. } => {
-                let (_, base_phys) = store_operand_phys(&entry);
-                match base_phys.filter(|p| !self.regs.is_ready(*p)) {
-                    Some(p) => {
-                        entry.wait_count = 1;
-                        self.sched.add_waiter(p, seq);
-                    }
-                    None => self.sched.mark_ready(seq),
+        if f.meta.is_data_store() {
+            let (_, base_phys) = store_operand_phys(&entry);
+            match base_phys.filter(|p| !self.regs.is_ready(*p)) {
+                Some(p) => {
+                    entry.wait_count = 1;
+                    self.sched.add_waiter(p, seq);
+                }
+                None => self.sched.mark_ready(seq),
+            }
+        } else {
+            let mut waits = 0u8;
+            for p in entry.srcs.iter().flatten() {
+                if !self.regs.is_ready(*p) {
+                    waits += 1;
+                    self.sched.add_waiter(*p, seq);
                 }
             }
-            _ => {
-                let mut waits = 0u8;
-                for p in entry.srcs.iter().flatten() {
-                    if !self.regs.is_ready(*p) {
-                        waits += 1;
-                        self.sched.add_waiter(*p, seq);
-                    }
-                }
-                entry.wait_count = waits;
-                if waits == 0 {
-                    self.sched.mark_ready(seq);
-                }
+            entry.wait_count = waits;
+            if waits == 0 {
+                self.sched.mark_ready(seq);
             }
         }
         // Branch bookkeeping.
@@ -1608,7 +1648,7 @@ impl Core {
                 predicted_taken: p.taken,
                 predicted_target: p.target,
                 rsb_checkpoint: p.rsb_checkpoint,
-                resolved: matches!(f.inst, Inst::Jump { .. }),
+                resolved: f.meta.ctrl == CtrlClass::Direct,
                 actual_taken: p.taken,
                 actual_target: p.target,
                 scope_id,
@@ -1618,14 +1658,7 @@ impl Core {
             self.lq_occupancy += 1;
         }
         if entry.is_store {
-            let (width, is_flush) = match f.inst {
-                Inst::Store { width, .. } => (width.bytes(), false),
-                Inst::FpStore { .. } => (8, false),
-                Inst::Call { .. } | Inst::CallInd { .. } => (8, false),
-                Inst::Flush { .. } => (64, true),
-                _ => (8, false),
-            };
-            self.sq.allocate(seq, width, is_flush);
+            self.sq.allocate(seq, u64::from(f.meta.mem_width), f.meta.is_flush());
         }
         self.iq_occupancy += 1;
         self.stats.dispatched += 1;
@@ -1655,30 +1688,43 @@ impl Core {
         // Borrow the program once per step by parking it: cloning the `Arc`
         // here put refcount traffic on every simulated cycle.
         let Some(program) = self.program.take() else { return };
+        // Once-per-line I-fetch: the first instruction of a 64-byte line
+        // probes the hierarchy; the rest of the line streams for free this
+        // cycle (hardware reads the whole fetch line out of L1I once — the
+        // paper's Fig. 6 trace-cache front end). A width-4 fetch group on
+        // one line thus costs one `MemHierarchy::access`, not four.
+        let mut probed_line = u64::MAX;
         for _ in 0..self.cfg.width {
             if self.pipe.len() >= self.cfg.fetch_queue {
                 break;
             }
             let pc = self.fetch_pc;
-            let Some(inst) = program.fetch(pc) else {
+            let Some((inst, &meta)) = program.fetch(pc) else {
                 // Ran off the text image (wrong-path fetch): stop until a
                 // redirect arrives.
                 self.fetch_halted = true;
                 break;
             };
+            if self.cfg.predecode_check {
+                audit_predecode(&inst, pc, &meta);
+            }
             // Instruction cache: L1 hits stream at full width; anything
             // slower stalls fetch until the line arrives.
-            let access = self.mem.access(pc, now, AccessKind::IFetch, FillPolicy::Normal);
-            if access.level != HitLevel::L1 {
-                self.fetch_stalled_until = access.ready_at;
-                break;
+            let line = self.mem.line_of(pc);
+            if line != probed_line {
+                let access = self.mem.access(pc, now, AccessKind::IFetch, FillPolicy::Normal);
+                if access.level != HitLevel::L1 {
+                    self.fetch_stalled_until = access.ready_at;
+                    break;
+                }
+                probed_line = line;
             }
             let fallthrough = pc + INST_BYTES;
-            let pred = if inst.is_control() {
+            let pred = if meta.is_control() {
                 let rsb_checkpoint = self.bp.rsb_checkpoint();
-                let kind = branch_kind(&inst);
+                let kind = kind_of_ctrl(meta.ctrl);
                 let p: Prediction =
-                    self.bp.predict(pc, kind, inst.direct_target(pc), fallthrough);
+                    self.bp.predict(pc, kind, meta.direct_target(), fallthrough);
                 Some(PredInfo { kind, taken: p.taken, target: p.target, rsb_checkpoint })
             } else {
                 None
@@ -1686,6 +1732,7 @@ impl Core {
             self.pipe.push_back(Fetched {
                 pc,
                 inst,
+                meta,
                 available_at: now + self.cfg.frontend_stages,
                 pred,
             });
@@ -1694,7 +1741,7 @@ impl Core {
                 Some(p) if p.taken => p.target,
                 _ => fallthrough,
             };
-            if matches!(inst, Inst::Halt) {
+            if meta.is_halt() {
                 self.fetch_halted = true;
                 break;
             }
@@ -1714,7 +1761,7 @@ impl Core {
             return;
         }
         let line_bytes = self.mem.line_bytes();
-        let cur = self.fetch_pc / line_bytes;
+        let cur = self.mem.line_of(self.fetch_pc);
         // Re-anchor after redirects.
         if self.ipf_frontier < cur || self.ipf_frontier > cur + 2 * depth {
             self.ipf_frontier = cur;
@@ -1723,12 +1770,29 @@ impl Core {
         let mut budget = 4;
         while self.ipf_frontier < cur + depth && budget > 0 {
             self.ipf_frontier += 1;
-            self.mem.access(
-                self.ipf_frontier * line_bytes,
+            let line = self.ipf_frontier;
+            // Redirect re-anchors walk the frontier back over lines the
+            // prefetcher already pulled in; skip re-probing a line the memo
+            // proves is still L1I-resident (the generation counter tracks
+            // every L1I fill/eviction, so a skipped probe can never mask a
+            // line that has since left the cache). The skip still consumes
+            // its probe-budget slot so the walk advances at the same rate
+            // as a probing one; what it elides is the probe's LRU touch and
+            // hit-statistic — a model-level refinement, like the
+            // once-per-line demand fetch above.
+            if (line, self.mem.l1i_generation()) == self.ipf_probe_memo {
+                budget -= 1;
+                continue;
+            }
+            let access = self.mem.access(
+                line * line_bytes,
                 now,
                 AccessKind::IFetch,
                 FillPolicy::Normal,
             );
+            if access.level == HitLevel::L1 {
+                self.ipf_probe_memo = (line, self.mem.l1i_generation());
+            }
             budget -= 1;
         }
     }
@@ -1759,7 +1823,8 @@ fn store_operand_phys(e: &RobEntry) -> (Option<PhysRef>, Option<PhysRef>) {
     }
 }
 
-/// Maps a control instruction to its predictor classification.
+/// Maps a control instruction to its predictor classification (the retired
+/// per-fetch derivation, kept as the `predecode_check` reference).
 fn branch_kind(inst: &Inst) -> BranchKind {
     match inst {
         Inst::Branch { .. } => BranchKind::Conditional,
@@ -1771,12 +1836,75 @@ fn branch_kind(inst: &Inst) -> BranchKind {
     }
 }
 
-/// Access width in bytes of a load instruction.
+/// Maps a predecoded control class to its predictor classification.
+#[inline]
+fn kind_of_ctrl(ctrl: CtrlClass) -> BranchKind {
+    match ctrl {
+        CtrlClass::Conditional => BranchKind::Conditional,
+        CtrlClass::Direct => BranchKind::Direct,
+        CtrlClass::Indirect => BranchKind::Indirect,
+        CtrlClass::Call => BranchKind::Call,
+        CtrlClass::Return => BranchKind::Return,
+        CtrlClass::None => unreachable!("not a control instruction"),
+    }
+}
+
+/// Access width in bytes of a load instruction (the retired per-writeback
+/// derivation, kept as the `predecode_check` reference).
 fn load_width(inst: &Inst) -> u64 {
     match inst {
         Inst::Load { width, .. } => width.bytes(),
         Inst::FpLoad { .. } | Inst::Ret => 8,
         _ => 8,
+    }
+}
+
+/// `predecode_check`: re-derives every `UopMeta` field from the `Inst` enum
+/// with the retired per-site derivations and asserts agreement. Runs once
+/// per *fetched* instruction (so every micro-op the pipeline will consult
+/// is audited before any stage reads its metadata).
+fn audit_predecode(inst: &Inst, pc: u64, meta: &UopMeta) {
+    let ctx = |what: &str| format!("predecode_check: {what} diverges for `{inst}` at {pc:#x}");
+    assert_eq!(meta.srcs, inst.sources(), "{}", ctx("sources"));
+    assert_eq!(meta.dest, inst.dest(), "{}", ctx("dest"));
+    assert_eq!(meta.is_load(), inst.is_load(), "{}", ctx("is_load"));
+    assert_eq!(meta.is_store(), inst.is_store(), "{}", ctx("is_store"));
+    assert_eq!(meta.is_mem(), inst.is_mem(), "{}", ctx("is_mem"));
+    assert_eq!(meta.is_flush(), matches!(inst, Inst::Flush { .. }), "{}", ctx("is_flush"));
+    assert_eq!(
+        meta.needs_sq(),
+        inst.is_store() || matches!(inst, Inst::Flush { .. }),
+        "{}",
+        ctx("needs_sq")
+    );
+    assert_eq!(
+        meta.is_data_store(),
+        matches!(inst, Inst::Store { .. } | Inst::FpStore { .. }),
+        "{}",
+        ctx("is_data_store")
+    );
+    assert_eq!(meta.is_serializing(), inst.is_serializing(), "{}", ctx("is_serializing"));
+    assert_eq!(meta.is_control(), inst.is_control(), "{}", ctx("is_control"));
+    assert_eq!(meta.is_cond_branch(), inst.is_cond_branch(), "{}", ctx("is_cond_branch"));
+    assert_eq!(meta.is_halt(), matches!(inst, Inst::Halt), "{}", ctx("is_halt"));
+    assert_eq!(meta.direct_target(), inst.direct_target(pc), "{}", ctx("direct_target"));
+    assert_eq!(FuKind::of_class(meta.exec), FuKind::for_inst(inst), "{}", ctx("FU class"));
+    if inst.is_control() {
+        assert_eq!(kind_of_ctrl(meta.ctrl), branch_kind(inst), "{}", ctx("branch kind"));
+    } else {
+        assert_eq!(meta.ctrl, CtrlClass::None, "{}", ctx("control class"));
+    }
+    if inst.is_load() {
+        assert_eq!(u64::from(meta.mem_width), load_width(inst), "{}", ctx("load width"));
+    }
+    let sq_width = match inst {
+        Inst::Store { width, .. } => Some(width.bytes()),
+        Inst::FpStore { .. } | Inst::Call { .. } | Inst::CallInd { .. } => Some(8),
+        Inst::Flush { .. } => Some(64),
+        _ => None,
+    };
+    if let Some(w) = sq_width {
+        assert_eq!(u64::from(meta.mem_width), w, "{}", ctx("store-queue width"));
     }
 }
 

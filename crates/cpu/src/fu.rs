@@ -1,6 +1,6 @@
 //! Functional-unit pool and issue-port arbitration.
 
-use specrun_isa::{AluOp, FpOp, Inst};
+use specrun_isa::{AluOp, ExecClass, FpOp, Inst};
 
 use crate::config::{FuClass, FuConfig};
 
@@ -48,6 +48,21 @@ impl FuKind {
             | Inst::CallInd { .. }
             | Inst::Ret => FuKind::Mem,
             _ => FuKind::IntAdd,
+        }
+    }
+
+    /// The unit class for a predecoded execution class (the per-issue-site
+    /// twin of [`FuKind::for_inst`]; the two agree by construction, audited
+    /// by `CpuConfig::predecode_check`).
+    pub fn of_class(class: ExecClass) -> FuKind {
+        match class {
+            ExecClass::IntAdd => FuKind::IntAdd,
+            ExecClass::IntMul => FuKind::IntMul,
+            ExecClass::IntDiv => FuKind::IntDiv,
+            ExecClass::FpAdd => FuKind::FpAdd,
+            ExecClass::FpMul => FuKind::FpMul,
+            ExecClass::FpDiv => FuKind::FpDiv,
+            ExecClass::Mem => FuKind::Mem,
         }
     }
 }

@@ -39,17 +39,25 @@ pub struct PhysRef {
     pub index: u16,
 }
 
+/// Per-physical-register state, kept in one struct so the hot operand
+/// checks (ready? value? INV? taint?) touch a single cache line per
+/// register instead of four parallel arrays.
+#[derive(Debug, Clone, Copy)]
+struct RegSlot {
+    value: u64,
+    taint: u64,
+    ready: bool,
+    inv: bool,
+}
+
 #[derive(Debug, Clone)]
 struct Bank {
-    values: Vec<u64>,
-    ready: Vec<bool>,
-    inv: Vec<bool>,
-    taint: Vec<u64>,
+    slots: Vec<RegSlot>,
 }
 
 impl Bank {
     fn new(size: usize) -> Bank {
-        Bank { values: vec![0; size], ready: vec![true; size], inv: vec![false; size], taint: vec![0; size] }
+        Bank { slots: vec![RegSlot { value: 0, taint: 0, ready: true, inv: false }; size] }
     }
 }
 
@@ -83,66 +91,63 @@ impl RegFile {
 
     /// Current value of `r`.
     pub fn value(&self, r: PhysRef) -> u64 {
-        self.bank(r.class).values[r.index as usize]
+        self.bank(r.class).slots[r.index as usize].value
     }
 
     /// Whether `r`'s value has been produced.
     pub fn is_ready(&self, r: PhysRef) -> bool {
-        self.bank(r.class).ready[r.index as usize]
+        self.bank(r.class).slots[r.index as usize].ready
     }
 
     /// Whether `r` carries the runahead INV bit.
     pub fn is_inv(&self, r: PhysRef) -> bool {
-        self.bank(r.class).inv[r.index as usize]
+        self.bank(r.class).slots[r.index as usize].inv
     }
 
     /// Taint mask of `r` (bit `n` = tainted by branch scope `n mod 64`).
     pub fn taint(&self, r: PhysRef) -> u64 {
-        self.bank(r.class).taint[r.index as usize]
+        self.bank(r.class).slots[r.index as usize].taint
     }
 
     /// Marks `r` pending (allocated by rename, value not yet produced).
     pub fn mark_pending(&mut self, r: PhysRef) {
-        let b = self.bank_mut(r.class);
-        b.ready[r.index as usize] = false;
-        b.inv[r.index as usize] = false;
-        b.taint[r.index as usize] = 0;
+        let s = &mut self.bank_mut(r.class).slots[r.index as usize];
+        s.ready = false;
+        s.inv = false;
+        s.taint = 0;
     }
 
     /// Produces a valid value into `r`.
     pub fn write(&mut self, r: PhysRef, value: u64) {
-        let b = self.bank_mut(r.class);
-        b.values[r.index as usize] = value;
-        b.ready[r.index as usize] = true;
-        b.inv[r.index as usize] = false;
+        let s = &mut self.bank_mut(r.class).slots[r.index as usize];
+        s.value = value;
+        s.ready = true;
+        s.inv = false;
     }
 
     /// Produces an INV (poisoned) result into `r` (runahead mode).
     pub fn write_inv(&mut self, r: PhysRef) {
-        let b = self.bank_mut(r.class);
-        b.values[r.index as usize] = 0;
-        b.ready[r.index as usize] = true;
-        b.inv[r.index as usize] = true;
+        let s = &mut self.bank_mut(r.class).slots[r.index as usize];
+        s.value = 0;
+        s.ready = true;
+        s.inv = true;
     }
 
     /// Sets the taint mask of `r`.
     pub fn set_taint(&mut self, r: PhysRef, mask: u64) {
-        self.bank_mut(r.class).taint[r.index as usize] = mask;
+        self.bank_mut(r.class).slots[r.index as usize].taint = mask;
     }
 
     /// Ors `mask` into the taint of `r`.
     pub fn add_taint(&mut self, r: PhysRef, mask: u64) {
-        self.bank_mut(r.class).taint[r.index as usize] |= mask;
+        self.bank_mut(r.class).slots[r.index as usize].taint |= mask;
     }
 
     /// Forces `r` ready with a value, clearing INV/taint (used when
     /// rebuilding architectural state from a checkpoint).
     pub fn restore(&mut self, r: PhysRef, value: u64) {
-        let b = self.bank_mut(r.class);
-        b.values[r.index as usize] = value;
-        b.ready[r.index as usize] = true;
-        b.inv[r.index as usize] = false;
-        b.taint[r.index as usize] = 0;
+        self.bank_mut(r.class).slots[r.index as usize] =
+            RegSlot { value, taint: 0, ready: true, inv: false };
     }
 }
 
@@ -194,6 +199,16 @@ impl FreeLists {
             int: (NUM_INT_REGS as u16..int_regs as u16).collect(),
             fp: (NUM_FP_REGS as u16..fp_regs as u16).collect(),
         }
+    }
+
+    /// Refills both lists to the freshly-constructed state in place
+    /// (runahead exit runs this once per episode; reusing the buffers keeps
+    /// the allocator off the episode path).
+    pub fn reset(&mut self, int_regs: usize, fp_regs: usize) {
+        self.int.clear();
+        self.int.extend(NUM_INT_REGS as u16..int_regs as u16);
+        self.fp.clear();
+        self.fp.extend(NUM_FP_REGS as u16..fp_regs as u16);
     }
 
     fn list(&mut self, class: RegClass) -> &mut VecDeque<u16> {

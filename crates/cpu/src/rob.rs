@@ -1,7 +1,7 @@
 //! Reorder buffer.
 
 use specrun_bp::BranchKind;
-use specrun_isa::{ArchReg, Inst};
+use specrun_isa::{ArchReg, Inst, UopMeta};
 use specrun_mem::HitLevel;
 use std::collections::VecDeque;
 
@@ -60,6 +60,9 @@ pub struct RobEntry {
     pub pc: u64,
     /// The instruction.
     pub inst: Inst,
+    /// Predecoded static metadata (classification flags, FU class, memory
+    /// width) — the pipeline consults this instead of re-matching `inst`.
+    pub meta: UopMeta,
     /// Lifecycle state.
     pub state: EntryState,
     /// Completion cycle while `Executing`.
@@ -102,12 +105,21 @@ pub struct RobEntry {
 }
 
 impl RobEntry {
-    /// Creates a freshly dispatched entry.
+    /// Creates a freshly dispatched entry, lowering `inst` on the spot
+    /// (tests and cold paths; the dispatch stage uses
+    /// [`RobEntry::with_meta`] with the program's predecoded table).
+    #[allow(dead_code)] // constructor API; exercised in tests
     pub fn new(seq: u64, pc: u64, inst: Inst) -> RobEntry {
+        RobEntry::with_meta(seq, pc, inst, UopMeta::of(&inst, pc))
+    }
+
+    /// Creates a freshly dispatched entry from predecoded metadata.
+    pub fn with_meta(seq: u64, pc: u64, inst: Inst, meta: UopMeta) -> RobEntry {
         RobEntry {
             seq,
             pc,
             inst,
+            meta,
             state: EntryState::Waiting,
             ready_at: 0,
             dest: None,
@@ -116,8 +128,8 @@ impl RobEntry {
             taint: 0,
             inv: false,
             branch: None,
-            is_load: inst.is_load(),
-            is_store: inst.is_store() || matches!(inst, Inst::Flush { .. }),
+            is_load: meta.is_load(),
+            is_store: meta.needs_sq(),
             load_level: None,
             load_addr: None,
             aux_sp: 0,
@@ -133,13 +145,23 @@ impl RobEntry {
 #[derive(Debug, Clone, Default)]
 pub struct Rob {
     entries: VecDeque<RobEntry>,
+    /// Mirror of the entries' sequence numbers, kept in lockstep. Seq→slot
+    /// lookups run every cycle from writeback, issue and the wakeup network;
+    /// searching this compact array (2 KiB at 256 entries) stays resident in
+    /// the host's L1 cache, where a binary search striding over the ~300-byte
+    /// `RobEntry` structs themselves missed on nearly every probe.
+    seqs: VecDeque<u64>,
     capacity: usize,
 }
 
 impl Rob {
     /// Creates an empty ROB with `capacity` entries.
     pub fn new(capacity: usize) -> Rob {
-        Rob { entries: VecDeque::with_capacity(capacity), capacity }
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            seqs: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Maximum occupancy.
@@ -170,6 +192,7 @@ impl Rob {
     /// Panics if the ROB is full (callers must check [`Rob::is_full`]).
     pub fn push(&mut self, entry: RobEntry) {
         assert!(!self.is_full(), "ROB overflow");
+        self.seqs.push_back(entry.seq);
         self.entries.push_back(entry);
     }
 
@@ -179,8 +202,18 @@ impl Rob {
     }
 
     /// Removes and returns the oldest entry.
+    #[allow(dead_code)] // container API; the core retires via head+discard
     pub fn pop_head(&mut self) -> Option<RobEntry> {
+        self.seqs.pop_front();
         self.entries.pop_front()
+    }
+
+    /// Removes the oldest entry without returning it (the retire stages
+    /// copy the handful of fields they need out of [`Rob::head`] first, so
+    /// the ~200-byte entry never has to be moved out of the buffer).
+    pub fn pop_head_discard(&mut self) {
+        self.seqs.pop_front();
+        self.entries.pop_front();
     }
 
     /// Iterates oldest → youngest.
@@ -199,6 +232,7 @@ impl Rob {
         let mut removed = Vec::new();
         while let Some(back) = self.entries.back() {
             if back.seq > seq {
+                self.seqs.pop_back();
                 removed.push(self.entries.pop_back().expect("back exists"));
             } else {
                 break;
@@ -208,7 +242,9 @@ impl Rob {
     }
 
     /// Removes every entry, youngest first (runahead exit).
+    #[allow(dead_code)] // container API; the core uses `clear` (no return)
     pub fn squash_all(&mut self) -> Vec<RobEntry> {
+        self.seqs.clear();
         let mut removed = Vec::with_capacity(self.entries.len());
         while let Some(e) = self.entries.pop_back() {
             removed.push(e);
@@ -216,18 +252,41 @@ impl Rob {
         removed
     }
 
-    /// The entry with sequence number `seq`, if present. Entries are pushed
-    /// in ascending sequence order and removed only at either end, so the
-    /// deque is always sorted and a binary search suffices.
+    /// Drops every entry without returning them, for squashes whose
+    /// unwinding is wholesale (runahead exit rebuilds the RAT and free
+    /// lists from scratch, so the removed entries are never inspected).
+    pub fn clear(&mut self) {
+        self.seqs.clear();
+        self.entries.clear();
+    }
+
+    /// Slot of sequence number `seq`. Entries are pushed in ascending
+    /// sequence order and removed only at either end, so the (mirrored)
+    /// sequence deque is always sorted and a binary search suffices; gaps
+    /// from squashes simply fail the final equality check.
+    #[inline]
+    fn index_of(&self, seq: u64) -> Option<usize> {
+        // Dense fast path: with no squash gap in range, the slot is exactly
+        // `seq - head_seq` (the overwhelmingly common case).
+        let head = *self.seqs.front()?;
+        let guess = seq.wrapping_sub(head) as usize;
+        if self.seqs.get(guess) == Some(&seq) {
+            return Some(guess);
+        }
+        let i = self.seqs.partition_point(|&s| s < seq);
+        (self.seqs.get(i) == Some(&seq)).then_some(i)
+    }
+
+    /// The entry with sequence number `seq`, if present.
     pub fn get(&self, seq: u64) -> Option<&RobEntry> {
-        let i = self.entries.partition_point(|e| e.seq < seq);
-        self.entries.get(i).filter(|e| e.seq == seq)
+        let i = self.index_of(seq)?;
+        self.entries.get(i)
     }
 
     /// Mutable [`Rob::get`].
     pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
-        let i = self.entries.partition_point(|e| e.seq < seq);
-        self.entries.get_mut(i).filter(|e| e.seq == seq)
+        let i = self.index_of(seq)?;
+        self.entries.get_mut(i)
     }
 }
 

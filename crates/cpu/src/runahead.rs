@@ -24,7 +24,7 @@ use specrun_mem::{AccessKind, FillPolicy, HitLevel, RunaheadCache};
 
 use crate::config::{RunaheadPolicy, RunaheadTrigger};
 use crate::core::{Core, Mode};
-use crate::regs::{flat_to_arch, ArchCheckpoint, FreeLists, Rat};
+use crate::regs::{flat_to_arch, ArchCheckpoint, Rat};
 use crate::rob::EntryState;
 
 /// One runahead episode's bookkeeping.
@@ -79,7 +79,7 @@ impl Core {
                         && !self
                             .rob
                             .iter()
-                            .any(|e| e.inst.is_serializing() && e.state != crate::rob::EntryState::Done)
+                            .any(|e| e.meta.is_serializing() && e.state != crate::rob::EntryState::Done)
                 }
                 RunaheadTrigger::HeadMiss => true,
             },
@@ -101,7 +101,11 @@ impl Core {
         } else {
             None
         };
-        self.ra.cache = Some(RunaheadCache::new(self.cfg.runahead.runahead_cache_bytes));
+        // Reuse the previous episode's (cleared) cache allocation.
+        self.ra.cache = Some(match self.ra.cache_pool.take() {
+            Some(cache) => cache,
+            None => RunaheadCache::new(self.cfg.runahead.runahead_cache_bytes),
+        });
         // The window at entry: everything behind the stalling load.
         let window = self.rob.len() as u64 - 1;
         self.mode = Mode::Runahead(Episode {
@@ -169,9 +173,10 @@ impl Core {
             self.stats.max_episode_window = episode_window;
         }
         self.stats.total_episode_window += episode_window;
-        // Flush everything; restore the checkpoint.
-        let removed = self.rob.squash_all();
-        self.stats.squashed += removed.len() as u64;
+        // Flush everything; restore the checkpoint. The squashed entries
+        // are never inspected — the RAT and free lists are rebuilt whole.
+        self.stats.squashed += self.rob.len() as u64;
+        self.rob.clear();
         self.sq.clear();
         self.pipe.clear();
         self.lq_occupancy = 0;
@@ -180,7 +185,7 @@ impl Core {
         self.sched.clear_inflight();
         self.rat = Rat::identity();
         self.retire_rat = Rat::identity();
-        self.free = FreeLists::new(self.cfg.int_prf, self.cfg.fp_prf);
+        self.free.reset(self.cfg.int_prf, self.cfg.fp_prf);
         let checkpoint = self.ra.checkpoint.take().expect("entered with checkpoint");
         for i in 0..ArchReg::COUNT {
             let arch = flat_to_arch(i);
@@ -191,7 +196,11 @@ impl Core {
         if let Some(hist) = self.ra.history_checkpoint.take() {
             self.bp.history_restore(&hist);
         }
-        self.ra.cache = None;
+        // Park the cache allocation for the next episode.
+        if let Some(mut cache) = self.ra.cache.take() {
+            cache.clear();
+            self.ra.cache_pool = Some(cache);
+        }
         // Secure mode: hand the episode's nesting relation to the verdict
         // bookkeeping (deletions by `IS` need the inner-branch sets).
         if self.cfg.runahead.secure.sl_cache {

@@ -36,8 +36,7 @@
 
 use std::cmp::Ordering;
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
-use std::ops::Bound;
+use std::collections::BinaryHeap;
 
 use crate::regs::{PhysRef, RegClass};
 
@@ -45,32 +44,89 @@ use crate::regs::{PhysRef, RegClass};
 // Completion events
 // ---------------------------------------------------------------------
 
-/// Min-heap of `(ready_at, seq)` completion events for `Executing` ROB
-/// entries. Stale events (squashed or runahead-poisoned entries) are the
-/// caller's responsibility to detect on pop.
+/// Completion events `(ready_at, seq)` for `Executing` ROB entries. Stale
+/// events (squashed or runahead-poisoned entries) are the caller's
+/// responsibility to detect on pop.
+///
+/// Two tiers: most completions land 1–3 cycles out (single-cycle ALU work,
+/// L1 hits), so those go into a tiny 4-slot cycle wheel — a push is one
+/// `Vec` append and the per-cycle drain empties exactly one slot. Only
+/// long-latency events (DRAM fills, which can also linger as stale entries
+/// for hundreds of cycles after a runahead poison) pay the binary heap.
+///
+/// Wheel invariant: an event is scheduled at most `NEAR-1` cycles ahead, so
+/// its slot is visited for the first time exactly at its due cycle (or
+/// later, if fast-forward proved the window event-free — then the event is
+/// necessarily stale and is discarded by `at < now`).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct CompletionQueue {
+    near: [Vec<(u64, u64)>; NEAR],
     heap: BinaryHeap<Reverse<(u64, u64)>>,
 }
 
+/// Wheel span: events within `NEAR - 1` cycles go to the wheel.
+const NEAR: usize = 4;
+
 impl CompletionQueue {
-    /// Schedules entry `seq` to complete at `ready_at`.
-    pub fn schedule(&mut self, ready_at: u64, seq: u64) {
-        self.heap.push(Reverse((ready_at, seq)));
+    /// Schedules entry `seq` to complete at `ready_at` (strictly after the
+    /// current cycle `now`; `CpuConfig::validate` rejects zero latencies).
+    pub fn schedule(&mut self, now: u64, ready_at: u64, seq: u64) {
+        debug_assert!(ready_at > now, "completions must land in the future");
+        if ready_at - now < NEAR as u64 {
+            self.near[(ready_at as usize) & (NEAR - 1)].push((ready_at, seq));
+        } else {
+            self.heap.push(Reverse((ready_at, seq)));
+        }
     }
 
-    /// The earliest `(ready_at, seq)` event, if any.
+    /// Drains every event due at or before `now` into `out` (unsorted; the
+    /// caller orders by `(ready_at, seq)`). Only the current cycle's wheel
+    /// slot is swept: older events in other slots are provably stale and
+    /// are discarded lazily when their slot comes around.
+    pub fn pop_due_into(&mut self, now: u64, out: &mut Vec<(u64, u64)>) {
+        let slot = &mut self.near[(now as usize) & (NEAR - 1)];
+        if !slot.is_empty() {
+            out.extend(slot.iter().copied().filter(|&(at, _)| at == now));
+            slot.clear();
+        }
+        while let Some(&Reverse((at, seq))) = self.heap.peek() {
+            if at > now {
+                break;
+            }
+            self.heap.pop();
+            out.push((at, seq));
+        }
+    }
+
+    /// The earliest `(ready_at, seq)` event, if any (stale events
+    /// included).
     pub fn peek(&self) -> Option<(u64, u64)> {
-        self.heap.peek().map(|Reverse(e)| *e)
+        let near_min =
+            self.near.iter().flat_map(|s| s.iter().copied()).min();
+        let heap_min = self.heap.peek().map(|Reverse(e)| *e);
+        match (near_min, heap_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
-    /// Removes and returns the earliest event.
+    /// Removes and returns the earliest event (the one [`peek`] reports).
     pub fn pop(&mut self) -> Option<(u64, u64)> {
+        let min = self.peek()?;
+        for slot in &mut self.near {
+            if let Some(i) = slot.iter().position(|&e| e == min) {
+                slot.swap_remove(i);
+                return Some(min);
+            }
+        }
         self.heap.pop().map(|Reverse(e)| e)
     }
 
     /// Drops every event (pipeline flush).
     pub fn clear(&mut self) {
+        for slot in &mut self.near {
+            slot.clear();
+        }
         self.heap.clear();
     }
 }
@@ -173,8 +229,11 @@ pub(crate) struct Scheduler {
     /// Issue candidates in program order: `Waiting` entries whose gating
     /// operands are all produced (they may still be blocked on a functional
     /// unit, store disambiguation, or the serializing-at-head rule, and are
-    /// retried each cycle like the scan-based scheduler did).
-    ready: BTreeSet<u64>,
+    /// retried each cycle like the scan-based scheduler did). A sorted
+    /// `Vec`: the queue is bounded by the 40-entry issue queue, where
+    /// shifting a few dozen `u64`s beats a B-tree's pointer chasing on the
+    /// per-cycle cursor walk.
+    ready: Vec<u64>,
     /// Per-physical-register waiter lists (sequence numbers of entries
     /// blocked on this register's production).
     int_waiters: Vec<Vec<u64>>,
@@ -191,7 +250,7 @@ impl Scheduler {
     pub fn new(int_prf: usize, fp_prf: usize) -> Scheduler {
         Scheduler {
             completions: CompletionQueue::default(),
-            ready: BTreeSet::new(),
+            ready: Vec::new(),
             int_waiters: vec![Vec::new(); int_prf],
             fp_waiters: vec![Vec::new(); fp_prf],
             serializers: Vec::new(),
@@ -208,17 +267,27 @@ impl Scheduler {
 
     /// Inserts `seq` into the ready queue.
     pub fn mark_ready(&mut self, seq: u64) {
-        self.ready.insert(seq);
+        // Wakeups arrive roughly in program order, so the common insertion
+        // point is the tail.
+        if self.ready.last().is_some_and(|&s| s < seq) || self.ready.is_empty() {
+            self.ready.push(seq);
+            return;
+        }
+        if let Err(i) = self.ready.binary_search(&seq) {
+            self.ready.insert(i, seq);
+        }
     }
 
     /// Removes `seq` from the ready queue.
     pub fn remove_ready(&mut self, seq: u64) {
-        self.ready.remove(&seq);
+        if let Ok(i) = self.ready.binary_search(&seq) {
+            self.ready.remove(i);
+        }
     }
 
     /// Whether `seq` is an issue candidate.
     pub fn contains_ready(&self, seq: u64) -> bool {
-        self.ready.contains(&seq)
+        self.ready.binary_search(&seq).is_ok()
     }
 
     /// The smallest ready sequence number strictly greater than `prev`
@@ -226,11 +295,11 @@ impl Scheduler {
     /// mid-issue (INV poisoning by an older entry) are picked up in the
     /// same cycle, exactly like the in-order ROB scan.
     pub fn first_ready_after(&self, prev: Option<u64>) -> Option<u64> {
-        let lower = match prev {
-            Some(s) => Bound::Excluded(s),
-            None => Bound::Unbounded,
+        let from = match prev {
+            Some(s) => self.ready.partition_point(|&r| r <= s),
+            None => 0,
         };
-        self.ready.range((lower, Bound::Unbounded)).next().copied()
+        self.ready.get(from).copied()
     }
 
     /// Iterates the ready queue in program order.
@@ -276,7 +345,7 @@ impl Scheduler {
     /// squash). Waiter-list entries are left to lazy validation: squashed
     /// sequence numbers are never reused, so a stale wakeup is ignored.
     pub fn squash_younger(&mut self, seq: u64) {
-        self.ready.split_off(&(seq + 1));
+        self.ready.truncate(self.ready.partition_point(|&r| r <= seq));
         self.serializers.retain(|&s| s <= seq);
     }
 
@@ -305,13 +374,44 @@ mod tests {
     #[test]
     fn completion_queue_orders_by_cycle_then_seq() {
         let mut q = CompletionQueue::default();
-        q.schedule(10, 7);
-        q.schedule(5, 9);
-        q.schedule(10, 3);
+        q.schedule(0, 10, 7);
+        q.schedule(0, 5, 9);
+        q.schedule(0, 10, 3);
         assert_eq!(q.pop(), Some((5, 9)));
         assert_eq!(q.pop(), Some((10, 3)), "same cycle pops oldest seq first");
         assert_eq!(q.pop(), Some((10, 7)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn completion_queue_near_wheel_and_heap_agree() {
+        let mut q = CompletionQueue::default();
+        q.schedule(9, 10, 4); // wheel (1 ahead)
+        q.schedule(9, 12, 2); // wheel (3 ahead)
+        q.schedule(9, 300, 1); // heap
+        assert_eq!(q.peek(), Some((10, 4)), "peek spans wheel and heap");
+        let mut due = Vec::new();
+        q.pop_due_into(10, &mut due);
+        assert_eq!(due, vec![(10, 4)]);
+        due.clear();
+        q.pop_due_into(11, &mut due);
+        assert!(due.is_empty(), "nothing lands at 11");
+        q.pop_due_into(12, &mut due);
+        assert_eq!(due, vec![(12, 2)]);
+        assert_eq!(q.pop(), Some((300, 1)));
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn completion_queue_drops_skipped_stale_wheel_events() {
+        let mut q = CompletionQueue::default();
+        q.schedule(9, 10, 4);
+        // The core fast-forwarded past cycle 10 (the event was stale); the
+        // slot is visited again at cycle 14, which shares its wheel slot.
+        let mut due = Vec::new();
+        q.pop_due_into(14, &mut due);
+        assert!(due.is_empty(), "an overdue wheel event is provably stale");
+        assert_eq!(q.peek(), None, "the slot was reclaimed");
     }
 
     #[test]

@@ -129,6 +129,7 @@ impl Core {
     /// Rename-time hook: tracks branch scopes in speculative order and
     /// seeds predicate taint. Returns `(scope id for a scoped conditional,
     /// innermost scope open at this instruction)`.
+    #[inline]
     pub(crate) fn secure_on_dispatch(
         &mut self,
         f: &Fetched,

@@ -136,6 +136,26 @@ proptest! {
         }
     }
 
+    /// The predecode audit (`predecode_check`: every fetched micro-op's
+    /// metadata re-derived from the `Inst` enum and compared) holds on
+    /// arbitrary programs and never perturbs stats or architectural state.
+    #[test]
+    fn predecode_check_matches_inst_derivations(ops in proptest::collection::vec(op(), 1..40)) {
+        let program = build(&ops);
+        for base in [CpuConfig::no_runahead(), CpuConfig::default()] {
+            let run = |check: bool| {
+                let mut cfg = base.clone();
+                cfg.predecode_check = check;
+                let mut core = Core::new(cfg);
+                core.load_program(&program);
+                core.run(5_000_000);
+                let regs: Vec<u64> = (1..=9).map(|i| core.read_int_reg(r(i))).collect();
+                (*core.stats(), regs)
+            };
+            prop_assert_eq!(run(true), run(false));
+        }
+    }
+
     /// The simulator is deterministic for arbitrary programs.
     #[test]
     fn simulation_is_deterministic(ops in proptest::collection::vec(op(), 1..30)) {

@@ -36,12 +36,14 @@
 #![warn(missing_docs)]
 
 mod asm;
+mod decoded;
 mod encode;
 mod inst;
 mod program;
 mod reg;
 
 pub use asm::{assemble, AsmError};
+pub use decoded::{CtrlClass, DecodedProgram, ExecClass, UopMeta};
 pub use encode::{decode, encode, DecodeError, EncodedInst};
 pub use inst::{AluOp, BranchCond, FpOp, Inst, MemWidth, Sources, INST_BYTES};
 pub use program::{BranchScope, Program, ProgramBuilder, ProgramError};

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use specrun_isa::{
-    assemble, decode, encode, AluOp, BranchCond, FpOp, FpReg, Inst, IntReg, MemWidth,
-    ProgramBuilder,
+    assemble, decode, encode, AluOp, BranchCond, CtrlClass, DecodedProgram, FpOp, FpReg, Inst,
+    IntReg, MemWidth, ProgramBuilder, INST_BYTES,
 };
 
 fn int_reg() -> impl Strategy<Value = IntReg> {
@@ -144,6 +144,48 @@ proptest! {
     fn sources_exclude_zero_reg(i in inst()) {
         for src in i.sources().into_iter().flatten() {
             prop_assert_ne!(src, specrun_isa::ArchReg::Int(IntReg::ZERO));
+        }
+    }
+
+    /// Predecoded `UopMeta` agrees with every `Inst`-derived static fact
+    /// for arbitrary programs: sources/dest, the classification predicates,
+    /// the serializing flag, the control class and the pre-resolved direct
+    /// target (including wrapping branch offsets).
+    #[test]
+    fn decoded_program_matches_inst_derivations(
+        insts in proptest::collection::vec(inst(), 1..60),
+        base_page in 0u64..0x1_0000,
+    ) {
+        let base = base_page * INST_BYTES;
+        let mut b = ProgramBuilder::new(base);
+        for i in &insts {
+            b.push(*i);
+        }
+        let d = DecodedProgram::new(b.build().unwrap());
+        prop_assert_eq!(d.meta().len(), insts.len());
+        for (idx, i) in insts.iter().enumerate() {
+            let pc = base + idx as u64 * INST_BYTES;
+            let (fetched, m) = d.fetch(pc).expect("pc inside the image");
+            prop_assert_eq!(fetched, *i);
+            prop_assert_eq!(m.srcs, i.sources());
+            prop_assert_eq!(m.dest, i.dest());
+            prop_assert_eq!(m.is_load(), i.is_load());
+            prop_assert_eq!(m.is_store(), i.is_store());
+            prop_assert_eq!(m.is_mem(), i.is_mem());
+            prop_assert_eq!(m.is_serializing(), i.is_serializing());
+            prop_assert_eq!(m.is_control(), i.is_control());
+            prop_assert_eq!(m.is_cond_branch(), i.is_cond_branch());
+            prop_assert_eq!(m.is_halt(), matches!(i, Inst::Halt));
+            prop_assert_eq!(m.direct_target(), i.direct_target(pc));
+            let expected_ctrl = match i {
+                Inst::Branch { .. } => CtrlClass::Conditional,
+                Inst::Jump { .. } => CtrlClass::Direct,
+                Inst::JumpInd { .. } => CtrlClass::Indirect,
+                Inst::Call { .. } | Inst::CallInd { .. } => CtrlClass::Call,
+                Inst::Ret => CtrlClass::Return,
+                _ => CtrlClass::None,
+            };
+            prop_assert_eq!(m.ctrl, expected_ctrl);
         }
     }
 }

@@ -176,9 +176,28 @@ impl BackingStore {
         }
     }
 
-    /// Reads `len` bytes starting at `addr`.
+    /// Reads `len` bytes starting at `addr` into a fresh `Vec`.
     pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
-        (0..len as u64).map(|i| self.read_u8(addr + i)).collect()
+        let mut out = vec![0u8; len];
+        self.read_bytes_into(addr, &mut out);
+        out
+    }
+
+    /// Fills `out` with the bytes starting at `addr` — the allocation-free
+    /// variant of [`BackingStore::read_bytes`], copying page-sized slices
+    /// instead of reading byte by byte.
+    pub fn read_bytes_into(&self, addr: u64, out: &mut [u8]) {
+        let mut done = 0;
+        while done < out.len() {
+            let at = addr + done as u64;
+            let offset = (at as usize) & (PAGE_BYTES - 1);
+            let run = (PAGE_BYTES - offset).min(out.len() - done);
+            match self.page(at) {
+                Some(p) => out[done..done + run].copy_from_slice(&p[offset..offset + run]),
+                None => out[done..done + run].fill(0),
+            }
+            done += run;
+        }
     }
 
     /// Number of 4 KiB pages touched so far.

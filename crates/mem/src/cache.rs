@@ -156,14 +156,36 @@ impl Cache {
 
     /// Looks up the line, updating LRU state on hit. Returns whether it hit.
     pub fn access(&mut self, line: u64, _now: u64) -> bool {
+        self.access_slot(line).is_some()
+    }
+
+    /// [`Cache::access`], additionally returning the hit line's *slot* — a
+    /// flat index into the line array that stays valid while the line stays
+    /// resident (i.e. until any fill, invalidate or clear on this cache).
+    /// Callers memoize it to re-touch a just-hit line without repeating the
+    /// tag search; see [`Cache::touch_slot`].
+    pub fn access_slot(&mut self, line: u64) -> Option<usize> {
         let stamp = self.bump();
         let (set, tag) = self.set_and_tag(line);
-        if let Some(way) = self.find(set, tag) {
-            self.lines[set * self.ways + way].last_used = stamp;
-            true
-        } else {
-            false
-        }
+        let way = self.find(set, tag)?;
+        let slot = set * self.ways + way;
+        self.lines[slot].last_used = stamp;
+        Some(slot)
+    }
+
+    /// Re-touches a slot previously returned by [`Cache::access_slot`] for
+    /// a line known to still be resident there. Exactly equivalent to
+    /// another `access` hit of that line: one LRU stamp is consumed and the
+    /// line becomes most-recently used.
+    pub fn touch_slot(&mut self, slot: usize) {
+        let stamp = self.bump();
+        self.lines[slot].last_used = stamp;
+    }
+
+    /// Marks a resident slot dirty (store hit on a memoized line);
+    /// equivalent to [`Cache::mark_dirty`] on its line.
+    pub fn mark_dirty_slot(&mut self, slot: usize) {
+        self.lines[slot].dirty = true;
     }
 
     /// Marks the line dirty if resident (store hit). Returns whether it hit.

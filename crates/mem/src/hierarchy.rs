@@ -104,6 +104,23 @@ struct Inflight {
     ifetch: bool,
 }
 
+/// One-entry L1-hit memo for one L1 port: the last line that hit and its
+/// slot in the cache's line array. Valid only while the port's contents are
+/// untouched (any fill/invalidate/clear resets the memo), so a memo hit can
+/// replay the L1-hit path — LRU touch, hit statistic, latency — exactly,
+/// without the tag search or the miss/MSHR machinery. This is the common
+/// case on both ports: demand fetch re-probes the same 64-byte text line
+/// once per instruction per cycle, and data loads stream within lines.
+#[derive(Debug, Clone, Copy)]
+struct PortMemo {
+    line: u64,
+    slot: usize,
+}
+
+impl PortMemo {
+    const INVALID: PortMemo = PortMemo { line: u64::MAX, slot: 0 };
+}
+
 /// The complete memory subsystem: backing data, caches, MSHRs and DRAM.
 #[derive(Debug, Clone)]
 pub struct MemHierarchy {
@@ -114,10 +131,24 @@ pub struct MemHierarchy {
     l3: Cache,
     dram: Dram,
     inflight: Vec<Inflight>,
+    /// Mirror of `inflight`'s line addresses, kept in lockstep: the MSHR
+    /// merge check scans this compact array on every miss instead of
+    /// striding over the entry structs.
+    inflight_lines: Vec<u64>,
     /// Earliest `complete_at` among in-flight fills (`u64::MAX` when none):
     /// lets the per-access drain bail in O(1) instead of sweeping the MSHRs
     /// while nothing is due.
     next_complete: u64,
+    /// `line_bytes` is a power of two; addresses convert to lines with a
+    /// shift instead of a 64-bit division on the hottest path.
+    line_shift: u32,
+    /// L1-hit fast-path memos, one per L1 port.
+    l1i_memo: PortMemo,
+    l1d_memo: PortMemo,
+    /// Bumped on every change to L1I *contents* (fill, invalidate, clear).
+    /// While unchanged, a line once observed L1I-resident still is — the
+    /// core's stream prefetcher uses this to skip redundant probes.
+    l1i_gen: u64,
     data: BackingStore,
     stats: MemStats,
 }
@@ -133,7 +164,12 @@ impl MemHierarchy {
             l3: Cache::new(config.l3),
             dram: Dram::new(config.dram),
             inflight: Vec::new(),
+            inflight_lines: Vec::new(),
             next_complete: u64::MAX,
+            line_shift: config.l1d.line_bytes.trailing_zeros(),
+            l1i_memo: PortMemo::INVALID,
+            l1d_memo: PortMemo::INVALID,
+            l1i_gen: 0,
             data: BackingStore::new(),
             stats: MemStats::default(),
         }
@@ -151,7 +187,25 @@ impl MemHierarchy {
 
     /// Aligns a byte address down to its line address.
     pub fn line_of(&self, addr: u64) -> u64 {
-        addr / self.line_bytes()
+        addr >> self.line_shift
+    }
+
+    /// The L1I content generation: bumped on every L1I fill, invalidation
+    /// or clear, so "line X was L1I-resident at generation G" stays provably
+    /// true while the counter reads G.
+    pub fn l1i_generation(&self) -> u64 {
+        self.l1i_gen
+    }
+
+    /// Invalidates the fast-path memo(s) of the L1 port(s) whose contents
+    /// changed; I-side changes also bump the generation counter.
+    fn touched_l1(&mut self, ifetch: bool) {
+        if ifetch {
+            self.l1i_memo = PortMemo::INVALID;
+            self.l1i_gen += 1;
+        } else {
+            self.l1d_memo = PortMemo::INVALID;
+        }
     }
 
     fn install_line(l1: &mut Cache, l2: &mut Cache, l3: &mut Cache, stats: &mut MemStats, line: u64) {
@@ -172,8 +226,10 @@ impl MemHierarchy {
         let mut i = 0;
         while i < self.inflight.len() {
             if self.inflight[i].complete_at <= now {
+                self.inflight_lines.swap_remove(i);
                 let fill = self.inflight.swap_remove(i);
                 if fill.install {
+                    self.touched_l1(fill.ifetch);
                     let l1 = if fill.ifetch { &mut self.l1i } else { &mut self.l1d };
                     Self::install_line(l1, &mut self.l2, &mut self.l3, &mut self.stats, fill.line);
                     self.stats.fills += 1;
@@ -201,9 +257,30 @@ impl MemHierarchy {
     /// promote into L1 and DRAM fills are not installed (the caller is
     /// expected to capture them, e.g. into the SL cache).
     pub fn access(&mut self, addr: u64, now: u64, kind: AccessKind, policy: FillPolicy) -> Access {
-        self.drain(now);
-        let line = self.line_of(addr);
+        let line = addr >> self.line_shift;
         let is_ifetch = matches!(kind, AccessKind::IFetch);
+
+        // L1-hit fast path: the port's one-entry memo proves residency
+        // while `next_complete` shows no fill is due (so the lazy drain is
+        // a no-op) and no fill/invalidate has reset the memo. The replay is
+        // exact — same LRU touch, same hit statistic, same latency — it
+        // merely skips the tag search and the L2/L3/MSHR machinery below.
+        if now < self.next_complete {
+            let memo = if is_ifetch { self.l1i_memo } else { self.l1d_memo };
+            if memo.line == line {
+                let l1 = if is_ifetch { &mut self.l1i } else { &mut self.l1d };
+                l1.touch_slot(memo.slot);
+                if matches!(kind, AccessKind::Store) {
+                    l1.mark_dirty_slot(memo.slot);
+                }
+                self.stats.record_hit(HitLevel::L1, is_ifetch);
+                let latency =
+                    if is_ifetch { self.config.l1i.hit_latency } else { self.config.l1d.hit_latency };
+                return Access { ready_at: now + latency, level: HitLevel::L1 };
+            }
+        }
+
+        self.drain(now);
         let promote = policy == FillPolicy::Normal;
 
         // L1 port.
@@ -212,9 +289,15 @@ impl MemHierarchy {
         } else {
             (&mut self.l1d, &self.config.l1d)
         };
-        if l1.access(line, now) {
+        if let Some(slot) = l1.access_slot(line) {
             if matches!(kind, AccessKind::Store) {
-                l1.mark_dirty(line);
+                l1.mark_dirty_slot(slot);
+            }
+            let memo = PortMemo { line, slot };
+            if is_ifetch {
+                self.l1i_memo = memo;
+            } else {
+                self.l1d_memo = memo;
             }
             self.stats.record_hit(HitLevel::L1, is_ifetch);
             return Access { ready_at: now + l1_cfg.hit_latency, level: HitLevel::L1 };
@@ -227,6 +310,7 @@ impl MemHierarchy {
                 if let Evicted::Dirty(_) = evicted {
                     self.stats.writebacks += 1;
                 }
+                self.touched_l1(is_ifetch);
             }
             self.stats.record_hit(HitLevel::L2, is_ifetch);
             return Access { ready_at: now + self.config.l2.hit_latency, level: HitLevel::L2 };
@@ -241,6 +325,7 @@ impl MemHierarchy {
                 if let Evicted::Dirty(_) = l1.fill(line, now, matches!(kind, AccessKind::Store)) {
                     self.stats.writebacks += 1;
                 }
+                self.touched_l1(is_ifetch);
             }
             self.stats.record_hit(HitLevel::L3, is_ifetch);
             return Access { ready_at: now + self.config.l3.hit_latency, level: HitLevel::L3 };
@@ -252,7 +337,8 @@ impl MemHierarchy {
         // issued, and letting a speculative post-exit re-execution upgrade
         // it would reopen the leak the defense closes. The merged access
         // still observes the data's arrival time.
-        if let Some(entry) = self.inflight.iter_mut().find(|e| e.line == line) {
+        if let Some(i) = self.inflight_lines.iter().position(|&l| l == line) {
+            let entry = &mut self.inflight[i];
             entry.ifetch &= is_ifetch;
             self.stats.mshr_merges += 1;
             return Access { ready_at: entry.complete_at, level: HitLevel::Mem };
@@ -261,6 +347,7 @@ impl MemHierarchy {
         // DRAM.
         let complete_at = self.dram.request(now);
         self.inflight.push(Inflight { line, complete_at, install: promote, ifetch: is_ifetch });
+        self.inflight_lines.push(line);
         self.next_complete = self.next_complete.min(complete_at);
         self.stats.record_hit(HitLevel::Mem, is_ifetch);
         Access { ready_at: complete_at, level: HitLevel::Mem }
@@ -271,14 +358,14 @@ impl MemHierarchy {
     pub fn flush_line(&mut self, addr: u64, now: u64) {
         self.drain(now);
         let line = self.line_of(addr);
+        self.touched_l1(true);
+        self.touched_l1(false);
         self.l1i.invalidate(line);
         self.l1d.invalidate(line);
         self.l2.invalidate(line);
         self.l3.invalidate(line);
-        for entry in &mut self.inflight {
-            if entry.line == line {
-                entry.install = false;
-            }
+        if let Some(i) = self.inflight_lines.iter().position(|&l| l == line) {
+            self.inflight[i].install = false;
         }
         self.stats.flushes += 1;
     }
@@ -288,6 +375,7 @@ impl MemHierarchy {
     /// paper added to Multi2Sim).
     pub fn warm(&mut self, addr: u64) {
         let line = self.line_of(addr);
+        self.touched_l1(false);
         Self::install_line(&mut self.l1d, &mut self.l2, &mut self.l3, &mut self.stats, line);
     }
 
@@ -298,6 +386,7 @@ impl MemHierarchy {
         }
         let first = self.line_of(addr);
         let last = self.line_of(addr + len - 1);
+        self.touched_l1(false);
         for line in first..=last {
             Self::install_line(&mut self.l1d, &mut self.l2, &mut self.l3, &mut self.stats, line);
         }
@@ -312,6 +401,7 @@ impl MemHierarchy {
         }
         let first = self.line_of(addr);
         let last = self.line_of(addr + len - 1);
+        self.touched_l1(true);
         for line in first..=last {
             Self::install_line(&mut self.l1i, &mut self.l2, &mut self.l3, &mut self.stats, line);
         }
@@ -321,6 +411,7 @@ impl MemHierarchy {
     /// runahead defense promotes an SL-cache entry to L1, Algorithm 1).
     pub fn install(&mut self, addr: u64) {
         let line = self.line_of(addr);
+        self.touched_l1(false);
         Self::install_line(&mut self.l1d, &mut self.l2, &mut self.l3, &mut self.stats, line);
     }
 
@@ -360,6 +451,13 @@ impl MemHierarchy {
         self.data.read_bytes(addr, len)
     }
 
+    /// Fills `out` with bytes from data memory — the allocation-free
+    /// variant of [`MemHierarchy::read_bytes`] for callers that read
+    /// repeatedly into the same buffer.
+    pub fn read_bytes_into(&self, addr: u64, out: &mut [u8]) {
+        self.data.read_bytes_into(addr, out);
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> &MemStats {
         &self.stats
@@ -387,11 +485,14 @@ impl MemHierarchy {
 
     /// Drops all cached lines and in-flight fills; keeps data memory.
     pub fn clear_caches(&mut self) {
+        self.touched_l1(true);
+        self.touched_l1(false);
         self.l1i.clear();
         self.l1d.clear();
         self.l2.clear();
         self.l3.clear();
         self.inflight.clear();
+        self.inflight_lines.clear();
         self.next_complete = u64::MAX;
         self.dram.reset_timing();
     }

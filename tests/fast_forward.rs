@@ -122,3 +122,50 @@ fn fast_forward_is_invisible_to_the_attack_poc() {
     assert_eq!(outcomes[0], outcomes[1], "fast-forward changed the PoC outcome");
     assert_eq!(outcomes[0].0, Some(86), "the runahead machine must leak the secret");
 }
+
+/// The predecode layer must be semantically invisible: a `predecode_check`
+/// run — which re-derives every fetched micro-op's `UopMeta` from the
+/// `Inst` enum with the retired per-site derivations and panics on any
+/// divergence — over the end-to-end SpectrePHT-in-runahead proof of
+/// concept leaks the same byte with bit-identical statistics.
+#[test]
+fn predecode_check_is_invisible_to_the_attack_poc() {
+    let mut outcomes = Vec::new();
+    for check in [true, false] {
+        let cfg = CpuConfig { predecode_check: check, ..CpuConfig::default() };
+        let mut machine = Machine::new(cfg);
+        let out = run_pht_poc(&mut machine, &PocConfig::default());
+        outcomes.push((out.leaked, out.expected, *machine.core().stats()));
+    }
+    assert_eq!(outcomes[0], outcomes[1], "predecode_check changed the PoC outcome");
+    assert_eq!(outcomes[0].0, Some(86), "the runahead machine must leak the secret");
+}
+
+/// `predecode_check` over the workload kernels, on every machine variant:
+/// the audit must pass (no panic) and stats and architectural state stay
+/// bit-identical to the unchecked run.
+#[test]
+fn predecode_check_validates_kernels() {
+    for w in [kernels::mcf(60), kernels::pointer_chase(30)] {
+        for (machine, base) in [
+            ("no_runahead", CpuConfig::no_runahead()),
+            ("runahead", CpuConfig::default()),
+            ("secure", CpuConfig::secure_runahead()),
+        ] {
+            let mut checked = base.clone();
+            checked.predecode_check = true;
+            let (checked_stats, checked_regs) = run(&w, checked);
+            let (plain_stats, plain_regs) = run(&w, base);
+            assert_eq!(
+                checked_stats, plain_stats,
+                "predecode_check changes stats on {}/{machine}",
+                w.name
+            );
+            assert_eq!(
+                checked_regs, plain_regs,
+                "predecode_check changes architectural state on {}/{machine}",
+                w.name
+            );
+        }
+    }
+}
