@@ -20,9 +20,7 @@ fn fig10(c: &mut Criterion) {
             n2
         })
     });
-    group.bench_function("n3_repeated_flush", |b| {
-        b.iter(|| measure_n3(4096, 1).0)
-    });
+    group.bench_function("n3_repeated_flush", |b| b.iter(|| measure_n3(4096, 1).0));
     group.finish();
 }
 

@@ -14,11 +14,9 @@ fn fig7(c: &mut Criterion) {
             &workload,
             |b, w| b.iter(|| run_workload(w, CpuConfig::no_runahead(), 20_000_000).cycles),
         );
-        group.bench_with_input(
-            BenchmarkId::new("runahead", workload.name),
-            &workload,
-            |b, w| b.iter(|| run_workload(w, CpuConfig::default(), 20_000_000).cycles),
-        );
+        group.bench_with_input(BenchmarkId::new("runahead", workload.name), &workload, |b, w| {
+            b.iter(|| run_workload(w, CpuConfig::default(), 20_000_000).cycles)
+        });
     }
     group.finish();
 }

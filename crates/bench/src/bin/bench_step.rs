@@ -1,235 +1,22 @@
-//! Simulator-throughput benchmark, the perf-trajectory anchor tracked by
-//! CI: emits `BENCH_step.json` with cycles-simulated-per-second on fixed
-//! kernels (idle-cycle fast-forward off vs on) and the thread-scaling of a
-//! Fig. 9-style multi-trial attack sweep.
-//!
-//! ```sh
-//! cargo run --release -p specrun-bench --bin bench_step            # full
-//! SPECRUN_BENCH_QUICK=1 cargo run --release -p specrun-bench --bin bench_step
-//! ```
+//! Thin alias for `specrun-lab perf`: the simulator-throughput benchmark
+//! and perf-regression gate. Emits `BENCH_step.json`; honours the legacy
+//! `SPECRUN_BENCH_QUICK` / `SPECRUN_BENCH_BASELINE` /
+//! `SPECRUN_BENCH_GATE_MAX_DROP` environment variables and additionally
+//! accepts the `perf` subcommand flags (`--quick`, `--baseline PATH`,
+//! `--baseline-from-git`, `--max-drop F`). The baseline is read before the
+//! report is written, so gating against the committed `BENCH_step.json`
+//! in place is safe.
 
-use std::time::Instant;
-
-use specrun::attack::{run_pht_sweep, SweepConfig};
-use specrun_bench::BenchReport;
-use specrun_cpu::{Core, CpuConfig};
-use specrun_isa::ProgramBuilder;
-use specrun_workloads::harness;
-use specrun_workloads::ipc::run_workload_timed;
-use specrun_workloads::kernels;
-use specrun_workloads::Workload;
-
-/// Metrics that the baseline gate must always manage to compare — the
-/// busy-pipeline (non-fast-forward) rates a front-end or scheduler
-/// regression would hit first. A renamed scenario silently dropping one of
-/// these from the comparison must fail CI, not pass it.
-const GATE_REQUIRED: &[&str] = &[
-    "mcf_runahead_naive_cycles_per_sec",
-    "pointer_chase_runahead_naive_cycles_per_sec",
-];
-
-struct KernelResult {
-    cycles: u64,
-    naive_secs: f64,
-    ff_secs: f64,
-}
-
-fn measure_kernel(w: &Workload, base: CpuConfig, max_cycles: u64) -> KernelResult {
-    let mut naive_cfg = base.clone();
-    naive_cfg.fast_forward = false;
-    let mut ff_cfg = base;
-    ff_cfg.fast_forward = true;
-
-    // `run_workload_timed` times only the simulation loop, so cycles/sec
-    // is iteration-count-independent and a quick CI run stays comparable
-    // to the committed full-mode baseline.
-    let (naive, naive_secs) = run_workload_timed(w, naive_cfg, max_cycles);
-    let (ff, ff_secs) = run_workload_timed(w, ff_cfg, max_cycles);
-
-    assert_eq!(
-        (naive.cycles, naive.committed),
-        (ff.cycles, ff.committed),
-        "fast-forward must be architecturally invisible on {}",
-        w.name
-    );
-    KernelResult { cycles: ff.cycles, naive_secs, ff_secs }
-}
+use specrun_lab::perf::PerfOptions;
 
 fn main() {
-    let quick = std::env::var("SPECRUN_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
-    let iters = if quick { 400 } else { 3000 };
-    let sweep_trials = if quick { 8 } else { 24 };
-
-    let mut report = BenchReport::new("step");
-    report.note("quick_mode", if quick { "yes" } else { "no" });
-
-    println!("== simulator throughput: naive stepping vs idle-cycle fast-forward ==");
-    println!("kernel,machine,cycles,naive_Mcyc_per_s,ff_Mcyc_per_s,speedup");
-    let chase = kernels::pointer_chase(iters);
-    let mcf = kernels::mcf(iters / 2);
-    for (label, w, cfg) in [
-        ("pointer_chase/no_runahead", &chase, CpuConfig::no_runahead()),
-        ("pointer_chase/runahead", &chase, CpuConfig::default()),
-        ("mcf/no_runahead", &mcf, CpuConfig::no_runahead()),
-        ("mcf/runahead", &mcf, CpuConfig::default()),
-    ] {
-        let r = measure_kernel(w, cfg, 500_000_000);
-        let naive_rate = r.cycles as f64 / r.naive_secs;
-        let ff_rate = r.cycles as f64 / r.ff_secs;
-        let speedup = r.naive_secs / r.ff_secs;
-        println!(
-            "{label},{},{:.2},{:.2},{:.2}",
-            r.cycles,
-            naive_rate / 1e6,
-            ff_rate / 1e6,
-            speedup
-        );
-        let key = label.replace('/', "_");
-        report.metric(format!("{key}_cycles"), r.cycles as f64);
-        report.metric(format!("{key}_naive_cycles_per_sec"), naive_rate);
-        report.metric(format!("{key}_ff_cycles_per_sec"), ff_rate);
-        report.metric(format!("{key}_ff_speedup"), speedup);
-    }
-
-    // Front-end sub-timer: a warmed nop slide has no memory operands, no
-    // branches and no scheduler pressure, so its cycles/s isolates the
-    // fetch → predecode-lookup → rename → retire path. Front-end wins (or
-    // regressions) show up here even when the kernel rates above are
-    // dominated by the memory system.
-    println!();
-    println!("== front-end sub-timer: warmed nop slide ==");
-    println!("slide_insts,cycles,naive_Mcyc_per_s");
-    let slide = if quick { 40_000 } else { 200_000 };
-    let (fe_cycles, fe_secs) = measure_frontend_nop_slide(slide);
-    let fe_rate = fe_cycles as f64 / fe_secs;
-    println!("{slide},{fe_cycles},{:.2}", fe_rate / 1e6);
-    report.metric("frontend_nop_slide_cycles", fe_cycles as f64);
-    report.metric("frontend_nop_slide_naive_cycles_per_sec", fe_rate);
-
-    println!();
-    let host_threads = harness::default_threads();
-    println!("== Fig. 9-style sweep scaling ({sweep_trials} trials, host has {host_threads} core(s)) ==");
-    if host_threads < 4 {
-        println!("note: wall-clock scaling needs >= 4 host cores; on this host the");
-        println!("      sweep only demonstrates thread-safety and low fan-out overhead");
-    }
-    println!("threads,wall_secs,speedup,efficiency");
-    let mut thread_points = vec![1usize, 2, 4];
-    if host_threads > 4 {
-        thread_points.push(host_threads.min(16));
-    }
-    thread_points.retain(|&t| t <= host_threads.max(4));
-    let mut serial_secs = None;
-    for &threads in &thread_points {
-        let cfg = SweepConfig { trials: sweep_trials, threads, ..SweepConfig::default() };
-        let t = Instant::now();
-        let sweep = run_pht_sweep(&cfg);
-        let secs = t.elapsed().as_secs_f64();
-        assert_eq!(
-            sweep.successes(),
-            sweep.trials.len(),
-            "every sweep trial must leak on the runahead machine"
-        );
-        let base = *serial_secs.get_or_insert(secs);
-        let speedup = base / secs;
-        println!("{threads},{secs:.3},{speedup:.2},{:.2}", speedup / threads as f64);
-        report.metric(format!("sweep_{threads}t_wall_secs"), secs);
-        report.metric(format!("sweep_{threads}t_speedup"), speedup);
-    }
-    report.metric("sweep_trials", sweep_trials as f64);
-    report.metric("host_threads", host_threads as f64);
-
-    let path = report.write().expect("BENCH_step.json is writable");
-    println!();
-    println!("wrote {}", path.display());
-
-    // Perf-regression gate (CI): compare this run's throughput against a
-    // committed baseline report and fail on a >25% drop in any scenario.
-    if let Ok(baseline_path) = std::env::var("SPECRUN_BENCH_BASELINE") {
-        let baseline = std::fs::read_to_string(&baseline_path)
-            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
-        check_against_baseline(&report, &specrun_bench::parse_metrics(&baseline));
-    }
-}
-
-/// Runs a nop slide of `n` instructions to completion with the text image
-/// pre-warmed into L1I, timing only the simulation loop. Naive stepping
-/// (fast-forward off): the pipeline is busy every cycle, which is exactly
-/// the case the sub-timer exists to measure.
-fn measure_frontend_nop_slide(n: usize) -> (u64, f64) {
-    let mut b = ProgramBuilder::new(0x1000);
-    b.nops(n);
-    b.halt();
-    let program = b.build().expect("nop slide builds");
-    let mut cfg = CpuConfig::no_runahead();
-    cfg.fast_forward = false;
-    let mut core = Core::new(cfg);
-    let text_len = program.text_end() - program.text_base();
-    core.mem_mut().warm_ifetch_range(program.text_base(), text_len);
-    core.load_program(&program);
-    let start = Instant::now();
-    let exit = core.run(100_000_000);
-    let secs = start.elapsed().as_secs_f64();
-    assert_eq!(exit, specrun_cpu::RunExit::Halted, "nop slide must halt");
-    (core.stats().cycles, secs)
-}
-
-/// Fails (exit 1) if any `*_cycles_per_sec` metric present in both reports
-/// dropped more than `SPECRUN_BENCH_GATE_MAX_DROP` (default 0.25) below
-/// the baseline. Cycle counts and sweep wall times vary with quick mode
-/// and host load; the cycles-per-second rates are iteration-count-
-/// independent, so quick CI runs gate against the committed full-mode
-/// baseline. Rates are still *host*-dependent — on a runner much slower
-/// than the baseline host, widen the threshold via the env var (or
-/// re-commit a baseline measured on the runner class) rather than letting
-/// the gate track machine speed instead of regressions.
-fn check_against_baseline(report: &BenchReport, baseline: &[(String, f64)]) {
-    let max_drop: f64 = std::env::var("SPECRUN_BENCH_GATE_MAX_DROP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.25);
-    let mut failures = Vec::new();
-    let mut compared = Vec::new();
-    println!();
-    println!("== perf gate: >={:.0}% drop vs baseline fails ==", max_drop * 100.0);
-    println!("metric,baseline,current,ratio");
-    for (key, current) in report.metrics() {
-        if !key.ends_with("_cycles_per_sec") {
-            continue;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match PerfOptions::from_env().apply_args(&args) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
         }
-        let Some((_, base)) = baseline.iter().find(|(k, _)| k == key) else { continue };
-        compared.push(key.as_str());
-        let ratio = current / base;
-        println!("{key},{base:.0},{current:.0},{ratio:.2}");
-        if ratio < 1.0 - max_drop {
-            failures.push(format!("{key}: {current:.0}/s is {ratio:.2}x of baseline {base:.0}/s"));
-        }
-    }
-    if compared.is_empty() {
-        // A renamed scenario or stale baseline must not disable the gate.
-        failures.push(
-            "no *_cycles_per_sec metric matched the baseline — renamed scenarios or a \
-             stale baseline file would otherwise gate nothing"
-            .to_string(),
-        );
-    }
-    // The busy-pipeline rates must always be part of the comparison: they
-    // are where front-end and scheduler regressions land, and fast-forward
-    // cannot mask them.
-    for required in GATE_REQUIRED {
-        if !compared.contains(required) {
-            failures.push(format!(
-                "required metric {required} was not compared (missing from the report or \
-                 the baseline) — the busy-pipeline gate would be silently disabled"
-            ));
-        }
-    }
-    if !failures.is_empty() {
-        eprintln!("perf gate FAILED:");
-        for f in &failures {
-            eprintln!("  {f}");
-        }
-        std::process::exit(1);
-    }
-    println!("perf gate passed");
+    };
+    std::process::exit(specrun_lab::perf::run(&opts))
 }

@@ -1,84 +1,7 @@
-//! §6 defense evaluation (the paper proposes the scheme without a figure):
-//! leak blocking on the attack PoCs plus the IPC overhead of the SL cache
-//! on the Fig. 7 kernels, and the skip-INV-branch ablation. The kernel ×
-//! machine matrix (6 kernels × 4 machines) fans out over all host cores.
-
-use specrun::attack::PocConfig;
-use specrun::defense::verify_pht_blocked;
-use specrun::Machine;
-use specrun_cpu::CpuConfig;
-use specrun_workloads::ipc::{run_workload, IpcComparison};
-use specrun_workloads::{geomean_speedup, parallel_map, suite_with_iters};
+//! Thin alias for `specrun-lab run defense --no-artifacts` (§6: defense effectiveness
+//! and overhead). The experiment itself lives in the `specrun-lab`
+//! scenario registry.
 
 fn main() {
-    println!("== Defense effectiveness (Fig. 11 attack, slide 300) ==");
-    println!("machine,leaked,blocked,sl_promotions,sl_deletions,skipped_inv");
-    let machines = [
-        ("runahead (undefended)", Machine::runahead as fn() -> Machine),
-        ("secure SL-cache", Machine::secure),
-        ("skip-INV-branch", Machine::skip_inv),
-    ];
-    let reports = parallel_map(&machines, machines.len(), |_, (_, make)| {
-        let mut machine = make();
-        verify_pht_blocked(&mut machine, &PocConfig::fig11(300))
-    });
-    for ((name, _), report) in machines.iter().zip(&reports) {
-        println!(
-            "{name},{:?},{},{},{},{}",
-            report.outcome.leaked,
-            report.blocked(),
-            report.sl_promotions,
-            report.sl_deletions,
-            report.skipped_inv_branches
-        );
-    }
-
-    println!();
-    println!("== Defense overhead on the Fig. 7 kernels (IPC vs baseline) ==");
-    println!("kernel,runahead,secure_runahead,skip_inv,secure_overhead_vs_runahead_pct");
-    let suite = suite_with_iters(600);
-    let mut skip_cfg = CpuConfig::default();
-    skip_cfg.runahead.secure = specrun_cpu::SecureConfig::skip_inv_default();
-    let configs =
-        [CpuConfig::no_runahead(), CpuConfig::default(), CpuConfig::secure_runahead(), skip_cfg];
-    // One job per (kernel, machine): 24 simulations, all independent.
-    let jobs: Vec<(usize, usize)> = (0..suite.len())
-        .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
-        .collect();
-    let threads = specrun_workloads::harness::default_threads();
-    let results = parallel_map(&jobs, threads, |_, &(w, c)| {
-        run_workload(&suite[w], configs[c].clone(), 50_000_000)
-    });
-    let compared = |w: usize, c: usize| IpcComparison {
-        name: suite[w].name,
-        baseline: results[w * configs.len()],
-        runahead: results[w * configs.len() + c],
-    };
-    let mut plain = Vec::new();
-    let mut secure = Vec::new();
-    let mut skip = Vec::new();
-    for (w, workload) in suite.iter().enumerate() {
-        let p = compared(w, 1);
-        let s = compared(w, 2);
-        let k = compared(w, 3);
-        let overhead = (1.0 - s.runahead.ipc / p.runahead.ipc) * 100.0;
-        println!(
-            "{},{:.3},{:.3},{:.3},{:.1}%",
-            workload.name,
-            p.speedup(),
-            s.speedup(),
-            k.speedup(),
-            overhead
-        );
-        plain.push(p);
-        secure.push(s);
-        skip.push(k);
-    }
-    println!(
-        "geomean,{:.3},{:.3},{:.3},{:.1}%",
-        geomean_speedup(&plain),
-        geomean_speedup(&secure),
-        geomean_speedup(&skip),
-        (1.0 - geomean_speedup(&secure) / geomean_speedup(&plain)) * 100.0
-    );
+    specrun_lab::cli::legacy_main("defense")
 }

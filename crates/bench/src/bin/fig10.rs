@@ -1,21 +1,7 @@
-//! Regenerates the §5.3 / Fig. 10 transient-window measurement: the number
-//! of instructions executable behind a stalled load in the three scenarios
-//! ➀ normal (flush once), ➁ runahead (flush once), ➂ runahead (repeated
-//! flush). Paper: N1 = 255, N2 = 480, N3 = 840 on a 256-entry ROB.
-
-use specrun::window::measure_windows;
+//! Thin alias for `specrun-lab run fig10 --no-artifacts` (Fig. 10 / §5.3: transient
+//! windows). The experiment itself lives in the `specrun-lab` scenario
+//! registry.
 
 fn main() {
-    let r = measure_windows();
-    println!("Fig. 10 / §5.3: available transient window (ROB = {})", r.rob_entries);
-    println!("scenario,measured,paper");
-    println!("N1 normal flush-once,{},255", r.n1);
-    println!("N2 runahead flush-once,{},480", r.n2);
-    println!("N3 runahead repeated-flush,{},840", r.n3);
-    println!();
-    println!(
-        "episodes in scenario 3: {}; shape N1 < ROB <= N2 < N3 holds: {}",
-        r.episodes_n3,
-        r.shape_holds()
-    );
+    specrun_lab::cli::legacy_main("fig10")
 }

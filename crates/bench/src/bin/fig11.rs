@@ -1,32 +1,7 @@
-//! Regenerates Fig. 11: probe access times on the no-runahead and runahead
-//! machines with the nop-padded gadget (secret access pushed outside the
-//! original ROB window). Paper: leak at index 127 only on the runahead
-//! machine. The two machines simulate in parallel.
-
-use specrun::attack::{run_pht_poc, PocConfig};
-use specrun::Machine;
-use specrun_workloads::parallel_map;
+//! Thin alias for `specrun-lab run fig11 --no-artifacts` (Fig. 11: the leak beyond the
+//! ROB window). The experiment itself lives in the `specrun-lab` scenario
+//! registry.
 
 fn main() {
-    let slide = 300; // nops between the bounds check and the secret access
-    println!("Fig. 11: probe access time, nop slide = {slide} (> ROB)");
-
-    let machines = [Machine::no_runahead, Machine::runahead];
-    let outcomes = parallel_map(&machines, 2, |_, make| {
-        let mut machine = make();
-        run_pht_poc(&mut machine, &PocConfig::fig11(slide))
-    });
-    let (base, attacked) = (&outcomes[0], &outcomes[1]);
-
-    println!("index,no_runahead_cycles,runahead_cycles");
-    let b = base.timings.as_slice();
-    let r = attacked.timings.as_slice();
-    for i in 0..b.len() {
-        println!("{i},{},{}", b[i], r[i]);
-    }
-    println!();
-    println!(
-        "no-runahead leaked: {:?} (paper: none); runahead leaked: {:?} (paper: 127)",
-        base.leaked, attacked.leaked
-    );
+    specrun_lab::cli::legacy_main("fig11")
 }

@@ -1,34 +1,7 @@
-//! Regenerates Fig. 7: normalized IPC, no-runahead vs runahead, for the six
-//! SPEC2006-like kernels. All twelve simulations fan out over the host's
-//! cores through the parallel trial harness.
-//!
-//! The paper reports an average improvement of 11%; this harness prints the
-//! per-kernel normalized IPC pairs and the geometric mean.
-
-use specrun_workloads::ipc::compare_parallel;
-use specrun_workloads::{fig7_suite, geomean_speedup};
+//! Thin alias for `specrun-lab run fig7 --no-artifacts` (Fig. 7: runahead IPC on the
+//! kernel suite, full fidelity). The experiment itself lives in the
+//! `specrun-lab` scenario registry.
 
 fn main() {
-    println!("Fig. 7: standardized performance (IPC) comparison");
-    println!("kernel,no_runahead,runahead,speedup,runahead_entries");
-    let suite = fig7_suite();
-    let results = compare_parallel(&suite, 50_000_000, 0);
-    for c in &results {
-        let (base_norm, ra_norm) = c.normalized_ipc();
-        println!(
-            "{},{:.3},{:.3},{:.3},{}",
-            c.name,
-            base_norm,
-            ra_norm,
-            c.speedup(),
-            c.runahead.runahead_entries
-        );
-    }
-    let mean = geomean_speedup(&results);
-    println!("geomean,1.000,{mean:.3},{mean:.3},-");
-    println!();
-    println!(
-        "paper: runahead improves every benchmark, mean +11%; measured mean {:+.1}%",
-        (mean - 1.0) * 100.0
-    );
+    specrun_lab::cli::legacy_main("fig7")
 }

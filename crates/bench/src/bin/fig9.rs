@@ -1,24 +1,6 @@
-//! Regenerates Fig. 9: the probe-array access-time series after executing
-//! SPECRUN (secret = 86 leaks through a sharp latency dip).
-
-use specrun::attack::{run_pht_poc, PocConfig};
-use specrun::Machine;
+//! Thin alias for `specrun-lab run fig9 --no-artifacts` (Fig. 9: the SPECRUN PoC leak).
+//! The experiment itself lives in the `specrun-lab` scenario registry.
 
 fn main() {
-    let cfg = PocConfig::default(); // secret 86, as in the paper
-    let mut machine = Machine::runahead();
-    let outcome = run_pht_poc(&mut machine, &cfg);
-    println!("Fig. 9: probe array access time after executing SPECRUN");
-    print!("{}", outcome.timings.to_csv());
-    println!();
-    println!(
-        "leaked={:?} expected={} runahead_entries={} unresolved_inv_branches={}",
-        outcome.leaked, outcome.expected, outcome.runahead_entries, outcome.inv_branches
-    );
-    println!(
-        "paper: significant drop at index 86; measured dip at index {:?} ({} cycles vs miss floor {:.0})",
-        outcome.leaked,
-        outcome.leaked.map(|i| outcome.timings.as_slice()[i as usize]).unwrap_or(0),
-        outcome.timings.miss_floor(cfg.threshold)
-    );
+    specrun_lab::cli::legacy_main("fig9")
 }

@@ -1,54 +1,7 @@
-//! Regenerates Table 1: the basic configuration of the processor.
-
-use specrun_cpu::CpuConfig;
+//! Thin alias for `specrun-lab run table1 --no-artifacts` (Table 1: the machine
+//! configuration). The experiment itself lives in the `specrun-lab`
+//! scenario registry.
 
 fn main() {
-    let c = CpuConfig::default();
-    println!("Table 1: The basic configuration of the processor");
-    println!("{:-<66}", "");
-    println!("{:<18} Parameter", "Component");
-    println!("{:-<66}", "");
-    println!("{:<18} {} GHz, out-of-order", "Core", c.freq_ghz);
-    println!("{:<18} {}-wide fetch/decode/dispatch/commit", "Processor width", c.width);
-    println!("{:<18} {} front-end stages", "Pipeline depth", c.frontend_stages);
-    println!("{:<18} two-level adaptive predictor", "Branch predictor");
-    println!(
-        "{:<18} {} int add ({} cycle), {} int mult ({} cycle),",
-        "Functional units",
-        c.fu.int_add.count,
-        c.fu.int_add.latency,
-        c.fu.int_mul.count,
-        c.fu.int_mul.latency
-    );
-    println!(
-        "{:<18} {} int div ({} cycle), {} fp add ({} cycle),",
-        "", c.fu.int_div.count, c.fu.int_div.latency, c.fu.fp_add.count, c.fu.fp_add.latency
-    );
-    println!(
-        "{:<18} {} fp mult ({} cycle), {} fp div ({} cycle)",
-        "", c.fu.fp_mul.count, c.fu.fp_mul.latency, c.fu.fp_div.count, c.fu.fp_div.latency
-    );
-    println!("{:<18} {} int (64 bit), {} fp (64 bit)", "Register file", c.int_prf, c.fp_prf);
-    println!("{:<18} {} entries", "ROB", c.rob_entries);
-    println!(
-        "{:<18} i ({}), load ({}), store ({})",
-        "Queue", c.iq_entries, c.lq_entries, c.sq_entries
-    );
-    let cache = |cc: &specrun_mem::CacheConfig| {
-        format!("{}KB, {} way, {} cycle", cc.size_bytes / 1024, cc.ways, cc.hit_latency)
-    };
-    println!("{:<18} {}", "L1 I-cache", cache(&c.mem.l1i));
-    println!("{:<18} {}", "L1 D-cache", cache(&c.mem.l1d));
-    println!("{:<18} {}", "L2 cache", cache(&c.mem.l2));
-    println!(
-        "{:<18} {}MB, {} way, {} cycle",
-        "L3 cache",
-        c.mem.l3.size_bytes / (1024 * 1024),
-        c.mem.l3.ways,
-        c.mem.l3.hit_latency
-    );
-    println!(
-        "{:<18} request-based contention model, {} cycle",
-        "Memory", c.mem.dram.latency
-    );
+    specrun_lab::cli::legacy_main("table1")
 }

@@ -1,62 +1,7 @@
-//! §4.3 / §4.4 applicability matrix: the attack against each runahead
-//! policy (original, precise, vector) and each Spectre variant
-//! (PHT, BTB, RSB). All six attack simulations run in parallel.
-
-use specrun::attack::{run_btb_poc, run_pht_poc, run_rsb_poc, PocConfig, PocOutcome};
-use specrun::Machine;
-use specrun_cpu::RunaheadPolicy;
-use specrun_workloads::parallel_map;
-
-enum Job {
-    Policy(RunaheadPolicy),
-    Variant(&'static str),
-}
-
-fn run(job: &Job) -> PocOutcome {
-    match job {
-        Job::Policy(policy) => {
-            let mut machine = Machine::with_policy(*policy);
-            run_pht_poc(&mut machine, &PocConfig::fig11(300))
-        }
-        Job::Variant(name) => {
-            let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
-            let mut machine = Machine::runahead();
-            match *name {
-                "SpectrePHT" => run_pht_poc(&mut machine, &cfg),
-                "SpectreBTB" => run_btb_poc(&mut machine, &cfg),
-                "SpectreRSB" => run_rsb_poc(&mut machine, &cfg),
-                other => unreachable!("unknown variant {other}"),
-            }
-        }
-    }
-}
+//! Thin alias for `specrun-lab run variants --no-artifacts` (§4.3/§4.4: the attack
+//! against every runahead policy and Spectre variant). The experiment
+//! itself lives in the `specrun-lab` scenario registry.
 
 fn main() {
-    let jobs = [
-        Job::Policy(RunaheadPolicy::Original),
-        Job::Policy(RunaheadPolicy::Precise),
-        Job::Policy(RunaheadPolicy::Vector),
-        Job::Variant("SpectrePHT"),
-        Job::Variant("SpectreBTB"),
-        Job::Variant("SpectreRSB"),
-    ];
-    let outcomes = parallel_map(&jobs, jobs.len(), |_, job| run(job));
-
-    println!("== SpectrePHT against runahead policies (nop slide 300) ==");
-    println!("policy,leaked,expected,runahead_entries,inv_branches");
-    for (job, o) in jobs.iter().zip(&outcomes).take(3) {
-        let Job::Policy(policy) = job else { unreachable!() };
-        println!(
-            "{policy:?},{:?},{},{},{}",
-            o.leaked, o.expected, o.runahead_entries, o.inv_branches
-        );
-    }
-
-    println!();
-    println!("== Spectre variants nested in (original) runahead ==");
-    println!("variant,leaked,expected,runahead_entries");
-    for (job, o) in jobs.iter().zip(&outcomes).skip(3) {
-        let Job::Variant(name) = job else { unreachable!() };
-        println!("{name},{:?},{},{}", o.leaked, o.expected, o.runahead_entries);
-    }
+    specrun_lab::cli::legacy_main("variants")
 }

@@ -1,198 +1,24 @@
-//! Shared helpers for the SPECRUN benchmark harness binaries and Criterion
-//! benches: CSV table printing and the `BENCH_*.json` performance-report
-//! emitter consumed by CI to track the simulator's throughput trajectory.
+//! Shared helpers for the SPECRUN benchmark binaries and Criterion
+//! benches.
+//!
+//! The heavy lifting moved into `specrun-lab`: the scenario registry owns
+//! every figure/table experiment, and the `BENCH_*.json` performance
+//! report emitter lives in [`specrun_lab::report`]. This crate keeps the
+//! legacy binaries (now thin aliases), the Criterion benches, and
+//! re-exports the report types under their historical paths so existing
+//! tooling keeps compiling.
 
-use std::fmt::Write as _;
-use std::io;
-use std::path::PathBuf;
-
-/// Prints a CSV table with a header row.
-pub fn print_csv(header: &str, rows: impl IntoIterator<Item = String>) {
-    println!("{header}");
-    for row in rows {
-        println!("{row}");
-    }
-}
-
-/// A machine-readable benchmark report, serialized as `BENCH_<name>.json`.
-///
-/// The format is a flat JSON object: string notes and numeric metrics. No
-/// serde in this offline build — the writer escapes and formats by hand.
-///
-/// ```
-/// let mut r = specrun_bench::BenchReport::new("step");
-/// r.note("kernel", "pointer_chase");
-/// r.metric("cycles_per_sec", 1.25e7);
-/// assert!(r.to_json().contains("\"cycles_per_sec\""));
-/// ```
-#[derive(Debug, Clone)]
-pub struct BenchReport {
-    name: String,
-    notes: Vec<(String, String)>,
-    metrics: Vec<(String, f64)>,
-}
-
-impl BenchReport {
-    /// Starts a report named `name` (the file becomes `BENCH_<name>.json`).
-    pub fn new(name: impl Into<String>) -> BenchReport {
-        BenchReport { name: name.into(), notes: Vec::new(), metrics: Vec::new() }
-    }
-
-    /// Adds a string annotation.
-    pub fn note(&mut self, key: impl Into<String>, value: impl Into<String>) -> &mut Self {
-        self.notes.push((key.into(), value.into()));
-        self
-    }
-
-    /// Adds a numeric metric.
-    pub fn metric(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
-        self.metrics.push((key.into(), value));
-        self
-    }
-
-    /// The numeric metrics collected so far, in insertion order.
-    pub fn metrics(&self) -> &[(String, f64)] {
-        &self.metrics
-    }
-
-    /// Renders the report as a JSON object.
-    pub fn to_json(&self) -> String {
-        let mut fields = vec![format!("  \"bench\": {}", json_string(&self.name))];
-        fields.extend(
-            self.notes.iter().map(|(k, v)| format!("  {}: {}", json_string(k), json_string(v))),
-        );
-        fields.extend(
-            self.metrics.iter().map(|(k, v)| format!("  {}: {}", json_string(k), json_number(*v))),
-        );
-        format!("{{\n{}\n}}\n", fields.join(",\n"))
-    }
-
-    /// Writes `BENCH_<name>.json` into `dir` and returns the path.
-    pub fn write_to(&self, dir: impl Into<PathBuf>) -> io::Result<PathBuf> {
-        let mut path = dir.into();
-        path.push(format!("BENCH_{}.json", self.name));
-        std::fs::write(&path, self.to_json())?;
-        Ok(path)
-    }
-
-    /// Writes `BENCH_<name>.json` into the current directory.
-    pub fn write(&self) -> io::Result<PathBuf> {
-        self.write_to(".")
-    }
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Parses the numeric metrics out of a flat `BENCH_*.json` report (the
-/// shape [`BenchReport::to_json`] writes: one `"key": value` pair per
-/// line). String notes are skipped. Used by the CI perf-regression gate to
-/// read the committed baseline without a JSON dependency.
-pub fn parse_metrics(json: &str) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    for line in json.lines() {
-        let line = line.trim().trim_end_matches(',');
-        let Some((key, value)) = line.split_once(':') else { continue };
-        let key = key.trim();
-        if key.len() < 2 || !key.starts_with('"') || !key.ends_with('"') {
-            continue;
-        }
-        if let Ok(v) = value.trim().parse::<f64>() {
-            out.push((key[1..key.len() - 1].to_string(), v));
-        }
-    }
-    out
-}
-
-fn json_number(v: f64) -> String {
-    if v.is_finite() {
-        if v == v.trunc() && v.abs() < 1e15 {
-            format!("{}", v as i64)
-        } else {
-            format!("{v}")
-        }
-    } else {
-        "null".to_string()
-    }
-}
+pub use specrun_lab::{parse_metrics, BenchReport};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn report_renders_valid_shape() {
-        let mut r = BenchReport::new("step");
-        r.note("kernel", "pointer_chase");
-        r.metric("speedup", 3.5);
-        r.metric("cycles", 600227.0);
-        let json = r.to_json();
-        assert!(json.starts_with("{\n"));
-        assert!(json.trim_end().ends_with('}'));
-        assert!(json.contains("\"bench\": \"step\""));
-        assert!(json.contains("\"speedup\": 3.5"));
-        assert!(json.contains("\"cycles\": 600227"));
-        // No trailing comma before the closing brace.
-        assert!(!json.contains(",\n}"));
-    }
-
-    #[test]
-    fn parse_metrics_round_trips_a_report() {
-        let mut r = BenchReport::new("step");
-        r.note("quick_mode", "yes");
-        r.metric("a_cycles_per_sec", 1234.5);
-        r.metric("cycles", 600227.0);
+    fn reexported_report_round_trips() {
+        let mut r = BenchReport::new("compat");
+        r.metric("x_cycles_per_sec", 2.0);
         let parsed = parse_metrics(&r.to_json());
-        assert_eq!(
-            parsed,
-            vec![("a_cycles_per_sec".to_string(), 1234.5), ("cycles".to_string(), 600227.0)],
-            "string notes are skipped, numbers survive"
-        );
-    }
-
-    #[test]
-    fn empty_metrics_have_no_trailing_comma() {
-        let mut r = BenchReport::new("x");
-        r.note("k", "v");
-        let json = r.to_json();
-        assert!(!json.contains(",\n}"), "trailing comma breaks strict parsers: {json}");
-        assert!(json.ends_with("\"k\": \"v\"\n}\n"));
-        // Bare report: just the bench name.
-        let bare = BenchReport::new("y").to_json();
-        assert_eq!(bare, "{\n  \"bench\": \"y\"\n}\n");
-    }
-
-    #[test]
-    fn strings_are_escaped() {
-        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
-    }
-
-    #[test]
-    fn write_creates_named_file() {
-        let dir = std::env::temp_dir();
-        let mut r = BenchReport::new("emitter_test");
-        r.metric("x", 1.0);
-        let path = r.write_to(&dir).expect("writable temp dir");
-        assert!(path.ends_with("BENCH_emitter_test.json"));
-        let body = std::fs::read_to_string(&path).unwrap();
-        assert!(body.contains("\"x\": 1"));
-        let _ = std::fs::remove_file(path);
+        assert_eq!(parsed, vec![("x_cycles_per_sec".to_string(), 2.0)]);
     }
 }

@@ -58,11 +58,7 @@ impl Btb {
     pub fn new(config: BtbConfig) -> Btb {
         assert!(config.sets.is_power_of_two(), "BTB sets must be a power of two");
         assert!(config.ways > 0, "BTB needs at least one way");
-        Btb {
-            config,
-            sets: (0..config.sets).map(|_| vec![None; config.ways]).collect(),
-            stamp: 0,
-        }
+        Btb { config, sets: (0..config.sets).map(|_| vec![None; config.ways]).collect(), stamp: 0 }
     }
 
     /// The BTB's configuration.
@@ -73,7 +69,8 @@ impl Btb {
     fn index_and_tag(&self, pc: u64) -> (usize, u64) {
         let idx = ((pc >> 3) as usize) & (self.config.sets - 1);
         let tag_shift = 3 + self.config.sets.trailing_zeros();
-        let tag_mask = if self.config.tag_bits >= 64 { u64::MAX } else { (1 << self.config.tag_bits) - 1 };
+        let tag_mask =
+            if self.config.tag_bits >= 64 { u64::MAX } else { (1 << self.config.tag_bits) - 1 };
         (idx, (pc >> tag_shift) & tag_mask)
     }
 

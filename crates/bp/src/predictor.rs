@@ -114,10 +114,9 @@ impl BranchPredictor {
                 };
                 Prediction { taken, target }
             }
-            BranchKind::Direct => Prediction {
-                taken: true,
-                target: direct_target.unwrap_or(fallthrough),
-            },
+            BranchKind::Direct => {
+                Prediction { taken: true, target: direct_target.unwrap_or(fallthrough) }
+            }
             BranchKind::Indirect => {
                 self.stats.target_predictions += 1;
                 let target = self.btb.predict(pc).unwrap_or(fallthrough);

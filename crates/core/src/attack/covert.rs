@@ -38,12 +38,7 @@ impl ProbeTimings {
 
     /// Indices that measured faster than `threshold` (cache hits).
     pub fn hot_indices(&self, threshold: u64) -> Vec<usize> {
-        self.timings
-            .iter()
-            .enumerate()
-            .filter(|(_, &t)| t < threshold)
-            .map(|(i, _)| i)
-            .collect()
+        self.timings.iter().enumerate().filter(|(_, &t)| t < threshold).map(|(i, _)| i).collect()
     }
 
     /// Recovers the leaked byte: the unique sub-threshold index, ignoring
@@ -63,8 +58,7 @@ impl ProbeTimings {
 
     /// Mean access time of the non-hot entries (the miss floor).
     pub fn miss_floor(&self, threshold: u64) -> f64 {
-        let misses: Vec<u64> =
-            self.timings.iter().copied().filter(|&t| t >= threshold).collect();
+        let misses: Vec<u64> = self.timings.iter().copied().filter(|&t| t >= threshold).collect();
         if misses.is_empty() {
             0.0
         } else {

@@ -77,10 +77,7 @@ impl SweepReport {
 
     /// Mean runahead episodes per trial.
     pub fn mean_runahead_entries(&self) -> f64 {
-        harness::Summary::of(
-            self.trials.iter().map(|t| t.outcome.runahead_entries as f64),
-        )
-        .mean
+        harness::Summary::of(self.trials.iter().map(|t| t.outcome.runahead_entries as f64)).mean
     }
 }
 
@@ -89,10 +86,8 @@ impl SweepReport {
 /// results. Deterministic for a fixed seed regardless of thread count.
 pub fn run_pht_sweep(cfg: &SweepConfig) -> SweepReport {
     let threads = if cfg.threads == 0 { harness::default_threads() } else { cfg.threads };
-    let specs: Vec<TrialSpec> = harness::ConfigMatrix::new(cfg.machine.clone())
-        .trials(cfg.trials)
-        .seed(cfg.seed)
-        .build();
+    let specs: Vec<TrialSpec> =
+        harness::ConfigMatrix::new(cfg.machine.clone()).trials(cfg.trials).seed(cfg.seed).build();
     let trials = parallel_map(&specs, threads, |i, spec| {
         let mut rng = spec.rng();
         // Avoid 0: probe entry 0 is warmed by training and excluded by the
@@ -124,9 +119,7 @@ mod tests {
         let one = run_pht_sweep(&SweepConfig { trials: 3, threads: 1, ..SweepConfig::default() });
         let four = run_pht_sweep(&SweepConfig { trials: 3, threads: 4, ..SweepConfig::default() });
         let secrets = |r: &SweepReport| r.trials.iter().map(|t| t.secret).collect::<Vec<_>>();
-        let leaks = |r: &SweepReport| {
-            r.trials.iter().map(|t| t.outcome.leaked).collect::<Vec<_>>()
-        };
+        let leaks = |r: &SweepReport| r.trials.iter().map(|t| t.outcome.leaked).collect::<Vec<_>>();
         assert_eq!(secrets(&one), secrets(&four));
         assert_eq!(leaks(&one), leaks(&four));
     }

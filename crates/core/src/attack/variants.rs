@@ -121,13 +121,7 @@ pub fn run_btb_poc(machine: &mut Machine, cfg: &PocConfig) -> PocOutcome {
     machine.run_program(&probe, cfg.max_cycles);
     let timings = ProbeTimings::read_from(machine, &layout);
     let leaked = timings.leaked_byte(cfg.threshold, &[0]);
-    PocOutcome {
-        leaked,
-        expected: cfg.secret,
-        runahead_entries,
-        inv_branches,
-        timings,
-    }
+    PocOutcome { leaked, expected: cfg.secret, runahead_entries, inv_branches, timings }
 }
 
 /// Builds the victim program for the RSB variant (Fig. 4b, direct
@@ -173,13 +167,7 @@ pub fn run_rsb_poc(machine: &mut Machine, cfg: &PocConfig) -> PocOutcome {
     machine.run_program(&probe, cfg.max_cycles);
     let timings = ProbeTimings::read_from(machine, &layout);
     let leaked = timings.leaked_byte(cfg.threshold, &[0]);
-    PocOutcome {
-        leaked,
-        expected: cfg.secret,
-        runahead_entries,
-        inv_branches,
-        timings,
-    }
+    PocOutcome { leaked, expected: cfg.secret, runahead_entries, inv_branches, timings }
 }
 
 #[cfg(test)]

@@ -35,6 +35,7 @@
 pub mod attack;
 pub mod defense;
 mod machine;
+mod metrics;
 pub mod window;
 
 pub use machine::Machine;
@@ -42,8 +43,8 @@ pub use machine::Machine;
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::attack::{
-        run_btb_poc, run_pht_poc, run_rsb_poc, AttackLayout, PocConfig, PocOutcome,
-        ProbeTimings, DEFAULT_THRESHOLD,
+        run_btb_poc, run_pht_poc, run_rsb_poc, AttackLayout, PocConfig, PocOutcome, ProbeTimings,
+        DEFAULT_THRESHOLD,
     };
     pub use crate::defense::{verify_pht_blocked, DefenseReport};
     pub use crate::window::{measure_windows, WindowReport};

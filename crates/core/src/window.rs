@@ -115,13 +115,7 @@ pub fn measure_windows() -> WindowReport {
         _ => measure_n3(nops, 1),
     });
     let (n3, episodes_n3) = results[2];
-    WindowReport {
-        n1: results[0].0,
-        n2: results[1].0,
-        n3,
-        rob_entries: 256,
-        episodes_n3,
-    }
+    WindowReport { n1: results[0].0, n2: results[1].0, n3, rob_entries: 256, episodes_n3 }
 }
 
 #[cfg(test)]

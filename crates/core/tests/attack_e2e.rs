@@ -17,10 +17,7 @@ fn fig9_pht_poc_leaks_on_runahead_machine() {
     // The dip must be sharp: hit far below the miss floor.
     let dip = outcome.timings.as_slice()[86];
     let floor = outcome.timings.miss_floor(cfg.threshold);
-    assert!(
-        (dip as f64) < floor / 3.0,
-        "dip {dip} should be far below the miss floor {floor}"
-    );
+    assert!((dip as f64) < floor / 3.0, "dip {dip} should be far below the miss floor {floor}");
 }
 
 /// Fig. 11: with a nop slide longer than the ROB, the no-runahead machine

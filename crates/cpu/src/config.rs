@@ -227,8 +227,8 @@ pub struct CpuConfig {
     /// operand state — and any divergence panics. Orders of magnitude
     /// slower — for tests only.
     pub sched_check: bool,
-    /// Predecode self-check: every fetched micro-op's [`UopMeta`]
-    /// (`specrun_isa::UopMeta`) is re-derived from the `Inst` enum with the
+    /// Predecode self-check: every fetched micro-op's
+    /// [`UopMeta`](specrun_isa::UopMeta) is re-derived from the `Inst` enum with the
     /// retired per-site derivations — `sources`/`dest`, the
     /// load/store/serializer/control classification, the FU class, the
     /// direct branch target — and any divergence panics. Much slower — for

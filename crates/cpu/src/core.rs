@@ -214,8 +214,7 @@ impl Core {
         self.regs = RegFile::new(self.cfg.int_prf, self.cfg.fp_prf);
         let sp = self.retire_rat.get(ArchReg::Int(IntReg::SP));
         self.regs.restore(sp, self.cfg.stack_top);
-        self.scope_map =
-            program.branch_scopes().iter().map(|s| (s.branch_pc, s.end_pc)).collect();
+        self.scope_map = program.branch_scopes().iter().map(|s| (s.branch_pc, s.end_pc)).collect();
         // Predecode once: every instruction is lowered to its `UopMeta`
         // here, and the pipeline never re-derives static facts per cycle.
         self.program = Some(Arc::new(DecodedProgram::new(program.clone())));
@@ -465,10 +464,7 @@ impl Core {
                     || self.iq_occupancy >= self.cfg.iq_entries
                     || (front.meta.is_load() && self.lq_occupancy >= self.cfg.lq_entries)
                     || (front.meta.needs_sq() && self.sq.is_full())
-                    || front
-                        .meta
-                        .dest
-                        .is_some_and(|d| self.free.available(RegClass::of(d)) == 0);
+                    || front.meta.dest.is_some_and(|d| self.free.available(RegClass::of(d)) == 0);
                 if !blocked {
                     return None;
                 }
@@ -740,7 +736,8 @@ impl Core {
             .map(|e| e.seq)
             .collect();
         assert_eq!(
-            completed, &expected[..],
+            completed,
+            &expected[..],
             "sched_check: completion events diverge from the ROB scan at cycle {now}"
         );
     }
@@ -820,11 +817,7 @@ impl Core {
             self.secure_on_resolution(pc, info.actual_taken, info.scope_id, in_runahead);
         }
         if mispredicted {
-            let redirect = if info.actual_taken {
-                info.actual_target
-            } else {
-                pc + INST_BYTES
-            };
+            let redirect = if info.actual_taken { info.actual_target } else { pc + INST_BYTES };
             self.squash_after(seq, now);
             // Repair the RSB to just-after this branch's own effects.
             self.bp.rsb_restore(info.rsb_checkpoint);
@@ -1062,7 +1055,9 @@ impl Core {
                 self.issue_load(seq, pc, inst, vals, inv, taint, now)
             }
             Inst::Flush { .. } => self.issue_store(seq, inst, vals, inv, taint, now),
-            Inst::Call { offset } => self.issue_call(seq, pc, Some(offset), None, vals, inv, taint, now),
+            Inst::Call { offset } => {
+                self.issue_call(seq, pc, Some(offset), None, vals, inv, taint, now)
+            }
             Inst::CallInd { .. } => {
                 self.issue_call(seq, pc, None, Some(vals[0]), vals, inv, taint, now)
             }
@@ -1185,7 +1180,8 @@ impl Core {
         e.taint = taint;
         if let Some(b) = e.branch.as_mut() {
             b.actual_taken = taken;
-            b.actual_target = if taken { pc.wrapping_add_signed(i64::from(offset)) } else { pc + INST_BYTES };
+            b.actual_target =
+                if taken { pc.wrapping_add_signed(i64::from(offset)) } else { pc + INST_BYTES };
         }
         self.sched.completions.schedule(now, now + latency, seq);
         true
@@ -1415,7 +1411,17 @@ impl Core {
                     self.stats.inv_unresolved_branches += 1;
                     self.skip_inv_park(seq, now);
                 }
-                return self.complete_load(seq, addr, None, value, poison, taint, now + 1, sp_like, now);
+                return self.complete_load(
+                    seq,
+                    addr,
+                    None,
+                    value,
+                    poison,
+                    taint,
+                    now + 1,
+                    sp_like,
+                    now,
+                );
             }
             LoadCheck::NoConflict => {}
         }
@@ -1429,7 +1435,17 @@ impl Core {
                         if self.fu.try_issue(FuKind::Mem, now).is_none() {
                             return false;
                         }
-                        return self.complete_load(seq, addr, None, value, false, taint, now + 2, sp_like, now);
+                        return self.complete_load(
+                            seq,
+                            addr,
+                            None,
+                            value,
+                            false,
+                            taint,
+                            now + 2,
+                            sp_like,
+                            now,
+                        );
                     }
                     RunaheadRead::Invalid => {
                         if sp_like {
@@ -1464,7 +1480,17 @@ impl Core {
                         return false;
                     }
                     let value = self.mem.read_data(addr, width);
-                    return self.complete_load(seq, addr, None, value, false, taint, now + latency, sp_like, now);
+                    return self.complete_load(
+                        seq,
+                        addr,
+                        None,
+                        value,
+                        false,
+                        taint,
+                        now + latency,
+                        sp_like,
+                        now,
+                    );
                 }
             }
         }
@@ -1723,8 +1749,7 @@ impl Core {
             let pred = if meta.is_control() {
                 let rsb_checkpoint = self.bp.rsb_checkpoint();
                 let kind = kind_of_ctrl(meta.ctrl);
-                let p: Prediction =
-                    self.bp.predict(pc, kind, meta.direct_target(), fallthrough);
+                let p: Prediction = self.bp.predict(pc, kind, meta.direct_target(), fallthrough);
                 Some(PredInfo { kind, taken: p.taken, target: p.target, rsb_checkpoint })
             } else {
                 None
@@ -1784,12 +1809,8 @@ impl Core {
                 budget -= 1;
                 continue;
             }
-            let access = self.mem.access(
-                line * line_bytes,
-                now,
-                AccessKind::IFetch,
-                FillPolicy::Normal,
-            );
+            let access =
+                self.mem.access(line * line_bytes, now, AccessKind::IFetch, FillPolicy::Normal);
             if access.level == HitLevel::L1 {
                 self.ipf_probe_memo = (line, self.mem.l1i_generation());
             }
@@ -1941,4 +1962,3 @@ fn two_operands(rs1: IntReg, rs2: IntReg, vals: [u64; 3]) -> (u64, u64) {
         (false, false) => (vals[0], vals[1]),
     }
 }
-

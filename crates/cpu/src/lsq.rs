@@ -221,10 +221,7 @@ mod tests {
         let mut q = sq();
         q.allocate(1, 8, false);
         q.fill(1, 0x100, Some(0x8877_6655_4433_2211), false);
-        assert_eq!(
-            q.check_load(2, 0x102, 2, 64),
-            LoadCheck::Forward { value: 0x4433, inv: false }
-        );
+        assert_eq!(q.check_load(2, 0x102, 2, 64), LoadCheck::Forward { value: 0x4433, inv: false });
     }
 
     #[test]

@@ -76,10 +76,9 @@ impl Core {
                         || self.free.available(crate::regs::RegClass::Int) == 0
                         || self.free.available(crate::regs::RegClass::Fp) == 0;
                     rename_blocked
-                        && !self
-                            .rob
-                            .iter()
-                            .any(|e| e.meta.is_serializing() && e.state != crate::rob::EntryState::Done)
+                        && !self.rob.iter().any(|e| {
+                            e.meta.is_serializing() && e.state != crate::rob::EntryState::Done
+                        })
                 }
                 RunaheadTrigger::HeadMiss => true,
             },
@@ -215,8 +214,7 @@ impl Core {
         // Useless-runahead avoidance: an episode that prefetched next to
         // nothing predicts that the next one won't either; back off.
         let yielded = self.stats.runahead_prefetches - ep.prefetches_at_entry;
-        if self.cfg.runahead.min_episode_yield > 0
-            && yielded < self.cfg.runahead.min_episode_yield
+        if self.cfg.runahead.min_episode_yield > 0 && yielded < self.cfg.runahead.min_episode_yield
         {
             self.ra_backoff_until = now + self.cfg.runahead.useless_backoff;
         }
@@ -272,12 +270,7 @@ impl Core {
         if self.cfg.runahead.policy != RunaheadPolicy::Vector {
             return;
         }
-        let pc = self
-            .rob
-            .iter()
-            .find(|e| e.seq == _seq)
-            .map(|e| e.pc)
-            .unwrap_or(0);
+        let pc = self.rob.iter().find(|e| e.seq == _seq).map(|e| e.pc).unwrap_or(0);
         let entry = self.strides.entry(pc).or_default();
         let stride = addr.wrapping_sub(entry.last_addr) as i64;
         if entry.last_addr != 0 && stride == entry.stride && stride != 0 {

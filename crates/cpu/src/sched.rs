@@ -101,8 +101,7 @@ impl CompletionQueue {
     /// The earliest `(ready_at, seq)` event, if any (stale events
     /// included).
     pub fn peek(&self) -> Option<(u64, u64)> {
-        let near_min =
-            self.near.iter().flat_map(|s| s.iter().copied()).min();
+        let near_min = self.near.iter().flat_map(|s| s.iter().copied()).min();
         let heap_min = self.heap.peek().map(|Reverse(e)| *e);
         match (near_min, heap_min) {
             (Some(a), Some(b)) => Some(a.min(b)),

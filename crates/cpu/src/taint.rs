@@ -207,10 +207,10 @@ mod tests {
         type LoadRecord = (&'static str, Option<(ScopeId, u32)>, u64);
         let mut results: Vec<LoadRecord> = Vec::new();
         let load = |t: &mut TaintTracker,
-                        results: &mut Vec<LoadRecord>,
-                        pc: u64,
-                        name: &'static str,
-                        addr_taint: u64| {
+                    results: &mut Vec<LoadRecord>,
+                    pc: u64,
+                    name: &'static str,
+                    addr_taint: u64| {
             t.on_inst(pc);
             let scope = t.current_scope();
             let btag = scope.map(|s| {

@@ -315,9 +315,9 @@ fn inv_branch_never_resolves_and_leaks_cache_state() {
     b.li(r(6), 1);
     b.flush(r(1), 0);
     b.ld(r(2), r(1), 0); // stalling load, returns 0
-    // Branch depends on the stalling load: INV during runahead. Body loads
-    // the "secret" line. Architecturally 0 < 1 so the body *would* run, but
-    // during runahead the branch can't resolve — prediction rules.
+                         // Branch depends on the stalling load: INV during runahead. Body loads
+                         // the "secret" line. Architecturally 0 < 1 so the body *would* run, but
+                         // during runahead the branch can't resolve — prediction rules.
     b.if_block(BranchCond::Lt, r(2), r(6), |b| {
         b.ld(r(7), r(3), 0);
     });

@@ -438,10 +438,7 @@ mod tests {
     #[test]
     fn memory_operands() {
         let p = assemble("ld1 r2, 8(r3)\nst8 r4, (r5)\nclflush -64(r6)").unwrap();
-        assert!(matches!(
-            p.fetch(0),
-            Some(Inst::Load { width: MemWidth::B1, offset: 8, .. })
-        ));
+        assert!(matches!(p.fetch(0), Some(Inst::Load { width: MemWidth::B1, offset: 8, .. })));
         assert!(matches!(p.fetch(8), Some(Inst::Store { width: MemWidth::B8, offset: 0, .. })));
         assert!(matches!(p.fetch(16), Some(Inst::Flush { offset: -64, .. })));
     }
@@ -476,14 +473,8 @@ mod tests {
     #[test]
     fn alu_imm_forms() {
         let p = assemble("slti r1, r2, 5\nxori r3, r4, -1").unwrap();
-        assert!(matches!(
-            p.fetch(0),
-            Some(Inst::AluImm { op: AluOp::Slt, imm: 5, .. })
-        ));
-        assert!(matches!(
-            p.fetch(8),
-            Some(Inst::AluImm { op: AluOp::Xor, imm: -1, .. })
-        ));
+        assert!(matches!(p.fetch(0), Some(Inst::AluImm { op: AluOp::Slt, imm: 5, .. })));
+        assert!(matches!(p.fetch(8), Some(Inst::AluImm { op: AluOp::Xor, imm: -1, .. })));
     }
 
     #[test]

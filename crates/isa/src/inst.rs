@@ -496,8 +496,9 @@ mod tests {
 
     #[test]
     fn classification() {
-        assert!(Inst::Branch { cond: BranchCond::Lt, rs1: r(1), rs2: r(2), offset: 8 }
-            .is_cond_branch());
+        assert!(
+            Inst::Branch { cond: BranchCond::Lt, rs1: r(1), rs2: r(2), offset: 8 }.is_cond_branch()
+        );
         assert!(Inst::Flush { base: r(1), offset: 0 }.is_mem());
         assert!(!Inst::Flush { base: r(1), offset: 0 }.is_load());
         assert!(Inst::RdCycle { rd: r(1) }.is_serializing());

@@ -83,7 +83,7 @@ impl Program {
     /// The instruction at `pc`, or `None` outside the text image or at a
     /// misaligned PC.
     pub fn fetch(&self, pc: u64) -> Option<Inst> {
-        if pc < self.text_base || !(pc - self.text_base).is_multiple_of(INST_BYTES) {
+        if pc < self.text_base || (pc - self.text_base) % INST_BYTES != 0 {
             return None;
         }
         let idx = (pc - self.text_base) / INST_BYTES;
@@ -337,7 +337,11 @@ impl ProgramBuilder {
     /// [`ProgramError::OffsetOutOfRange`] by [`ProgramBuilder::build`].
     pub fn la(&mut self, rd: IntReg, symbol: &str) -> u64 {
         let idx = self.insts.len();
-        self.fixups.push(Fixup { inst_index: idx, label: symbol.to_owned(), kind: FixupKind::Absolute });
+        self.fixups.push(Fixup {
+            inst_index: idx,
+            label: symbol.to_owned(),
+            kind: FixupKind::Absolute,
+        });
         self.push(Inst::MovImm { rd, imm: 0 })
     }
 
@@ -410,7 +414,11 @@ impl ProgramBuilder {
     /// Conditional branch to `label` when `cond(rs1, rs2)`.
     pub fn branch(&mut self, cond: BranchCond, rs1: IntReg, rs2: IntReg, label: &str) -> u64 {
         let idx = self.insts.len();
-        self.fixups.push(Fixup { inst_index: idx, label: label.to_owned(), kind: FixupKind::PcRelative });
+        self.fixups.push(Fixup {
+            inst_index: idx,
+            label: label.to_owned(),
+            kind: FixupKind::PcRelative,
+        });
         self.push(Inst::Branch { cond, rs1, rs2, offset: 0 })
     }
 
@@ -447,7 +455,11 @@ impl ProgramBuilder {
     /// Unconditional jump to `label`.
     pub fn jump(&mut self, label: &str) -> u64 {
         let idx = self.insts.len();
-        self.fixups.push(Fixup { inst_index: idx, label: label.to_owned(), kind: FixupKind::PcRelative });
+        self.fixups.push(Fixup {
+            inst_index: idx,
+            label: label.to_owned(),
+            kind: FixupKind::PcRelative,
+        });
         self.push(Inst::Jump { offset: 0 })
     }
 
@@ -459,7 +471,11 @@ impl ProgramBuilder {
     /// Direct call to `label`.
     pub fn call(&mut self, label: &str) -> u64 {
         let idx = self.insts.len();
-        self.fixups.push(Fixup { inst_index: idx, label: label.to_owned(), kind: FixupKind::PcRelative });
+        self.fixups.push(Fixup {
+            inst_index: idx,
+            label: label.to_owned(),
+            kind: FixupKind::PcRelative,
+        });
         self.push(Inst::Call { offset: 0 })
     }
 

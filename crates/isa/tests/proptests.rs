@@ -57,23 +57,37 @@ fn inst() -> impl Strategy<Value = Inst> {
         Just(Inst::Nop),
         Just(Inst::Halt),
         Just(Inst::Ret),
-        (alu_op(), int_reg(), int_reg(), int_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
+        (alu_op(), int_reg(), int_reg(), int_reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (alu_op(), int_reg(), int_reg(), any::<i32>())
             .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
         (int_reg(), any::<i32>()).prop_map(|(rd, imm)| Inst::MovImm { rd, imm }),
-        (fp_op(), fp_reg(), fp_reg(), fp_reg())
-            .prop_map(|(op, fd, fs1, fs2)| Inst::FpAlu { op, fd, fs1, fs2 }),
+        (fp_op(), fp_reg(), fp_reg(), fp_reg()).prop_map(|(op, fd, fs1, fs2)| Inst::FpAlu {
+            op,
+            fd,
+            fs1,
+            fs2
+        }),
         (fp_reg(), int_reg()).prop_map(|(fd, rs1)| Inst::FpCvt { fd, rs1 }),
         (int_reg(), fp_reg()).prop_map(|(rd, fs1)| Inst::FpMov { rd, fs1 }),
         (width(), int_reg(), int_reg(), any::<i32>())
             .prop_map(|(width, rd, base, offset)| Inst::Load { width, rd, base, offset }),
-        (fp_reg(), int_reg(), any::<i32>())
-            .prop_map(|(fd, base, offset)| Inst::FpLoad { fd, base, offset }),
+        (fp_reg(), int_reg(), any::<i32>()).prop_map(|(fd, base, offset)| Inst::FpLoad {
+            fd,
+            base,
+            offset
+        }),
         (width(), int_reg(), int_reg(), any::<i32>())
             .prop_map(|(width, src, base, offset)| Inst::Store { width, src, base, offset }),
-        (fp_reg(), int_reg(), any::<i32>())
-            .prop_map(|(fs, base, offset)| Inst::FpStore { fs, base, offset }),
+        (fp_reg(), int_reg(), any::<i32>()).prop_map(|(fs, base, offset)| Inst::FpStore {
+            fs,
+            base,
+            offset
+        }),
         (int_reg(), any::<i32>()).prop_map(|(base, offset)| Inst::Flush { base, offset }),
         (cond(), int_reg(), int_reg(), any::<i32>())
             .prop_map(|(cond, rs1, rs2, offset)| Inst::Branch { cond, rs1, rs2, offset }),

@@ -1,0 +1,5 @@
+//! The `specrun-lab` campaign runner: `list`, `run`, `perf`.
+
+fn main() {
+    std::process::exit(specrun_lab::cli::main())
+}

@@ -1,0 +1,252 @@
+//! The `specrun-lab` command-line interface.
+//!
+//! ```text
+//! specrun-lab list
+//! specrun-lab run --all --quick          # the CI reproduction gate
+//! specrun-lab run fig7 table1            # any subset
+//! specrun-lab perf --baseline-from-git   # throughput benchmark + gate
+//! ```
+//!
+//! `run` executes the requested scenarios from the registry, prints each
+//! scenario's human-readable report and invariant verdicts, writes
+//! `artifacts/<scenario>.json` plus the merged `LAB_report.json`, and
+//! exits non-zero if any paper-claim invariant failed.
+
+use std::path::PathBuf;
+
+use crate::perf::{self, PerfOptions};
+use crate::registry::{find, registry};
+use crate::report::LabReport;
+use crate::scenario::RunContext;
+
+const USAGE: &str = "\
+specrun-lab — declarative campaign runner for the SPECRUN paper artifacts
+
+USAGE:
+    specrun-lab list
+    specrun-lab run [SCENARIO ...] [--all] [--quick] [--threads N] [--seed N]
+                    [--artifacts-dir DIR] [--no-artifacts]
+    specrun-lab perf [--quick] [--baseline PATH | --baseline-from-git] [--max-drop F]
+
+COMMANDS:
+    list    Print every registered scenario.
+    run     Execute scenarios; write <scenario>.json per scenario plus the
+            merged LAB_report.json into --artifacts-dir (default:
+            artifacts/); exit 1 if any paper-claim invariant fails.
+            --quick runs the reduced CI scale (same invariants,
+            byte-stable artifacts).
+    perf    Wall-clock throughput benchmark (writes BENCH_step.json) with
+            an optional perf-regression gate. The baseline is read before
+            the new report is written; --baseline-from-git reads the
+            committed BENCH_step.json at HEAD.
+";
+
+/// Entry point for the `specrun-lab` binary. Returns the exit code.
+pub fn main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            list();
+            0
+        }
+        Some("run") => match run_command(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!();
+                eprint!("{USAGE}");
+                2
+            }
+        },
+        Some("perf") => match PerfOptions::from_env().apply_args(&args[1..]) {
+            Ok(opts) => perf::run(&opts),
+            Err(e) => {
+                eprintln!("error: {e}");
+                2
+            }
+        },
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            i32::from(args.is_empty())
+        }
+        Some(other) => {
+            eprintln!("error: unknown command {other}");
+            eprintln!();
+            eprint!("{USAGE}");
+            2
+        }
+    }
+}
+
+/// The legacy-binary entry point: `fig7`, `table1`, … are thin aliases for
+/// `specrun-lab run <name> --no-artifacts` at full fidelity. Like the
+/// pre-registry binaries they only print — overwriting a prior campaign's
+/// `LAB_report.json` from a compatibility alias would be a destructive
+/// surprise; use `specrun-lab run` for artifacts.
+pub fn legacy_main(name: &str) -> ! {
+    let code = run_command(&[name.to_string(), "--no-artifacts".to_string()]).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        2
+    });
+    std::process::exit(code)
+}
+
+fn list() {
+    println!("{:<12} {:<14} title", "scenario", "paper_ref");
+    for s in registry() {
+        println!("{:<12} {:<14} {}", s.name, s.paper_ref, s.title);
+    }
+}
+
+struct RunArgs {
+    names: Vec<String>,
+    ctx: RunContext,
+    artifacts_dir: Option<PathBuf>,
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut names = Vec::new();
+    let mut all = false;
+    let mut ctx = RunContext::full();
+    let mut artifacts_dir = Some(PathBuf::from("artifacts"));
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => all = true,
+            "--quick" => ctx.quick = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a count")?;
+                ctx.threads = v.parse().map_err(|_| format!("invalid thread count {v}"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                ctx.seed = v.parse().map_err(|_| format!("invalid seed {v}"))?;
+            }
+            "--artifacts-dir" => {
+                let v = it.next().ok_or("--artifacts-dir needs a path")?;
+                artifacts_dir = Some(PathBuf::from(v));
+            }
+            "--no-artifacts" => artifacts_dir = None,
+            flag if flag.starts_with('-') => return Err(format!("unknown run option {flag}")),
+            name => names.push(name.to_string()),
+        }
+    }
+    if all {
+        if !names.is_empty() {
+            return Err("pass either scenario names or --all, not both".to_string());
+        }
+        names = registry().iter().map(|s| s.name.to_string()).collect();
+    }
+    if names.is_empty() {
+        return Err("no scenarios requested (name them or pass --all)".to_string());
+    }
+    Ok(RunArgs { names, ctx, artifacts_dir })
+}
+
+fn run_command(args: &[String]) -> Result<i32, String> {
+    let RunArgs { names, ctx, artifacts_dir } = parse_run_args(args)?;
+    let scenarios: Vec<_> = names
+        .iter()
+        .map(|name| {
+            find(name).ok_or_else(|| format!("unknown scenario {name} (see `specrun-lab list`)"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut report = LabReport::default();
+    for scenario in &scenarios {
+        println!("== {} ({}) — {} ==", scenario.name, scenario.paper_ref, scenario.title);
+        let run = scenario.execute(&ctx);
+        for line in &run.lines {
+            println!("{line}");
+        }
+        for inv in &run.invariants {
+            let verdict = if inv.passed { "ok" } else { "FAILED" };
+            println!("  [{verdict}] {}: {} (observed: {})", inv.name, inv.claim, inv.observed);
+        }
+        println!();
+        report.runs.push(run);
+    }
+
+    if let Some(dir) = &artifacts_dir {
+        let paths = report
+            .write_artifacts(dir)
+            .map_err(|e| format!("cannot write artifacts under {}: {e}", dir.display()))?;
+        for p in &paths {
+            println!("wrote {}", p.display());
+        }
+    }
+
+    let failures = report.failures();
+    println!();
+    if failures.is_empty() {
+        println!(
+            "all {} invariants passed across {} scenario(s) [{} mode]",
+            report.invariant_count(),
+            report.runs.len(),
+            ctx.mode()
+        );
+        Ok(0)
+    } else {
+        eprintln!("paper-claim invariants FAILED:");
+        for (scenario, invariant) in &failures {
+            eprintln!("  {scenario}: {invariant}");
+        }
+        Ok(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_quick() {
+        let parsed = parse_run_args(&strings(&["--all", "--quick"])).unwrap();
+        assert_eq!(parsed.names.len(), registry().len());
+        assert!(parsed.ctx.quick);
+        assert_eq!(parsed.artifacts_dir, Some(PathBuf::from("artifacts")));
+    }
+
+    #[test]
+    fn parses_subset_with_options() {
+        let parsed = parse_run_args(&strings(&[
+            "fig7",
+            "table1",
+            "--threads",
+            "2",
+            "--seed",
+            "7",
+            "--artifacts-dir",
+            "/tmp/a",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.names, vec!["fig7", "table1"]);
+        assert_eq!(parsed.ctx.threads, 2);
+        assert_eq!(parsed.ctx.seed, 7);
+        assert_eq!(parsed.artifacts_dir, Some(PathBuf::from("/tmp/a")));
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(parse_run_args(&strings(&[])).is_err(), "no scenarios");
+        assert!(parse_run_args(&strings(&["--all", "fig7"])).is_err(), "names plus --all");
+        assert!(parse_run_args(&strings(&["--bogus"])).is_err(), "unknown flag");
+        assert!(parse_run_args(&strings(&["--threads"])).is_err(), "missing value");
+    }
+
+    #[test]
+    fn no_artifacts_disables_emission() {
+        let parsed = parse_run_args(&strings(&["table1", "--no-artifacts"])).unwrap();
+        assert_eq!(parsed.artifacts_dir, None);
+    }
+
+    #[test]
+    fn unknown_scenario_is_reported() {
+        let err = run_command(&strings(&["fig12", "--no-artifacts"])).unwrap_err();
+        assert!(err.contains("unknown scenario fig12"), "{err}");
+    }
+}

@@ -1,0 +1,180 @@
+//! A minimal, deterministic JSON value and writer.
+//!
+//! No serde in this offline build — the lab's artifacts are emitted by
+//! hand. Two properties matter more than generality:
+//!
+//! * **order preservation** — objects keep insertion order, so an artifact
+//!   rendered from the same data is byte-identical across runs (the CI
+//!   reproduction gate diffs artifacts byte for byte);
+//! * **stable number formatting** — integral values render without a
+//!   decimal point, everything else uses Rust's shortest-roundtrip `{}`
+//!   formatting, and non-finite values become `null`.
+
+use std::fmt::Write as _;
+
+/// An ordered JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (rendered via [`format_number`]).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: Vec<(String, Json)>) -> Json {
+        Json::Obj(fields)
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Renders the value as pretty-printed JSON with a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => out.push_str(&format_number(*v)),
+            Json::Str(s) => out.push_str(&escape(s)),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    out.push_str(&escape(key));
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Formats a number the way every lab artifact does: integral values
+/// without a decimal point, non-finite values as `null`.
+pub fn format_number(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a string into a quoted JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let v = Json::obj(vec![
+            ("name".into(), Json::str("fig7")),
+            ("passed".into(), Json::Bool(true)),
+            ("metrics".into(), Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+            ("empty".into(), Json::Obj(Vec::new())),
+        ]);
+        let s = v.render();
+        assert!(s.starts_with("{\n"));
+        assert!(s.contains("\"name\": \"fig7\""));
+        assert!(s.contains("\"passed\": true"));
+        assert!(s.contains("2.5"));
+        assert!(s.contains("\"empty\": {}"));
+        assert!(s.ends_with("}\n"));
+        assert!(!s.contains(",\n}"), "no trailing commas: {s}");
+    }
+
+    #[test]
+    fn number_formatting_is_stable() {
+        assert_eq!(format_number(3.0), "3");
+        assert_eq!(format_number(-2.0), "-2");
+        assert_eq!(format_number(0.5), "0.5");
+        assert_eq!(format_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(escape("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let v = Json::obj(vec![("b".into(), Json::Num(1.0)), ("a".into(), Json::Num(2.0))]);
+        assert_eq!(v.render(), v.render());
+        // Insertion order, not sorted order.
+        let s = v.render();
+        assert!(s.find("\"b\"").unwrap() < s.find("\"a\"").unwrap());
+    }
+}

@@ -1,0 +1,269 @@
+//! Artifact emission: per-scenario JSON files plus the merged
+//! `LAB_report.json` the CI reproduction gate checks, and the flat
+//! `BENCH_*.json` performance report (moved here from `specrun-bench` so
+//! the legacy binaries can be thin aliases without a dependency cycle).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+use crate::scenario::ScenarioRun;
+
+/// File name of the merged campaign report.
+pub const LAB_REPORT_NAME: &str = "LAB_report.json";
+
+/// A completed campaign: the scenario runs in execution order.
+#[derive(Debug, Clone, Default)]
+pub struct LabReport {
+    /// Per-scenario results, in execution order.
+    pub runs: Vec<ScenarioRun>,
+}
+
+impl LabReport {
+    /// Whether every invariant of every scenario held.
+    pub fn passed(&self) -> bool {
+        self.runs.iter().all(ScenarioRun::passed)
+    }
+
+    /// Total number of checked invariants.
+    pub fn invariant_count(&self) -> usize {
+        self.runs.iter().map(|r| r.invariants.len()).sum()
+    }
+
+    /// Every failed invariant, with its scenario name.
+    pub fn failures(&self) -> Vec<(String, String)> {
+        self.runs
+            .iter()
+            .flat_map(|r| r.failures().into_iter().map(|i| (r.name.clone(), i.name.clone())))
+            .collect()
+    }
+
+    /// The merged report object.
+    pub fn to_json(&self) -> Json {
+        let scenarios = self.runs.iter().map(ScenarioRun::to_json).collect();
+        Json::obj(vec![
+            ("lab".into(), Json::str("specrun")),
+            ("scenario_count".into(), Json::Num(self.runs.len() as f64)),
+            ("invariant_count".into(), Json::Num(self.invariant_count() as f64)),
+            ("passed".into(), Json::Bool(self.passed())),
+            ("scenarios".into(), Json::Arr(scenarios)),
+        ])
+    }
+
+    /// Writes `artifacts_dir/<scenario>.json` per run plus the merged
+    /// [`LAB_REPORT_NAME`] into the same directory — everything lands
+    /// inside the directory the caller named, so concurrent campaigns
+    /// with distinct `--artifacts-dir`s never share an output path.
+    /// Any `.json` file already in the directory is removed first: the
+    /// merged report must describe exactly the per-scenario files beside
+    /// it, so a subset run cannot leave stale artifacts from an earlier
+    /// campaign mixed in. Returns every path written, merged report first.
+    pub fn write_artifacts(&self, artifacts_dir: &Path) -> io::Result<Vec<PathBuf>> {
+        std::fs::create_dir_all(artifacts_dir)?;
+        for entry in std::fs::read_dir(artifacts_dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "json") && path.is_file() {
+                std::fs::remove_file(&path)?;
+            }
+        }
+        let report_path = artifacts_dir.join(LAB_REPORT_NAME);
+        let mut paths = vec![report_path.clone()];
+        std::fs::write(&report_path, self.to_json().render())?;
+        for run in &self.runs {
+            let path = artifacts_dir.join(format!("{}.json", run.name));
+            std::fs::write(&path, run.to_json().render())?;
+            paths.push(path);
+        }
+        Ok(paths)
+    }
+}
+
+/// A machine-readable benchmark report, serialized as `BENCH_<name>.json`.
+///
+/// The format is a flat JSON object: string notes and numeric metrics. No
+/// serde in this offline build — the writer escapes and formats by hand.
+///
+/// ```
+/// let mut r = specrun_lab::BenchReport::new("step");
+/// r.note("kernel", "pointer_chase");
+/// r.metric("cycles_per_sec", 1.25e7);
+/// assert!(r.to_json().contains("\"cycles_per_sec\""));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    name: String,
+    notes: Vec<(String, String)>,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// Starts a report named `name` (the file becomes `BENCH_<name>.json`).
+    pub fn new(name: impl Into<String>) -> BenchReport {
+        BenchReport { name: name.into(), notes: Vec::new(), metrics: Vec::new() }
+    }
+
+    /// Adds a string annotation.
+    pub fn note(&mut self, key: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.notes.push((key.into(), value.into()));
+        self
+    }
+
+    /// Adds a numeric metric.
+    pub fn metric(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
+        self.metrics.push((key.into(), value));
+        self
+    }
+
+    /// The numeric metrics collected so far, in insertion order.
+    pub fn metrics(&self) -> &[(String, f64)] {
+        &self.metrics
+    }
+
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![(String::from("bench"), Json::str(self.name.clone()))];
+        fields.extend(self.notes.iter().map(|(k, v)| (k.clone(), Json::str(v.clone()))));
+        fields.extend(self.metrics.iter().map(|(k, v)| (k.clone(), Json::Num(*v))));
+        Json::Obj(fields).render()
+    }
+
+    /// Writes `BENCH_<name>.json` into `dir` and returns the path.
+    pub fn write_to(&self, dir: impl Into<PathBuf>) -> io::Result<PathBuf> {
+        let mut path = dir.into();
+        path.push(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Writes `BENCH_<name>.json` into the current directory.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        self.write_to(".")
+    }
+}
+
+/// Parses the numeric metrics out of a flat `BENCH_*.json` report (the
+/// shape [`BenchReport::to_json`] writes: one `"key": value` pair per
+/// line). String notes are skipped. Used by the CI perf-regression gate to
+/// read the committed baseline without a JSON dependency.
+pub fn parse_metrics(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else { continue };
+        let key = key.trim();
+        if key.len() < 2 || !key.starts_with('"') || !key.ends_with('"') {
+            continue;
+        }
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((key[1..key.len() - 1].to_string(), v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_valid_shape() {
+        let mut r = BenchReport::new("step");
+        r.note("kernel", "pointer_chase");
+        r.metric("speedup", 3.5);
+        r.metric("cycles", 600227.0);
+        let json = r.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(json.contains("\"bench\": \"step\""));
+        assert!(json.contains("\"speedup\": 3.5"));
+        assert!(json.contains("\"cycles\": 600227"));
+        // No trailing comma before the closing brace.
+        assert!(!json.contains(",\n}"));
+    }
+
+    #[test]
+    fn parse_metrics_round_trips_a_report() {
+        let mut r = BenchReport::new("step");
+        r.note("quick_mode", "yes");
+        r.metric("a_cycles_per_sec", 1234.5);
+        r.metric("cycles", 600227.0);
+        let parsed = parse_metrics(&r.to_json());
+        assert_eq!(
+            parsed,
+            vec![("a_cycles_per_sec".to_string(), 1234.5), ("cycles".to_string(), 600227.0)],
+            "string notes are skipped, numbers survive"
+        );
+    }
+
+    #[test]
+    fn bench_write_creates_named_file() {
+        let dir = std::env::temp_dir();
+        let mut r = BenchReport::new("emitter_test");
+        r.metric("x", 1.0);
+        let path = r.write_to(&dir).expect("writable temp dir");
+        assert!(path.ends_with("BENCH_emitter_test.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"x\": 1"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn lab_report_writes_merged_and_per_scenario_files() {
+        use crate::scenario::{RunContext, Scenario, ScenarioRun};
+        fn noop(ctx: &RunContext) -> ScenarioRun {
+            let s = Scenario { name: "noop", title: "t", paper_ref: "r", run: noop };
+            let mut run = ScenarioRun::new(&s, ctx);
+            run.check("ok", "always holds", true, "yes");
+            run
+        }
+        let report = LabReport { runs: vec![noop(&RunContext::quick())] };
+        assert!(report.passed());
+        assert_eq!(report.invariant_count(), 1);
+        let dir = std::env::temp_dir().join(format!("lab_artifacts_{}", std::process::id()));
+        let paths = report.write_artifacts(&dir).expect("writable temp dir");
+        assert_eq!(paths.len(), 2);
+        assert!(paths[0].ends_with(LAB_REPORT_NAME));
+        assert!(paths[1].ends_with("noop.json"));
+        let merged = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(merged.contains("\"scenario_count\": 1"));
+        assert!(merged.contains("\"passed\": true"));
+        let _ = std::fs::remove_file(&paths[0]);
+        let _ = std::fs::remove_file(&paths[1]);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn write_artifacts_clears_stale_scenario_files() {
+        use crate::scenario::{RunContext, Scenario, ScenarioRun};
+        fn noop(ctx: &RunContext) -> ScenarioRun {
+            let s = Scenario { name: "noop", title: "t", paper_ref: "r", run: noop };
+            ScenarioRun::new(&s, ctx)
+        }
+        let dir = std::env::temp_dir().join(format!("lab_stale_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A leftover from an earlier, larger campaign plus a non-JSON file.
+        std::fs::write(dir.join("stale_scenario.json"), "{}").unwrap();
+        std::fs::write(dir.join("keep.txt"), "not an artifact").unwrap();
+        let report = LabReport { runs: vec![noop(&RunContext::quick())] };
+        report.write_artifacts(&dir).unwrap();
+        assert!(!dir.join("stale_scenario.json").exists(), "stale artifact must be cleared");
+        assert!(dir.join("keep.txt").exists(), "non-JSON files are left alone");
+        assert!(dir.join(LAB_REPORT_NAME).exists());
+        assert!(dir.join("noop.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failures_name_scenario_and_invariant() {
+        use crate::scenario::{RunContext, Scenario, ScenarioRun};
+        fn failing(ctx: &RunContext) -> ScenarioRun {
+            let s = Scenario { name: "bad", title: "t", paper_ref: "r", run: failing };
+            let mut run = ScenarioRun::new(&s, ctx);
+            run.check("broken", "never holds", false, "no");
+            run
+        }
+        let report = LabReport { runs: vec![failing(&RunContext::quick())] };
+        assert!(!report.passed());
+        assert_eq!(report.failures(), vec![("bad".to_string(), "broken".to_string())]);
+    }
+}

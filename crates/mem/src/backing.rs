@@ -66,11 +66,7 @@ pub struct BackingStore {
 
 impl Default for BackingStore {
     fn default() -> BackingStore {
-        BackingStore {
-            pages: Vec::new(),
-            index: HashMap::default(),
-            last: Cell::new((NO_PAGE, 0)),
-        }
+        BackingStore { pages: Vec::new(), index: HashMap::default(), last: Cell::new((NO_PAGE, 0)) }
     }
 }
 

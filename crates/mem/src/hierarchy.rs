@@ -208,7 +208,13 @@ impl MemHierarchy {
         }
     }
 
-    fn install_line(l1: &mut Cache, l2: &mut Cache, l3: &mut Cache, stats: &mut MemStats, line: u64) {
+    fn install_line(
+        l1: &mut Cache,
+        l2: &mut Cache,
+        l3: &mut Cache,
+        stats: &mut MemStats,
+        line: u64,
+    ) {
         for cache in [&mut *l3, &mut *l2, &mut *l1] {
             if let Evicted::Dirty(_) = cache.fill(line, 0, false) {
                 stats.writebacks += 1;
@@ -274,8 +280,11 @@ impl MemHierarchy {
                     l1.mark_dirty_slot(memo.slot);
                 }
                 self.stats.record_hit(HitLevel::L1, is_ifetch);
-                let latency =
-                    if is_ifetch { self.config.l1i.hit_latency } else { self.config.l1d.hit_latency };
+                let latency = if is_ifetch {
+                    self.config.l1i.hit_latency
+                } else {
+                    self.config.l1d.hit_latency
+                };
                 return Access { ready_at: now + latency, level: HitLevel::L1 };
             }
         }

@@ -137,10 +137,7 @@ impl<V: Clone + Default> OpenTable<V> {
 
     /// Iterates over live `(key, value)` entries in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
-        self.slots
-            .iter()
-            .filter(|s| s.state == SlotState::Full)
-            .map(|s| (s.key, &s.value))
+        self.slots.iter().filter(|s| s.state == SlotState::Full).map(|s| (s.key, &s.value))
     }
 
     /// Empties the table.

@@ -304,15 +304,79 @@ mod tests {
     }
 
     #[test]
+    fn summary_empty_is_all_zero_and_nan_free() {
+        let s = Summary::of([]);
+        assert_eq!(s, Summary { n: 0, mean: 0.0, min: 0.0, max: 0.0 });
+        // The empty aggregate must not surface the infinity/NaN
+        // accumulator seeds — downstream JSON artifacts reject NaN.
+        assert!(s.mean.is_finite() && s.min.is_finite() && s.max.is_finite());
+    }
+
+    #[test]
+    fn summary_single_element_collapses() {
+        let s = Summary::of([7.5]);
+        assert_eq!((s.n, s.mean, s.min, s.max), (1, 7.5, 7.5, 7.5));
+    }
+
+    #[test]
+    fn summary_of_finite_samples_is_nan_free() {
+        let samples = [-3.0, 0.0, 1e-12, 4.5e9];
+        let s = Summary::of(samples);
+        assert!(s.mean.is_finite(), "mean {}", s.mean);
+        assert!(s.min.is_finite() && s.max.is_finite());
+        assert_eq!(s.min, -3.0);
+        assert_eq!(s.max, 4.5e9);
+    }
+
+    #[test]
+    fn matrix_trial_count_is_policies_times_secures_times_trials() {
+        let specs = ConfigMatrix::new(CpuConfig::default())
+            .policies(&[RunaheadPolicy::Original, RunaheadPolicy::Precise])
+            .secures(&[
+                SecureConfig::default(),
+                SecureConfig::sl_cache_default(),
+                SecureConfig::skip_inv_default(),
+            ])
+            .trials(5)
+            .build();
+        assert_eq!(specs.len(), 2 * 3 * 5, "policies x secures x trials");
+        // Flat ids follow build order and labels carry both axes.
+        assert!(specs.iter().enumerate().all(|(i, s)| s.id == i));
+        assert_eq!(specs[0].label, "Original/undefended");
+        assert_eq!(specs[5].label, "Original/sl_cache");
+        let last = specs.last().unwrap();
+        assert_eq!(last.label, "Precise/skip_inv");
+        assert_eq!(last.repeat, 4);
+    }
+
+    #[test]
+    fn matrix_seeds_are_deterministic_and_base_seed_sensitive() {
+        let build = |seed: u64| {
+            ConfigMatrix::new(CpuConfig::default())
+                .policies(&[RunaheadPolicy::Original, RunaheadPolicy::Vector])
+                .trials(3)
+                .seed(seed)
+                .build()
+        };
+        let a: Vec<u64> = build(42).iter().map(|s| s.seed).collect();
+        let b: Vec<u64> = build(42).iter().map(|s| s.seed).collect();
+        assert_eq!(a, b, "same base seed must reproduce every trial seed");
+        let c: Vec<u64> = build(43).iter().map(|s| s.seed).collect();
+        assert_ne!(a, c, "different base seed must change the trial seeds");
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "per-trial seeds must be distinct");
+    }
+
+    #[test]
     fn parallel_simulation_matches_serial() {
         let w = kernels::lbm(60);
         let specs = ConfigMatrix::new(CpuConfig::default()).trials(4).build();
-        let serial = parallel_map(&specs, 1, |_, s| {
-            run_workload(&w, s.config.clone(), 5_000_000).cycles
-        });
-        let parallel = parallel_map(&specs, 4, |_, s| {
-            run_workload(&w, s.config.clone(), 5_000_000).cycles
-        });
+        let serial =
+            parallel_map(&specs, 1, |_, s| run_workload(&w, s.config.clone(), 5_000_000).cycles);
+        let parallel =
+            parallel_map(&specs, 4, |_, s| run_workload(&w, s.config.clone(), 5_000_000).cycles);
         assert_eq!(serial, parallel, "simulation must be thread-invariant");
     }
 }

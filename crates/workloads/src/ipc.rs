@@ -96,7 +96,11 @@ pub fn compare(workload: &Workload, max_cycles: u64) -> IpcComparison {
 
 /// Runs one kernel on both machines with a custom "runahead" configuration
 /// (used by the defense-overhead and policy-ablation experiments).
-pub fn compare_with(workload: &Workload, runahead_cfg: CpuConfig, max_cycles: u64) -> IpcComparison {
+pub fn compare_with(
+    workload: &Workload,
+    runahead_cfg: CpuConfig,
+    max_cycles: u64,
+) -> IpcComparison {
     IpcComparison {
         name: workload.name,
         baseline: run_workload(workload, CpuConfig::no_runahead(), max_cycles),
@@ -107,7 +111,11 @@ pub fn compare_with(workload: &Workload, runahead_cfg: CpuConfig, max_cycles: u6
 /// Runs every workload on both machines with all runs fanned out over
 /// `threads` workers (`0` = all host cores) — the parallel Fig. 7 harness.
 /// Results are identical to calling [`compare`] per workload, in order.
-pub fn compare_parallel(workloads: &[Workload], max_cycles: u64, threads: usize) -> Vec<IpcComparison> {
+pub fn compare_parallel(
+    workloads: &[Workload],
+    max_cycles: u64,
+    threads: usize,
+) -> Vec<IpcComparison> {
     compare_matrix_parallel(workloads, CpuConfig::default(), max_cycles, threads)
 }
 

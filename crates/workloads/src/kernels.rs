@@ -44,7 +44,6 @@ fn counted_loop(b: &mut ProgramBuilder, iters: u32, body: impl FnOnce(&mut Progr
     b.for_loop(r(20), iters as i32, body);
 }
 
-
 /// Emits `n` dependent integer ops on `r9` — the address-independent
 /// arithmetic that dilutes memory stalls in real SPEC code.
 fn compute_chain(b: &mut ProgramBuilder, n: u32) {
@@ -59,7 +58,7 @@ fn compute_chain(b: &mut ProgramBuilder, n: u32) {
 /// prefetch).
 pub fn mcf(iters: u32) -> Workload {
     let nodes = 256; // 16 KiB of arcs: L2-resident after the first lap
-    // Random cyclic permutation of line-aligned nodes.
+                     // Random cyclic permutation of line-aligned nodes.
     let mut rng = SplitMix64::new(0x6d63_6600); // "mcf"
     let mut order: Vec<usize> = (0..nodes).collect();
     rng.shuffle(&mut order);

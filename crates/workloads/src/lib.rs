@@ -19,11 +19,13 @@
 pub mod harness;
 pub mod ipc;
 pub mod kernels;
+pub mod metrics;
 pub mod rng;
 
 pub use harness::{parallel_map, ConfigMatrix, Summary, TrialSpec};
 pub use ipc::{compare, compare_with, geomean_speedup, IpcComparison, IpcResult, DEFAULT_ITERS};
 pub use kernels::Workload;
+pub use metrics::{MetricSet, MetricSource};
 pub use rng::SplitMix64;
 
 /// The full Fig. 7 suite in the paper's order, at the default scale.
@@ -48,5 +50,6 @@ pub mod prelude {
     pub use crate::harness::{parallel_map, ConfigMatrix, Summary};
     pub use crate::ipc::{compare, geomean_speedup, IpcComparison};
     pub use crate::kernels::Workload;
+    pub use crate::metrics::{MetricSet, MetricSource};
     pub use crate::{fig7_suite, suite_with_iters};
 }

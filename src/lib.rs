@@ -14,6 +14,7 @@ pub use specrun;
 pub use specrun_bp;
 pub use specrun_cpu;
 pub use specrun_isa;
+pub use specrun_lab;
 pub use specrun_mem;
 pub use specrun_workloads;
 
@@ -22,5 +23,6 @@ pub mod prelude {
     pub use specrun::prelude::*;
     pub use specrun_cpu::config::CpuConfig;
     pub use specrun_isa::prelude::*;
+    pub use specrun_lab::prelude::*;
     pub use specrun_workloads::prelude::*;
 }

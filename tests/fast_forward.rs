@@ -20,9 +20,7 @@ fn run(w: &Workload, cfg: CpuConfig) -> (CpuStats, Vec<u64>) {
     core.load_program(&w.program);
     let exit = core.run(100_000_000);
     assert_eq!(exit, RunExit::Halted, "{} must halt", w.name);
-    let regs = (1..32)
-        .map(|i| core.read_int_reg(IntReg::new(i).unwrap()))
-        .collect();
+    let regs = (1..32).map(|i| core.read_int_reg(IntReg::new(i).unwrap())).collect();
     (*core.stats(), regs)
 }
 
@@ -46,11 +44,7 @@ fn fast_forward_matches_naive_loop_exactly() {
             naive.fast_forward = false;
             let (ff_stats, ff_regs) = run(&w, ff);
             let (naive_stats, naive_regs) = run(&w, naive);
-            assert_eq!(
-                ff_stats, naive_stats,
-                "stats diverge on {}/{machine}",
-                w.name
-            );
+            assert_eq!(ff_stats, naive_stats, "stats diverge on {}/{machine}", w.name);
             assert_eq!(
                 ff_regs, naive_regs,
                 "architectural registers diverge on {}/{machine}",
