@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use specrun::attack::{run_btb_poc, run_pht_poc, run_rsb_poc, PocConfig};
-use specrun::Machine;
+use specrun::session::{Policy, Session};
 use specrun_cpu::RunaheadPolicy;
 
 fn variants(c: &mut Criterion) {
@@ -12,7 +12,7 @@ fn variants(c: &mut Criterion) {
         group.bench_function(format!("pht_{policy:?}"), |b| {
             b.iter(|| {
                 let cfg = PocConfig::fig11(300);
-                let mut m = Machine::with_policy(policy);
+                let mut m = Session::builder().policy(Policy::Variant(policy)).build();
                 assert_eq!(run_pht_poc(&mut m, &cfg).leaked, Some(127));
             })
         });
@@ -20,14 +20,14 @@ fn variants(c: &mut Criterion) {
     group.bench_function("btb_variant", |b| {
         b.iter(|| {
             let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
-            let mut m = Machine::runahead();
+            let mut m = Session::builder().policy(Policy::Runahead).build();
             assert_eq!(run_btb_poc(&mut m, &cfg).leaked, Some(86));
         })
     });
     group.bench_function("rsb_variant", |b| {
         b.iter(|| {
             let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
-            let mut m = Machine::runahead();
+            let mut m = Session::builder().policy(Policy::Runahead).build();
             assert_eq!(run_rsb_poc(&mut m, &cfg).leaked, Some(86));
         })
     });

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use specrun::attack::PocConfig;
 use specrun::defense::verify_pht_blocked;
-use specrun::Machine;
+use specrun::session::{Policy, Session};
 use specrun_cpu::CpuConfig;
 use specrun_workloads::{ipc::run_workload, kernels};
 
@@ -14,7 +14,7 @@ fn defense(c: &mut Criterion) {
     group.bench_function("sl_cache_blocks_attack", |b| {
         b.iter(|| {
             let cfg = PocConfig::fig11(300);
-            let mut m = Machine::secure();
+            let mut m = Session::builder().policy(Policy::Secure).build();
             let report = verify_pht_blocked(&mut m, &cfg);
             assert!(report.blocked());
         })

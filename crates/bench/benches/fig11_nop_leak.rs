@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use specrun::attack::{run_pht_poc, PocConfig};
-use specrun::Machine;
+use specrun::session::{Policy, Session};
 
 fn fig11(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_nop_leak");
@@ -11,7 +11,7 @@ fn fig11(c: &mut Criterion) {
     group.bench_function("no_runahead_no_leak", |b| {
         b.iter(|| {
             let cfg = PocConfig::fig11(300);
-            let mut m = Machine::no_runahead();
+            let mut m = Session::builder().policy(Policy::NoRunahead).build();
             let o = run_pht_poc(&mut m, &cfg);
             assert_eq!(o.leaked, None);
         })
@@ -19,7 +19,7 @@ fn fig11(c: &mut Criterion) {
     group.bench_function("runahead_leaks_127", |b| {
         b.iter(|| {
             let cfg = PocConfig::fig11(300);
-            let mut m = Machine::runahead();
+            let mut m = Session::builder().policy(Policy::Runahead).build();
             let o = run_pht_poc(&mut m, &cfg);
             assert_eq!(o.leaked, Some(127));
         })

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use specrun::attack::{run_pht_poc, PocConfig};
-use specrun::Machine;
+use specrun::session::{Policy, Session};
 
 fn fig9(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_poc");
@@ -11,7 +11,7 @@ fn fig9(c: &mut Criterion) {
     group.bench_function("specrun_pht_leak", |b| {
         b.iter(|| {
             let cfg = PocConfig::default();
-            let mut machine = Machine::runahead();
+            let mut machine = Session::builder().policy(Policy::Runahead).build();
             let outcome = run_pht_poc(&mut machine, &cfg);
             assert_eq!(outcome.leaked, Some(86));
             outcome.runahead_entries

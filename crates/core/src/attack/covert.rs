@@ -24,7 +24,10 @@ impl ProbeTimings {
     }
 
     /// Reads the probe loop's results buffer from machine memory.
-    pub fn read_from(machine: &Machine, layout: &AttackLayout) -> ProbeTimings {
+    pub fn read_from<O: specrun_cpu::probe::PipelineObserver>(
+        machine: &Machine<O>,
+        layout: &AttackLayout,
+    ) -> ProbeTimings {
         let timings = (0..layout.probe_entries)
             .map(|v| machine.read_value(layout.result_addr(v), 8))
             .collect();

@@ -1,11 +1,12 @@
 //! The end-to-end SPECRUN proof of concept (paper Fig. 8 / Fig. 9).
 
+use specrun_cpu::probe::PipelineObserver;
 use specrun_isa::ProgramBuilder;
 
 use crate::attack::covert::{ProbeTimings, DEFAULT_THRESHOLD};
 use crate::attack::gadget;
 use crate::attack::layout::AttackLayout;
-use crate::machine::Machine;
+use crate::session::Session;
 
 /// Configuration of a SPECRUN proof-of-concept run.
 #[derive(Debug, Clone)]
@@ -90,49 +91,27 @@ pub fn build_pht_program(cfg: &PocConfig) -> specrun_isa::Program {
     b.build().expect("PoC program is closed")
 }
 
-/// Plants the attack's data in machine memory (paper preconditions: the
-/// secret is the victim's recently-used data — cached; `array1`, its bound
-/// and the probe array are set up; the probe array is cold).
-pub fn plant_data(machine: &mut Machine, cfg: &PocConfig) {
-    let l = &cfg.layout;
-    machine.write_value(l.bound_addr, 8, l.bound_value);
-    // array1's in-bounds content is zero; the training access hits entry 0.
-    machine.write_bytes(l.array1_base, &vec![0u8; l.bound_value as usize]);
-    machine.write_bytes(l.secret_addr, &[cfg.secret]);
-    // Victim data is warm (the victim used it recently); the trigger line D
-    // starts warm too — the attacker flushes it in-program.
-    machine.warm(l.bound_addr, 8);
-    machine.warm(l.array1_base, l.bound_value);
-    machine.warm(l.secret_addr, 1);
-    // Probe array cold.
-    for v in 0..l.probe_entries {
-        machine.flush(l.probe_addr(v));
-    }
+/// Plants the attack's data in session memory — a thin alias for
+/// [`Session::plant`] taking the PoC configuration.
+pub fn plant_data<O: PipelineObserver>(session: &mut Session<O>, cfg: &PocConfig) {
+    session.plant(&cfg.layout, cfg.secret);
 }
 
-/// Runs the SpectrePHT-in-runahead proof of concept on `machine`.
+/// Runs the SpectrePHT-in-runahead proof of concept on `session`.
 ///
-/// The machine decides the outcome: a runahead machine leaks, the
-/// no-runahead machine (given a `nop_slide` > ROB) and the §6 defenses do
-/// not.
-pub fn run_pht_poc(machine: &mut Machine, cfg: &PocConfig) -> PocOutcome {
-    plant_data(machine, cfg);
+/// The session's machine decides the outcome: a runahead machine leaks,
+/// the no-runahead machine (given a `nop_slide` > ROB) and the §6 defenses
+/// do not.
+pub fn run_pht_poc<O: PipelineObserver>(session: &mut Session<O>, cfg: &PocConfig) -> PocOutcome {
+    plant_data(session, cfg);
     let program = build_pht_program(cfg);
     // Attacker and victim code are steady-state warm (the training loop has
     // executed the whole flow repeatedly in a real attack).
-    machine.warm_text(&program);
-    machine.reset_stats();
-    machine.run_program(&program, cfg.max_cycles);
-    let timings = ProbeTimings::read_from(machine, &cfg.layout);
+    session.warm_text(&program);
+    session.reset_stats();
+    session.run_program(&program, cfg.max_cycles);
     // Training touches array1[0] = 0, so probe entry 0 is excluded.
-    let leaked = timings.leaked_byte(cfg.threshold, &[0]);
-    PocOutcome {
-        leaked,
-        expected: cfg.secret,
-        runahead_entries: machine.stats().runahead_entries,
-        inv_branches: machine.stats().inv_unresolved_branches,
-        timings,
-    }
+    session.outcome_with(cfg.secret, cfg.threshold, &[0])
 }
 
 #[cfg(test)]
@@ -150,11 +129,11 @@ mod tests {
     #[test]
     fn planting_places_secret_and_bound() {
         let cfg = PocConfig { secret: 0xab, ..PocConfig::default() };
-        let mut m = Machine::no_runahead();
-        plant_data(&mut m, &cfg);
-        assert_eq!(m.read_value(cfg.layout.bound_addr, 8), cfg.layout.bound_value);
-        assert_eq!(m.read_bytes(cfg.layout.secret_addr, 1), vec![0xab]);
-        assert_ne!(m.residency(cfg.layout.secret_addr), specrun_mem::HitLevel::Mem);
-        assert_eq!(m.residency(cfg.layout.probe_addr(7)), specrun_mem::HitLevel::Mem);
+        let mut s = crate::session::Session::builder().policy(crate::Policy::NoRunahead).build();
+        plant_data(&mut s, &cfg);
+        assert_eq!(s.read_value(cfg.layout.bound_addr, 8), cfg.layout.bound_value);
+        assert_eq!(s.read_bytes(cfg.layout.secret_addr, 1), vec![0xab]);
+        assert_ne!(s.residency(cfg.layout.secret_addr), specrun_mem::HitLevel::Mem);
+        assert_eq!(s.residency(cfg.layout.probe_addr(7)), specrun_mem::HitLevel::Mem);
     }
 }

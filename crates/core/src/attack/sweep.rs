@@ -4,14 +4,14 @@
 //! across secrets, machine variants, defense configurations — takes many
 //! independent runs, exactly like the original Spectre proof of concept
 //! averaged thousands of covert-channel trials. Every trial owns a fresh
-//! [`Machine`], so the sweep fans out over all host cores through
+//! [`Session`], so the sweep fans out over all host cores through
 //! [`specrun_workloads::harness`].
 
 use specrun_cpu::CpuConfig;
 use specrun_workloads::harness::{self, parallel_map, TrialSpec};
 
 use crate::attack::poc::{run_pht_poc, PocConfig, PocOutcome};
-use crate::machine::Machine;
+use crate::session::Session;
 
 /// Configuration of a multi-trial SpectrePHT-in-runahead sweep.
 #[derive(Debug, Clone)]
@@ -93,9 +93,9 @@ pub fn run_pht_sweep(cfg: &SweepConfig) -> SweepReport {
         // Avoid 0: probe entry 0 is warmed by training and excluded by the
         // analyzer, so a 0 secret could never be recovered.
         let secret = (rng.next_below(255) + 1) as u8;
-        let mut machine = Machine::new(spec.config.clone());
+        let mut session = Session::builder().config(spec.config.clone()).build();
         let poc = PocConfig { secret, ..cfg.poc.clone() };
-        let outcome = run_pht_poc(&mut machine, &poc);
+        let outcome = run_pht_poc(&mut session, &poc);
         SweepTrial { id: i, secret, outcome }
     });
     SweepReport { trials, threads }

@@ -1,6 +1,6 @@
 //! SpectreBTB and SpectreRSB nested inside runahead (paper §4.4, Fig. 4).
 //!
-//! Both variants are *multi-program* attacks on one [`Machine`]: the
+//! Both variants are *multi-program* attacks on one [`Session`]: the
 //! attacker process trains or poisons a shared predictor structure from its
 //! own address space, the victim process runs and leaks during runahead, and
 //! the attacker probes afterwards. The predictor structures are untagged
@@ -9,11 +9,12 @@
 
 use specrun_isa::{IntReg, Program, ProgramBuilder};
 
-use crate::attack::covert::ProbeTimings;
+use specrun_cpu::probe::PipelineObserver;
+
 use crate::attack::gadget;
 use crate::attack::layout::AttackLayout;
 use crate::attack::poc::{PocConfig, PocOutcome};
-use crate::machine::Machine;
+use crate::session::Session;
 
 fn r(i: u8) -> IntReg {
     IntReg::new(i).unwrap()
@@ -92,34 +93,34 @@ fn build_btb_trainer_with_landing(victim: &Program) -> (Program, u64) {
 }
 
 /// Runs the SpectreBTB-in-runahead variant end to end.
-pub fn run_btb_poc(machine: &mut Machine, cfg: &PocConfig) -> PocOutcome {
+pub fn run_btb_poc<O: PipelineObserver>(session: &mut Session<O>, cfg: &PocConfig) -> PocOutcome {
     let layout = cfg.layout;
     // Plant data: D+64 holds the benign target; secret and arrays as usual.
-    crate::attack::poc::plant_data(machine, cfg);
+    crate::attack::poc::plant_data(session, cfg);
     let victim = build_btb_victim(&layout, cfg.nop_slide);
     let benign = victim.symbol("benign").expect("benign label");
-    machine.write_value(layout.bound_addr + 64, 8, benign);
-    machine.warm(layout.bound_addr + 64, 8);
+    session.write_value(layout.bound_addr + 64, 8, benign);
+    session.warm(layout.bound_addr + 64, 8);
 
     // ① Train the BTB from the attacker's own (congruent) address space.
     let (trainer, _gadget_pc) = build_btb_trainer_with_landing(&victim);
     for _ in 0..4 {
-        machine.run_program(&trainer, 100_000);
+        session.run_program(&trainer, 100_000);
     }
     // ② Evict the victim's jump-table slot (co-resident clflush).
-    machine.flush(layout.bound_addr + 64);
+    session.flush(layout.bound_addr + 64);
     // ③ Victim executes: enters runahead on the slot load, the INV jr never
     // resolves, fetch follows the trained BTB entry into the gadget. The
     // victim's code is steady-state warm.
-    machine.warm_text(&victim);
-    machine.reset_stats();
-    machine.run_program(&victim, cfg.max_cycles);
-    let runahead_entries = machine.stats().runahead_entries;
-    let inv_branches = machine.stats().inv_unresolved_branches;
+    session.warm_text(&victim);
+    session.reset_stats();
+    session.run_program(&victim, cfg.max_cycles);
+    let runahead_entries = session.stats().runahead_entries;
+    let inv_branches = session.stats().inv_unresolved_branches;
     // ④ Attacker probes from her own process.
     let probe = gadget::build_probe_program(&layout);
-    machine.run_program(&probe, cfg.max_cycles);
-    let timings = ProbeTimings::read_from(machine, &layout);
+    session.run_program(&probe, cfg.max_cycles);
+    let timings = session.probe_timings();
     let leaked = timings.leaked_byte(cfg.threshold, &[0]);
     PocOutcome { leaked, expected: cfg.secret, runahead_entries, inv_branches, timings }
 }
@@ -151,21 +152,21 @@ pub fn build_rsb_victim(layout: &AttackLayout, nop_slide: usize) -> Program {
 }
 
 /// Runs the SpectreRSB-in-runahead variant end to end.
-pub fn run_rsb_poc(machine: &mut Machine, cfg: &PocConfig) -> PocOutcome {
+pub fn run_rsb_poc<O: PipelineObserver>(session: &mut Session<O>, cfg: &PocConfig) -> PocOutcome {
     let layout = cfg.layout;
-    crate::attack::poc::plant_data(machine, cfg);
+    crate::attack::poc::plant_data(session, cfg);
     // D holds 0 so that architecturally F = benign.
-    machine.write_value(layout.bound_addr, 8, 0);
-    machine.warm(layout.bound_addr, 8);
+    session.write_value(layout.bound_addr, 8, 0);
+    session.warm(layout.bound_addr, 8);
     let victim = build_rsb_victim(&layout, cfg.nop_slide);
-    machine.warm_text(&victim);
-    machine.reset_stats();
-    machine.run_program(&victim, cfg.max_cycles);
-    let runahead_entries = machine.stats().runahead_entries;
-    let inv_branches = machine.stats().inv_unresolved_branches;
+    session.warm_text(&victim);
+    session.reset_stats();
+    session.run_program(&victim, cfg.max_cycles);
+    let runahead_entries = session.stats().runahead_entries;
+    let inv_branches = session.stats().inv_unresolved_branches;
     let probe = gadget::build_probe_program(&layout);
-    machine.run_program(&probe, cfg.max_cycles);
-    let timings = ProbeTimings::read_from(machine, &layout);
+    session.run_program(&probe, cfg.max_cycles);
+    let timings = session.probe_timings();
     let leaked = timings.leaked_byte(cfg.threshold, &[0]);
     PocOutcome { leaked, expected: cfg.secret, runahead_entries, inv_branches, timings }
 }

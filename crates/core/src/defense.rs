@@ -1,7 +1,9 @@
 //! Defense verification: the §6 secure-runahead scheme against the attacks.
 
+use specrun_cpu::probe::PipelineObserver;
+
 use crate::attack::poc::{run_pht_poc, PocConfig, PocOutcome};
-use crate::machine::Machine;
+use crate::session::Session;
 
 /// Outcome of running an attack against a defended machine.
 #[derive(Debug, Clone)]
@@ -23,11 +25,14 @@ impl DefenseReport {
     }
 }
 
-/// Runs the Fig. 8 PoC against `machine` and reports whether the planted
-/// secret stayed hidden.
-pub fn verify_pht_blocked(machine: &mut Machine, cfg: &PocConfig) -> DefenseReport {
-    let outcome = run_pht_poc(machine, cfg);
-    let stats = machine.stats();
+/// Runs the Fig. 8 PoC against `session`'s machine and reports whether the
+/// planted secret stayed hidden.
+pub fn verify_pht_blocked<O: PipelineObserver>(
+    session: &mut Session<O>,
+    cfg: &PocConfig,
+) -> DefenseReport {
+    let outcome = run_pht_poc(session, cfg);
+    let stats = session.stats();
     DefenseReport {
         sl_promotions: stats.sl_promotions,
         sl_deletions: stats.sl_deletions,
@@ -43,10 +48,10 @@ mod tests {
     #[test]
     fn report_blocked_logic() {
         let cfg = PocConfig::default();
-        let mut m = Machine::no_runahead();
+        let mut s = crate::Session::builder().policy(crate::Policy::NoRunahead).build();
         // On the baseline machine with no nop slide the leak may succeed via
         // plain speculation; this test only checks report plumbing.
-        let report = verify_pht_blocked(&mut m, &cfg);
+        let report = verify_pht_blocked(&mut s, &cfg);
         assert_eq!(report.blocked(), !report.outcome.success());
     }
 }

@@ -21,11 +21,11 @@
 //!
 //! ```
 //! use specrun::attack::{run_pht_poc, PocConfig};
-//! use specrun::Machine;
+//! use specrun::session::{Policy, Session};
 //!
-//! let mut machine = Machine::runahead();
+//! let mut session = Session::builder().policy(Policy::Runahead).build();
 //! let cfg = PocConfig { training_rounds: 16, ..PocConfig::default() };
-//! let outcome = run_pht_poc(&mut machine, &cfg);
+//! let outcome = run_pht_poc(&mut session, &cfg);
 //! assert_eq!(outcome.leaked, Some(cfg.secret), "SPECRUN leaks on a runahead machine");
 //! ```
 
@@ -36,9 +36,11 @@ pub mod attack;
 pub mod defense;
 mod machine;
 mod metrics;
+pub mod session;
 pub mod window;
 
 pub use machine::Machine;
+pub use session::{Policy, Session, SessionBuilder};
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
@@ -47,6 +49,7 @@ pub mod prelude {
         DEFAULT_THRESHOLD,
     };
     pub use crate::defense::{verify_pht_blocked, DefenseReport};
+    pub use crate::session::{leak_trace_for, Policy, Session, SessionBuilder};
     pub use crate::window::{measure_windows, WindowReport};
     pub use crate::Machine;
 }

@@ -7,35 +7,49 @@
 //! state resets between programs, microarchitectural state — caches,
 //! PHT/BTB/RSB, DRAM contention — deliberately persists. That persistence
 //! is the paper's threat model.
+//!
+//! The named constructors (`runahead()`, `secure()`, …) are deprecated
+//! shims: experiments are set up through
+//! [`Session::builder()`](crate::session::Session::builder), the single
+//! experiment surface, which also carries the memory layout, planted
+//! secrets and an optional [`PipelineObserver`].
 
+use specrun_cpu::probe::{NoopObserver, PipelineObserver};
 use specrun_cpu::{Core, CpuConfig, RunExit, RunaheadPolicy, RunaheadTrigger, SecureConfig};
 use specrun_isa::{IntReg, Program};
 use specrun_mem::HitLevel;
 
-/// A simulated machine (core + memory + predictors).
+/// A simulated machine (core + memory + predictors), generic over an
+/// attached [`PipelineObserver`] (detached by default).
 #[derive(Debug, Clone)]
-pub struct Machine {
-    core: Core,
+pub struct Machine<O: PipelineObserver = NoopObserver> {
+    core: Core<O>,
 }
 
 impl Machine {
-    /// Creates a machine from an explicit configuration.
+    /// Creates a detached machine from an explicit configuration.
     pub fn new(config: CpuConfig) -> Machine {
         Machine { core: Core::new(config) }
     }
 
     /// The paper's *runahead machine* (Table 1, original runahead).
+    #[deprecated(since = "0.1.0", note = "use `Session::builder().policy(Policy::Runahead)`")]
     pub fn runahead() -> Machine {
         Machine::new(CpuConfig::default())
     }
 
     /// The paper's *no-runahead machine* (Table 1, runahead disabled).
+    #[deprecated(since = "0.1.0", note = "use `Session::builder().policy(Policy::NoRunahead)`")]
     pub fn no_runahead() -> Machine {
         Machine::new(CpuConfig::no_runahead())
     }
 
     /// A runahead machine with the relaxed "data cache miss" trigger used by
     /// the paper's §5.3 scenario ➂.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::builder().policy(Policy::HeadMissTrigger)`"
+    )]
     pub fn runahead_head_miss() -> Machine {
         let mut cfg = CpuConfig::default();
         cfg.runahead.trigger = RunaheadTrigger::HeadMiss;
@@ -43,6 +57,7 @@ impl Machine {
     }
 
     /// A machine running the given runahead variant (§4.3).
+    #[deprecated(since = "0.1.0", note = "use `Session::builder().policy(Policy::Variant(..))`")]
     pub fn with_policy(policy: RunaheadPolicy) -> Machine {
         let mut cfg = CpuConfig::default();
         cfg.runahead.policy = policy;
@@ -50,15 +65,24 @@ impl Machine {
     }
 
     /// The §6 secure runahead machine (SL cache + taint tracking).
+    #[deprecated(since = "0.1.0", note = "use `Session::builder().policy(Policy::Secure)`")]
     pub fn secure() -> Machine {
         Machine::new(CpuConfig::secure_runahead())
     }
 
     /// The §6 alternative mitigation (skip INV-source branches).
+    #[deprecated(since = "0.1.0", note = "use `Session::builder().policy(Policy::SkipInv)`")]
     pub fn skip_inv() -> Machine {
         let mut cfg = CpuConfig::default();
         cfg.runahead.secure = SecureConfig::skip_inv_default();
         Machine::new(cfg)
+    }
+}
+
+impl<O: PipelineObserver> Machine<O> {
+    /// Creates a machine with `observer` attached to its core's pipeline.
+    pub fn with_observer(config: CpuConfig, observer: O) -> Machine<O> {
+        Machine { core: Core::with_observer(config, observer) }
     }
 
     /// Loads a program (resets architectural state only; see module docs).
@@ -140,13 +164,23 @@ impl Machine {
     }
 
     /// Direct access to the core.
-    pub fn core(&self) -> &Core {
+    pub fn core(&self) -> &Core<O> {
         &self.core
     }
 
     /// Mutable access to the core.
-    pub fn core_mut(&mut self) -> &mut Core {
+    pub fn core_mut(&mut self) -> &mut Core<O> {
         &mut self.core
+    }
+
+    /// The attached pipeline observer.
+    pub fn observer(&self) -> &O {
+        self.core.observer()
+    }
+
+    /// Mutable access to the attached pipeline observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        self.core.observer_mut()
     }
 
     /// Core statistics.
@@ -163,11 +197,12 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::{Policy, Session};
     use specrun_isa::ProgramBuilder;
 
     #[test]
     fn microarch_state_survives_program_switch() {
-        let mut m = Machine::no_runahead();
+        let mut m = Machine::new(CpuConfig::no_runahead());
         m.warm(0x5000, 8);
         let mut b = ProgramBuilder::new(0x100);
         b.halt();
@@ -175,19 +210,31 @@ mod tests {
         assert_eq!(m.residency(0x5000), HitLevel::L1, "caches persist across programs");
     }
 
+    /// The deprecated preset shims must agree with the `Session` policies
+    /// they point at, for the one release both exist.
     #[test]
-    fn presets_have_expected_policies() {
-        assert_eq!(
-            Machine::no_runahead().core().config().runahead.policy,
-            RunaheadPolicy::Disabled
-        );
-        assert!(Machine::secure().core().config().runahead.secure.sl_cache);
-        assert!(Machine::skip_inv().core().config().runahead.secure.skip_inv_branches);
+    #[allow(deprecated)]
+    fn deprecated_presets_match_session_policies() {
+        let cases: [(Machine, Policy); 5] = [
+            (Machine::runahead(), Policy::Runahead),
+            (Machine::no_runahead(), Policy::NoRunahead),
+            (Machine::runahead_head_miss(), Policy::HeadMissTrigger),
+            (Machine::secure(), Policy::Secure),
+            (Machine::skip_inv(), Policy::SkipInv),
+        ];
+        for (machine, policy) in cases {
+            let session = Session::builder().policy(policy).build();
+            assert_eq!(
+                format!("{:?}", machine.core().config()),
+                format!("{:?}", session.machine().core().config()),
+                "preset and session policy {policy:?} must configure identical machines"
+            );
+        }
     }
 
     #[test]
     fn host_memory_round_trip() {
-        let mut m = Machine::runahead();
+        let mut m = Machine::new(CpuConfig::default());
         m.write_bytes(0x1234, b"hello");
         assert_eq!(m.read_bytes(0x1234, 5), b"hello");
         m.write_value(0x2000, 8, 77);

@@ -16,7 +16,7 @@
 use specrun_cpu::CpuConfig;
 use specrun_isa::{IntReg, Program, ProgramBuilder};
 
-use crate::machine::Machine;
+use crate::session::{Policy, Session};
 
 /// Address of the flushed trigger line `x` in the Fig. 10 snippets.
 const TRIGGER_ADDR: u64 = 0x0009_0000;
@@ -24,10 +24,10 @@ const TRIGGER_ADDR: u64 = 0x0009_0000;
 /// The runahead machine with efficiency throttling disabled: a pure nop
 /// window yields no prefetches, and the paper's §5.3 measurement assumes
 /// the raw scheme re-enters whenever the trigger condition holds.
-fn unthrottled_runahead() -> Machine {
+fn unthrottled_runahead() -> Session {
     let mut cfg = CpuConfig::default();
     cfg.runahead.min_episode_yield = 0;
-    Machine::new(cfg)
+    Session::builder().config(cfg).build()
 }
 
 /// The three window sizes of §5.3 plus context.
@@ -67,7 +67,7 @@ pub fn build_window_program(nops: usize) -> Program {
 
 /// Scenario ➀: the no-runahead machine's window (`N1`).
 pub fn measure_n1(nops: usize) -> u64 {
-    let mut m = Machine::no_runahead();
+    let mut m = Session::builder().policy(Policy::NoRunahead).build();
     m.warm(TRIGGER_ADDR, 8);
     m.run_program(&build_window_program(nops), 1_000_000);
     m.stats().max_stall_window

@@ -1,7 +1,7 @@
 //! End-to-end attack tests: the paper's headline results as assertions.
 
 use specrun::attack::{run_btb_poc, run_pht_poc, run_rsb_poc, PocConfig};
-use specrun::Machine;
+use specrun::session::{Policy, Session};
 use specrun_cpu::RunaheadPolicy;
 
 /// Fig. 9: the Fig. 8 PoC leaks the planted secret (86) on the runahead
@@ -9,7 +9,7 @@ use specrun_cpu::RunaheadPolicy;
 #[test]
 fn fig9_pht_poc_leaks_on_runahead_machine() {
     let cfg = PocConfig::default();
-    let mut machine = Machine::runahead();
+    let mut machine = Session::builder().policy(Policy::Runahead).build();
     let outcome = run_pht_poc(&mut machine, &cfg);
     assert!(outcome.runahead_entries >= 1, "attack must trigger runahead");
     assert!(outcome.inv_branches >= 1, "the poisoned branch must stay unresolved");
@@ -25,11 +25,11 @@ fn fig9_pht_poc_leaks_on_runahead_machine() {
 #[test]
 fn fig11_nop_slide_separates_machines() {
     let cfg = PocConfig::fig11(300);
-    let mut plain = Machine::no_runahead();
+    let mut plain = Session::builder().policy(Policy::NoRunahead).build();
     let baseline = run_pht_poc(&mut plain, &cfg);
     assert_eq!(baseline.leaked, None, "no-runahead machine must not leak past the ROB");
 
-    let mut runahead = Machine::runahead();
+    let mut runahead = Session::builder().policy(Policy::Runahead).build();
     let attacked = run_pht_poc(&mut runahead, &cfg);
     assert_eq!(attacked.leaked, Some(127), "runahead machine leaks beyond the ROB");
 }
@@ -39,7 +39,7 @@ fn fig11_nop_slide_separates_machines() {
 #[test]
 fn short_slide_leaks_even_without_runahead() {
     let cfg = PocConfig::default();
-    let mut plain = Machine::no_runahead();
+    let mut plain = Session::builder().policy(Policy::NoRunahead).build();
     let outcome = run_pht_poc(&mut plain, &cfg);
     assert_eq!(outcome.leaked, Some(86), "plain Spectre-PHT works within the ROB");
     assert_eq!(outcome.runahead_entries, 0);
@@ -50,7 +50,7 @@ fn short_slide_leaks_even_without_runahead() {
 fn variants_of_runahead_all_leak() {
     for policy in [RunaheadPolicy::Original, RunaheadPolicy::Precise, RunaheadPolicy::Vector] {
         let cfg = PocConfig::fig11(300);
-        let mut machine = Machine::with_policy(policy);
+        let mut machine = Session::builder().policy(Policy::Variant(policy)).build();
         let outcome = run_pht_poc(&mut machine, &cfg);
         assert_eq!(
             outcome.leaked,
@@ -66,13 +66,13 @@ fn variants_of_runahead_all_leak() {
 #[test]
 fn btb_variant_leaks_via_congruent_training() {
     let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
-    let mut machine = Machine::runahead();
+    let mut machine = Session::builder().policy(Policy::Runahead).build();
     let outcome = run_btb_poc(&mut machine, &cfg);
     assert!(outcome.runahead_entries >= 1, "victim must enter runahead");
     assert_eq!(outcome.leaked, Some(86));
 
     // Control: without training, the same victim does not leak.
-    let mut fresh = Machine::runahead();
+    let mut fresh = Session::builder().policy(Policy::Runahead).build();
     let cfg2 = PocConfig { nop_slide: 300, ..PocConfig::default() };
     specrun::attack::poc::plant_data(&mut fresh, &cfg2);
     let victim = specrun::attack::build_btb_victim(&cfg2.layout, cfg2.nop_slide);
@@ -93,7 +93,7 @@ fn btb_variant_leaks_via_congruent_training() {
 #[test]
 fn rsb_variant_leaks_via_poisoned_return() {
     let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
-    let mut machine = Machine::runahead();
+    let mut machine = Session::builder().policy(Policy::Runahead).build();
     let outcome = run_rsb_poc(&mut machine, &cfg);
     assert!(outcome.runahead_entries >= 1, "victim must enter runahead");
     assert_eq!(outcome.leaked, Some(86));
@@ -109,7 +109,7 @@ fn rsb_variant_leaks_via_poisoned_return() {
 fn poc_is_deterministic() {
     let run = || {
         let cfg = PocConfig::default();
-        let mut machine = Machine::runahead();
+        let mut machine = Session::builder().policy(Policy::Runahead).build();
         let o = run_pht_poc(&mut machine, &cfg);
         (o.leaked, o.timings.as_slice().to_vec())
     };
@@ -121,7 +121,7 @@ fn poc_is_deterministic() {
 fn leaks_arbitrary_secret_values() {
     for secret in [1u8, 42, 171, 254] {
         let cfg = PocConfig { secret, ..PocConfig::default() };
-        let mut machine = Machine::runahead();
+        let mut machine = Session::builder().policy(Policy::Runahead).build();
         let outcome = run_pht_poc(&mut machine, &cfg);
         assert_eq!(outcome.leaked, Some(secret), "secret {secret}");
     }

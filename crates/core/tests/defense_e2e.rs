@@ -4,14 +4,14 @@
 
 use specrun::attack::{run_pht_poc, PocConfig};
 use specrun::defense::verify_pht_blocked;
-use specrun::Machine;
+use specrun::session::{Policy, Session};
 
 /// Control: the undefended machine leaks (so the defense tests below are
 /// meaningful).
 #[test]
 fn undefended_machine_leaks() {
     let cfg = PocConfig::fig11(300);
-    let outcome = run_pht_poc(&mut Machine::runahead(), &cfg);
+    let outcome = run_pht_poc(&mut Session::builder().policy(Policy::Runahead).build(), &cfg);
     assert_eq!(outcome.leaked, Some(127));
 }
 
@@ -20,7 +20,7 @@ fn undefended_machine_leaks() {
 #[test]
 fn sl_cache_blocks_fig11_attack() {
     let cfg = PocConfig::fig11(300);
-    let mut machine = Machine::secure();
+    let mut machine = Session::builder().policy(Policy::Secure).build();
     let report = verify_pht_blocked(&mut machine, &cfg);
     assert!(report.outcome.runahead_entries >= 1, "attack still triggers runahead");
     assert!(report.blocked(), "leak must be blocked: {:?}", report.outcome.leaked);
@@ -41,7 +41,7 @@ fn sl_cache_closes_runahead_channel_with_short_slide() {
     // With a slide just over the ROB, plain speculation cannot reach the
     // gadget and the only channel is runahead: the defense must close it.
     let cfg = PocConfig { secret: 86, nop_slide: 260, ..PocConfig::default() };
-    let mut machine = Machine::secure();
+    let mut machine = Session::builder().policy(Policy::Secure).build();
     let report = verify_pht_blocked(&mut machine, &cfg);
     assert!(report.blocked(), "leaked {:?}", report.outcome.leaked);
 }
@@ -51,7 +51,7 @@ fn sl_cache_closes_runahead_channel_with_short_slide() {
 #[test]
 fn skip_inv_branches_blocks_fig11_attack() {
     let cfg = PocConfig::fig11(300);
-    let mut machine = Machine::skip_inv();
+    let mut machine = Session::builder().policy(Policy::SkipInv).build();
     let report = verify_pht_blocked(&mut machine, &cfg);
     assert!(report.outcome.runahead_entries >= 1);
     assert!(report.blocked(), "leaked {:?}", report.outcome.leaked);
@@ -67,10 +67,10 @@ fn skip_inv_branches_blocks_fig11_attack() {
 fn finding_sl_cache_does_not_cover_btb_rsb() {
     use specrun::attack::{run_btb_poc, run_rsb_poc};
     let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
-    let mut m = Machine::secure();
+    let mut m = Session::builder().policy(Policy::Secure).build();
     assert_eq!(run_btb_poc(&mut m, &cfg).leaked, Some(86), "BTB evades the SL scheme");
     let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
-    let mut m = Machine::secure();
+    let mut m = Session::builder().policy(Policy::Secure).build();
     assert_eq!(run_rsb_poc(&mut m, &cfg).leaked, Some(86), "RSB evades the SL scheme");
 }
 
@@ -81,10 +81,10 @@ fn finding_sl_cache_does_not_cover_btb_rsb() {
 fn skip_inv_blocks_btb_and_rsb_variants() {
     use specrun::attack::{run_btb_poc, run_rsb_poc};
     let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
-    let mut m = Machine::skip_inv();
+    let mut m = Session::builder().policy(Policy::SkipInv).build();
     assert_eq!(run_btb_poc(&mut m, &cfg).leaked, None);
     let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
-    let mut m = Machine::skip_inv();
+    let mut m = Session::builder().policy(Policy::SkipInv).build();
     assert_eq!(run_rsb_poc(&mut m, &cfg).leaked, None);
 }
 
@@ -106,9 +106,9 @@ fn defense_preserves_architecture() {
     b.halt();
     let p = b.build().unwrap();
 
-    let mut plain = Machine::runahead();
+    let mut plain = Session::builder().policy(Policy::Runahead).build();
     plain.run_program(&p, 1_000_000);
-    let mut secure = Machine::secure();
+    let mut secure = Session::builder().policy(Policy::Secure).build();
     secure.run_program(&p, 1_000_000);
     assert_eq!(plain.reg(r(3)), secure.reg(r(3)));
     assert!(secure.stats().runahead_entries >= 1);
@@ -131,7 +131,7 @@ fn safe_prefetches_promote() {
     b.ld(r(5), r(2), 0); // re-executed after exit: SL hit → promote
     b.halt();
     let p = b.build().unwrap();
-    let mut machine = Machine::secure();
+    let mut machine = Session::builder().policy(Policy::Secure).build();
     machine.run_program(&p, 1_000_000);
     assert!(machine.stats().runahead_entries >= 1);
     assert!(

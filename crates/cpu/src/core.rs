@@ -19,6 +19,7 @@ use specrun_mem::{
 use crate::config::CpuConfig;
 use crate::fu::{FuKind, FuPool};
 use crate::lsq::{LoadCheck, StoreQueue};
+use crate::probe::{NoopObserver, PipelineEvent, PipelineObserver};
 use crate::regs::{ArchCheckpoint, FreeLists, PhysRef, Rat, RegClass, RegFile};
 use crate::rob::{BranchInfo, DestInfo, EntryState, Rob, RobEntry};
 use crate::runahead::{Episode, StrideEntry};
@@ -65,6 +66,7 @@ pub(crate) struct Fetched {
 #[derive(Debug, Clone, Copy)]
 struct RetireInfo {
     seq: u64,
+    pc: u64,
     dest: Option<DestInfo>,
     is_load: bool,
     is_store: bool,
@@ -94,9 +96,16 @@ pub(crate) struct RunaheadMachinery {
 }
 
 /// The simulated processor core, including its memory hierarchy.
+///
+/// The core is generic over a [`PipelineObserver`] that receives typed
+/// microarchitectural events ([`crate::probe`]). The default
+/// [`NoopObserver`] is statically inert — a detached core compiles to
+/// exactly the un-instrumented pipeline.
 #[derive(Debug, Clone)]
-pub struct Core {
+pub struct Core<O: PipelineObserver = NoopObserver> {
     pub(crate) cfg: CpuConfig,
+    /// The attached pipeline observer (see [`crate::probe`]).
+    obs: O,
     pub(crate) mem: MemHierarchy,
     pub(crate) bp: BranchPredictor,
     pub(crate) regs: RegFile,
@@ -147,16 +156,30 @@ pub struct Core {
 }
 
 impl Core {
-    /// Creates a core with empty caches and predictor state.
+    /// Creates a detached core ([`NoopObserver`]) with empty caches and
+    /// predictor state.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent (see
     /// [`CpuConfig::validate`]).
     pub fn new(cfg: CpuConfig) -> Core {
+        Core::with_observer(cfg, NoopObserver)
+    }
+}
+
+impl<O: PipelineObserver> Core<O> {
+    /// Creates a core with `obs` attached as its pipeline observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`CpuConfig::validate`]).
+    pub fn with_observer(cfg: CpuConfig, obs: O) -> Core<O> {
         cfg.validate();
         let sl_entries = cfg.runahead.secure.sl_entries.max(1);
         Core {
+            obs,
             mem: MemHierarchy::new(cfg.mem),
             bp: BranchPredictor::new(cfg.predictor),
             regs: RegFile::new(cfg.int_prf, cfg.fp_prf),
@@ -199,6 +222,32 @@ impl Core {
     /// The core's configuration.
     pub fn config(&self) -> &CpuConfig {
         &self.cfg
+    }
+
+    /// The attached pipeline observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// Mutable access to the attached pipeline observer (e.g. to reset its
+    /// counters between phases of an experiment).
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consumes the core, returning the observer with everything it saw.
+    pub fn into_observer(self) -> O {
+        self.obs
+    }
+
+    /// Hands an event to the observer. With an inert observer
+    /// (`O::ACTIVE == false`) the whole call — including the event
+    /// construction at the emission site — monomorphizes away.
+    #[inline(always)]
+    pub(crate) fn emit(&mut self, event: PipelineEvent) {
+        if O::ACTIVE {
+            self.obs.on_event(&event);
+        }
     }
 
     /// Loads a program: architectural state is reset (registers zeroed,
@@ -353,6 +402,7 @@ impl Core {
         // order, matching the retired `retain` sweep.
         while let Some(addr) = self.scheduled_flushes.pop_due(now) {
             self.mem.flush_line(addr, now);
+            self.emit(PipelineEvent::Flush { cycle: now, line: self.mem.line_of(addr) });
         }
     }
 
@@ -788,6 +838,12 @@ impl Core {
         let info = *b;
         let mispredicted = info.actual_taken != info.predicted_taken
             || (info.actual_taken && info.actual_target != info.predicted_target);
+        self.emit(PipelineEvent::BranchResolved {
+            cycle: now,
+            pc,
+            taken: info.actual_taken,
+            mispredicted,
+        });
         let in_runahead = self.in_runahead();
         let train = !in_runahead || self.cfg.runahead.train_predictor;
         match info.kind {
@@ -835,9 +891,10 @@ impl Core {
     }
 
     /// Removes all entries younger than `seq`, unwinding renames.
-    pub(crate) fn squash_after(&mut self, seq: u64, _now: u64) {
+    pub(crate) fn squash_after(&mut self, seq: u64, now: u64) {
         self.sched.squash_younger(seq);
         let removed = self.rob.squash_younger(seq);
+        self.emit(PipelineEvent::Squash { cycle: now, squashed: removed.len() as u64 });
         for e in &removed {
             if let Some(d) = e.dest {
                 self.rat.set(d.arch, d.prev);
@@ -894,6 +951,7 @@ impl Core {
             // whole ~200-byte struct out of the buffer.
             let retire = RetireInfo {
                 seq: head.seq,
+                pc: head.pc,
                 dest: head.dest,
                 is_load: head.is_load,
                 is_store: head.is_store,
@@ -925,8 +983,17 @@ impl Core {
                 let addr = se.addr.expect("committed store has an address");
                 if se.is_flush {
                     self.mem.flush_line(addr, now);
+                    self.emit(PipelineEvent::Flush { cycle: now, line: self.mem.line_of(addr) });
                 } else {
-                    self.mem.access(addr, now, AccessKind::Store, FillPolicy::Normal);
+                    let access = self.mem.access(addr, now, AccessKind::Store, FillPolicy::Normal);
+                    if access.filled {
+                        self.emit(PipelineEvent::CacheFill {
+                            cycle: now,
+                            level: access.level,
+                            line: self.mem.line_of(addr),
+                            transient: false,
+                        });
+                    }
                     self.mem.write_data(addr, se.width, se.value.unwrap_or(0));
                     self.stats.stores += 1;
                 }
@@ -936,6 +1003,7 @@ impl Core {
             self.halted = true;
         }
         self.stats.committed += 1;
+        self.emit(PipelineEvent::Commit { cycle: now, pc: e.pc });
     }
 
     fn pseudo_retire(&mut self, e: RetireInfo) {
@@ -1359,7 +1427,7 @@ impl Core {
     fn issue_load(
         &mut self,
         seq: u64,
-        _pc: u64,
+        pc: u64,
         inst: Inst,
         vals: [u64; 3],
         inv: bool,
@@ -1404,6 +1472,14 @@ impl Core {
                 if self.fu.try_issue(FuKind::Mem, now).is_none() {
                     return false;
                 }
+                if in_runahead {
+                    self.emit(PipelineEvent::TransientLoad {
+                        cycle: now,
+                        pc,
+                        addr,
+                        tainted: taint != 0,
+                    });
+                }
                 let poison = fwd_inv && in_runahead;
                 if poison && sp_like {
                     // A ret popping poisoned data never resolves
@@ -1435,6 +1511,12 @@ impl Core {
                         if self.fu.try_issue(FuKind::Mem, now).is_none() {
                             return false;
                         }
+                        self.emit(PipelineEvent::TransientLoad {
+                            cycle: now,
+                            pc,
+                            addr,
+                            tainted: taint != 0,
+                        });
                         return self.complete_load(
                             seq,
                             addr,
@@ -1479,6 +1561,14 @@ impl Core {
                     if self.fu.try_issue(FuKind::Mem, now).is_none() {
                         return false;
                     }
+                    if in_runahead {
+                        self.emit(PipelineEvent::TransientLoad {
+                            cycle: now,
+                            pc,
+                            addr,
+                            tainted: taint != 0,
+                        });
+                    }
                     let value = self.mem.read_data(addr, width);
                     return self.complete_load(
                         seq,
@@ -1509,6 +1599,17 @@ impl Core {
             0
         };
         let access = self.mem.access(addr, now, AccessKind::Load, policy);
+        if in_runahead {
+            self.emit(PipelineEvent::TransientLoad { cycle: now, pc, addr, tainted: taint != 0 });
+        }
+        if access.filled {
+            self.emit(PipelineEvent::CacheFill {
+                cycle: now,
+                level: access.level,
+                line: self.mem.line_of(addr),
+                transient: in_runahead,
+            });
+        }
         if in_runahead && access.level == HitLevel::Mem {
             // Long-latency runahead load: issue the request (the prefetch
             // that carries the covert channel) and poison the destination.

@@ -39,6 +39,7 @@ pub mod config;
 mod core;
 mod fu;
 mod lsq;
+pub mod probe;
 mod regs;
 mod rob;
 mod runahead;
@@ -52,10 +53,16 @@ pub use config::{
     CpuConfig, FuClass, FuConfig, RunaheadConfig, RunaheadPolicy, RunaheadTrigger, SecureConfig,
 };
 pub use fu::FuKind;
+pub use probe::{
+    CountingObserver, LeakTraceObserver, NoopObserver, PipelineEvent, PipelineObserver,
+};
 pub use stats::CpuStats;
 
 /// Commonly used items for examples and tests.
 pub mod prelude {
     pub use crate::config::{CpuConfig, RunaheadPolicy, RunaheadTrigger, SecureConfig};
+    pub use crate::probe::{
+        CountingObserver, LeakTraceObserver, NoopObserver, PipelineEvent, PipelineObserver,
+    };
     pub use crate::{Core, CpuStats, RunExit};
 }

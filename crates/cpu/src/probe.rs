@@ -1,0 +1,452 @@
+//! Pipeline observation: typed microarchitectural events and the
+//! zero-cost-when-detached [`PipelineObserver`] trait.
+//!
+//! Every experiment before this module inferred transient behaviour from
+//! the outside — probe-timing buffers read back out of guest memory, or
+//! [`CpuStats`](crate::CpuStats) counters. An observer instead receives the
+//! events *directly*, at exactly the pipeline points where the counters
+//! bump: runahead entry/exit, squashes, commits, branch resolutions,
+//! transient loads and the cache fills they cause. That is ground truth —
+//! the SPECULOSE methodology of watching transient loads rather than timing
+//! their side effects — and it lets an experiment cross-check a
+//! timing-based inference against what the pipeline actually did.
+//!
+//! The core is generic over its observer
+//! ([`Core<O>`](crate::Core)); the default [`NoopObserver`] sets
+//! [`PipelineObserver::ACTIVE`] to `false`, so every emission site
+//! monomorphizes to nothing and a detached core pays zero cost — the perf
+//! gate (`specrun-lab perf`) is the proof.
+//!
+//! ```
+//! use specrun_cpu::probe::CountingObserver;
+//! use specrun_cpu::{Core, CpuConfig};
+//! use specrun_isa::{IntReg, ProgramBuilder};
+//!
+//! let mut b = ProgramBuilder::new(0x1000);
+//! b.li(IntReg::new(1).unwrap(), 42);
+//! b.halt();
+//! let program = b.build().unwrap();
+//!
+//! let mut core = Core::with_observer(CpuConfig::default(), CountingObserver::default());
+//! core.load_program(&program);
+//! core.run(10_000);
+//! assert_eq!(core.observer().commits, core.stats().committed);
+//! ```
+
+use specrun_mem::HitLevel;
+
+/// One microarchitectural event, emitted from the pipeline at the points
+/// where [`CpuStats`](crate::CpuStats) counters bump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineEvent {
+    /// The core entered runahead mode (a DRAM-bound load stalled at the
+    /// head of a blocked window).
+    RunaheadEnter {
+        /// Cycle of entry.
+        cycle: u64,
+        /// PC of the stalling load (fetch restarts here on exit).
+        stall_pc: u64,
+    },
+    /// The core left runahead mode (the stalling load's data returned).
+    RunaheadExit {
+        /// Cycle of exit.
+        cycle: u64,
+        /// The episode's transient window: instructions in the ROB at entry
+        /// plus instructions dispatched during the episode.
+        window: u64,
+    },
+    /// In-flight instructions were thrown away — a misprediction recovery,
+    /// a skip-INV suppression, or the pipeline flush at runahead exit.
+    Squash {
+        /// Cycle of the squash.
+        cycle: u64,
+        /// ROB entries removed (may be 0 when the squash point was the
+        /// youngest instruction). Summed over a run this reconciles with
+        /// [`CpuStats::squashed`](crate::CpuStats::squashed).
+        squashed: u64,
+    },
+    /// An instruction architecturally committed (runahead pseudo-retirement
+    /// is *not* a commit and is deliberately not reported here).
+    Commit {
+        /// Cycle of commitment.
+        cycle: u64,
+        /// PC of the committed instruction.
+        pc: u64,
+    },
+    /// A branch resolved with valid operands. INV-source branches in
+    /// runahead never resolve — the SPECRUN signature is precisely the
+    /// *absence* of this event for the unresolvable branch.
+    BranchResolved {
+        /// Cycle of resolution.
+        cycle: u64,
+        /// PC of the branch.
+        pc: u64,
+        /// Architecturally taken?
+        taken: bool,
+        /// Did the prediction (direction or target) miss?
+        mispredicted: bool,
+    },
+    /// A load executed during runahead mode that reached the memory system
+    /// (hierarchy, runahead cache, SL cache, or a store-queue forward) with
+    /// a valid address. Loads whose address was INV never get this far.
+    TransientLoad {
+        /// Cycle of issue.
+        cycle: u64,
+        /// PC of the load.
+        pc: u64,
+        /// Effective byte address.
+        addr: u64,
+        /// Whether the address was tainted (secure-runahead taint tracking;
+        /// always `false` when the defense is off).
+        tainted: bool,
+    },
+    /// A data-side access created new cache state (promotion into an upper
+    /// level, or an installing DRAM fill). Emitted at the access that
+    /// allocated the fill; instruction fetch and host-side warming are not
+    /// reported.
+    CacheFill {
+        /// Cycle of the access.
+        cycle: u64,
+        /// The level that serviced the access (the fill installs *above*
+        /// it; [`HitLevel::Mem`] means an installing DRAM fill was
+        /// allocated).
+        level: HitLevel,
+        /// Line index (byte address >> line shift).
+        line: u64,
+        /// Whether the filling access executed transiently (in runahead
+        /// mode). A transient fill of a secret-dependent line *is* the
+        /// covert channel; the secure defense's `NoFill` policy suppresses
+        /// these fills, and with them this event.
+        transient: bool,
+    },
+    /// A line left the hierarchy through the pipeline: a committed
+    /// `clflush` or a host-scheduled mid-run flush (the co-resident
+    /// attacker of §5.3 ➂). Host-side setup flushes are not reported.
+    Flush {
+        /// Cycle of the flush.
+        cycle: u64,
+        /// Line index of the flushed line.
+        line: u64,
+    },
+}
+
+impl PipelineEvent {
+    /// The cycle the event was emitted at.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            PipelineEvent::RunaheadEnter { cycle, .. }
+            | PipelineEvent::RunaheadExit { cycle, .. }
+            | PipelineEvent::Squash { cycle, .. }
+            | PipelineEvent::Commit { cycle, .. }
+            | PipelineEvent::BranchResolved { cycle, .. }
+            | PipelineEvent::TransientLoad { cycle, .. }
+            | PipelineEvent::CacheFill { cycle, .. }
+            | PipelineEvent::Flush { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// A pipeline observer: receives [`PipelineEvent`]s as the core emits them.
+///
+/// The trait is consumed through the core's type parameter
+/// ([`Core<O>`](crate::Core)), never through dynamic dispatch, so an
+/// observer adds exactly the cost of its `on_event` body — and none at all
+/// for [`NoopObserver`], whose [`ACTIVE`](PipelineObserver::ACTIVE) constant
+/// compiles every emission site away.
+///
+/// Observers must be [`Clone`] (the fast-forward self-check steps a cloned
+/// core through the window it is about to skip; the clone's events are
+/// discarded with the shadow core) and [`Debug`] (the core derives it).
+///
+/// **Invisibility contract:** observers receive state, they never change
+/// it. An attached observer must leave cycle counts,
+/// [`CpuStats`](crate::CpuStats) and architectural results bit-identical
+/// to a detached run — enforced by proptests in
+/// `crates/cpu/tests/proptests.rs`.
+pub trait PipelineObserver: Clone + std::fmt::Debug {
+    /// Whether the core should emit events at all. The default `true` suits
+    /// any real observer; [`NoopObserver`] overrides it to `false`, which
+    /// removes the emission sites at monomorphization time.
+    const ACTIVE: bool = true;
+
+    /// Receives one event.
+    fn on_event(&mut self, event: &PipelineEvent);
+}
+
+/// The detached observer: receives nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl PipelineObserver for NoopObserver {
+    const ACTIVE: bool = false;
+
+    #[inline(always)]
+    fn on_event(&mut self, _event: &PipelineEvent) {}
+}
+
+/// Two observers side by side: both receive every event. Composition is
+/// still static — `(CountingObserver, LeakTraceObserver)` pays exactly the
+/// two bodies.
+impl<A: PipelineObserver, B: PipelineObserver> PipelineObserver for (A, B) {
+    const ACTIVE: bool = A::ACTIVE || B::ACTIVE;
+
+    #[inline]
+    fn on_event(&mut self, event: &PipelineEvent) {
+        self.0.on_event(event);
+        self.1.on_event(event);
+    }
+}
+
+/// Counts every event kind — the reconciliation observer: its totals must
+/// agree with the [`CpuStats`](crate::CpuStats) counters bumped at the same
+/// pipeline points.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingObserver {
+    /// Runahead entries (reconciles with `CpuStats::runahead_entries`).
+    pub runahead_enters: u64,
+    /// Runahead exits (reconciles with `CpuStats::runahead_exits`).
+    pub runahead_exits: u64,
+    /// Squash *events* (one per squash action).
+    pub squash_events: u64,
+    /// Sum of squashed-entry counts (reconciles with `CpuStats::squashed`).
+    pub squashed_total: u64,
+    /// Architectural commits (reconciles with `CpuStats::committed`).
+    pub commits: u64,
+    /// Branch resolutions of every kind.
+    pub branches_resolved: u64,
+    /// Mispredicted resolutions.
+    pub mispredicts: u64,
+    /// Transient (runahead) loads that reached the memory system.
+    pub transient_loads: u64,
+    /// Transient loads whose address was tainted.
+    pub tainted_loads: u64,
+    /// Data-side cache fills.
+    pub fills: u64,
+    /// Fills caused by transient loads.
+    pub transient_fills: u64,
+    /// In-pipeline line flushes.
+    pub flushes: u64,
+}
+
+impl PipelineObserver for CountingObserver {
+    fn on_event(&mut self, event: &PipelineEvent) {
+        match *event {
+            PipelineEvent::RunaheadEnter { .. } => self.runahead_enters += 1,
+            PipelineEvent::RunaheadExit { .. } => self.runahead_exits += 1,
+            PipelineEvent::Squash { squashed, .. } => {
+                self.squash_events += 1;
+                self.squashed_total += squashed;
+            }
+            PipelineEvent::Commit { .. } => self.commits += 1,
+            PipelineEvent::BranchResolved { mispredicted, .. } => {
+                self.branches_resolved += 1;
+                self.mispredicts += u64::from(mispredicted);
+            }
+            PipelineEvent::TransientLoad { tainted, .. } => {
+                self.transient_loads += 1;
+                self.tainted_loads += u64::from(tainted);
+            }
+            PipelineEvent::CacheFill { transient, .. } => {
+                self.fills += 1;
+                self.transient_fills += u64::from(transient);
+            }
+            PipelineEvent::Flush { .. } => self.flushes += 1,
+        }
+    }
+}
+
+/// Ground-truth leakage tracing over a flush+reload probe array.
+///
+/// Configured with the probe array's geometry (`array2` of the attack
+/// layout), the observer watches [`PipelineEvent::CacheFill`] for
+/// *transient* fills landing in probe lines — each one is a
+/// secret-dependent fill, because the only transient path into the probe
+/// array is the secret-indexed transmit load — and records which probe
+/// index was touched. It optionally watches a secret line for transient
+/// reads. Where `specrun::attack::ProbeTimings`
+/// *infers* the leak from latencies, this observer *sees* it happen: the
+/// two must agree, and on a defended machine the transient fill count must
+/// be zero — the "secure runahead transient secret fills = 0" invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeakTraceObserver {
+    probe_base: u64,
+    probe_stride: u64,
+    probe_entries: u64,
+    line_bytes: u64,
+    watched_secret_line: Option<u64>,
+    /// Transient fill count per probe index.
+    fills_per_entry: Vec<u64>,
+    /// Transient loads that read the watched secret line.
+    secret_reads: u64,
+    /// All transient loads seen (context for reports).
+    transient_loads: u64,
+}
+
+impl LeakTraceObserver {
+    /// Creates a tracer for a probe array at `probe_base` with
+    /// `probe_entries` entries `probe_stride` bytes apart, on a hierarchy
+    /// with `line_bytes`-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is zero or `probe_stride < line_bytes`
+    /// (entries sharing a line cannot be distinguished).
+    pub fn new(probe_base: u64, probe_stride: u64, probe_entries: u64, line_bytes: u64) -> Self {
+        assert!(line_bytes > 0, "line size must be positive");
+        assert!(probe_stride >= line_bytes, "probe entries must not share cache lines");
+        LeakTraceObserver {
+            probe_base,
+            probe_stride,
+            probe_entries,
+            line_bytes,
+            watched_secret_line: None,
+            fills_per_entry: vec![0; probe_entries as usize],
+            secret_reads: 0,
+            transient_loads: 0,
+        }
+    }
+
+    /// Additionally watches the line containing `secret_addr` for transient
+    /// reads (builder style).
+    pub fn watch_secret(mut self, secret_addr: u64) -> Self {
+        self.watched_secret_line = Some(secret_addr / self.line_bytes);
+        self
+    }
+
+    /// Maps a line index to the probe entry it belongs to, if any.
+    fn probe_index_of_line(&self, line: u64) -> Option<u64> {
+        let addr = line * self.line_bytes;
+        if addr < self.probe_base {
+            return None;
+        }
+        let off = addr - self.probe_base;
+        let index = off / self.probe_stride;
+        (index < self.probe_entries && off % self.probe_stride < self.line_bytes).then_some(index)
+    }
+
+    /// Total transient secret-dependent fills (transient fills landing in
+    /// probe lines). Zero on a machine whose defense works.
+    pub fn transient_secret_fills(&self) -> u64 {
+        self.fills_per_entry.iter().sum()
+    }
+
+    /// Per-probe-index transient fill counts.
+    pub fn fills_per_entry(&self) -> &[u64] {
+        &self.fills_per_entry
+    }
+
+    /// Probe indices that were transiently filled, excluding `exclude`
+    /// (e.g. index 0, which PHT training also touches architecturally).
+    pub fn hot_indices(&self, exclude: &[usize]) -> Vec<usize> {
+        self.fills_per_entry
+            .iter()
+            .enumerate()
+            .filter(|&(i, &n)| n > 0 && !exclude.contains(&i))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The leaked byte as the observer *saw* it: the unique transiently
+    /// filled probe index outside `exclude`. `None` when no index (or more
+    /// than one) was filled — the ground-truth twin of
+    /// `ProbeTimings::leaked_byte`.
+    pub fn ground_truth_byte(&self, exclude: &[usize]) -> Option<u8> {
+        match self.hot_indices(exclude)[..] {
+            // try_from: an observer may be configured with more than 256
+            // probe entries; an index beyond a byte is not a byte leak.
+            [one] => u8::try_from(one).ok(),
+            _ => None,
+        }
+    }
+
+    /// Transient reads of the watched secret line.
+    pub fn secret_reads(&self) -> u64 {
+        self.secret_reads
+    }
+
+    /// All transient loads observed.
+    pub fn transient_loads(&self) -> u64 {
+        self.transient_loads
+    }
+}
+
+impl PipelineObserver for LeakTraceObserver {
+    fn on_event(&mut self, event: &PipelineEvent) {
+        match *event {
+            PipelineEvent::TransientLoad { addr, .. } => {
+                self.transient_loads += 1;
+                if self.watched_secret_line == Some(addr / self.line_bytes) {
+                    self.secret_reads += 1;
+                }
+            }
+            PipelineEvent::CacheFill { line, transient: true, .. } => {
+                if let Some(index) = self.probe_index_of_line(line) {
+                    self.fills_per_entry[index as usize] += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(line: u64, transient: bool) -> PipelineEvent {
+        PipelineEvent::CacheFill { cycle: 1, level: HitLevel::Mem, line, transient }
+    }
+
+    #[test]
+    fn counting_observer_sums_squashes() {
+        let mut c = CountingObserver::default();
+        c.on_event(&PipelineEvent::Squash { cycle: 1, squashed: 3 });
+        c.on_event(&PipelineEvent::Squash { cycle: 2, squashed: 0 });
+        assert_eq!(c.squash_events, 2);
+        assert_eq!(c.squashed_total, 3);
+    }
+
+    #[test]
+    fn leak_trace_maps_probe_lines() {
+        // Probe entries at 0x1000 + 512 * v, 64-byte lines.
+        let mut t = LeakTraceObserver::new(0x1000, 512, 256, 64).watch_secret(0x500);
+        t.on_event(&fill((0x1000 + 512 * 86) / 64, true));
+        t.on_event(&fill((0x1000 + 512 * 86) / 64, false)); // architectural: ignored
+        t.on_event(&fill((0x1000 + 512 * 86 + 64) / 64, true)); // off-entry line in the stride gap
+        t.on_event(&fill(0x10, true)); // outside the probe array
+        assert_eq!(t.transient_secret_fills(), 1);
+        assert_eq!(t.ground_truth_byte(&[]), Some(86));
+        assert_eq!(t.ground_truth_byte(&[86]), None);
+        t.on_event(&PipelineEvent::TransientLoad { cycle: 3, pc: 0, addr: 0x510, tainted: false });
+        assert_eq!(t.secret_reads(), 1);
+        assert_eq!(t.transient_loads(), 1);
+    }
+
+    #[test]
+    fn leak_trace_two_hot_indices_is_ambiguous() {
+        let mut t = LeakTraceObserver::new(0x0, 64, 4, 64);
+        t.on_event(&fill(0, true));
+        t.on_event(&fill(2, true));
+        assert_eq!(t.hot_indices(&[]), vec![0, 2]);
+        assert_eq!(t.ground_truth_byte(&[]), None);
+        assert_eq!(t.ground_truth_byte(&[0]), Some(2));
+    }
+
+    #[test]
+    fn tuple_observer_feeds_both() {
+        let mut pair = (CountingObserver::default(), CountingObserver::default());
+        pair.on_event(&PipelineEvent::Commit { cycle: 1, pc: 0x1000 });
+        assert_eq!(pair.0.commits, 1);
+        assert_eq!(pair.1.commits, 1);
+        // ACTIVE composition: a pair is active when either side is.
+        const PAIR_ACTIVE: bool = <(CountingObserver, NoopObserver)>::ACTIVE;
+        const NOOP_ACTIVE: bool = NoopObserver::ACTIVE;
+        assert_eq!((PAIR_ACTIVE, NOOP_ACTIVE), (true, false));
+    }
+
+    #[test]
+    fn event_cycle_accessor() {
+        assert_eq!(PipelineEvent::Flush { cycle: 7, line: 1 }.cycle(), 7);
+        assert_eq!(PipelineEvent::Commit { cycle: 9, pc: 4 }.cycle(), 9);
+    }
+}

@@ -51,7 +51,7 @@ pub(crate) struct StrideEntry {
     pub confidence: u8,
 }
 
-impl Core {
+impl<O: crate::probe::PipelineObserver> Core<O> {
     /// Whether the configured entry condition holds (assumes the caller
     /// established that a DRAM-bound load is stalled at the ROB head).
     pub(crate) fn runahead_trigger_met(&self) -> bool {
@@ -92,6 +92,7 @@ impl Core {
             (head.pc, head.ready_at, head.seq)
         };
         self.stats.runahead_entries += 1;
+        self.emit(crate::probe::PipelineEvent::RunaheadEnter { cycle: now, stall_pc });
         // Checkpoint: architectural values, RSB pointer, predictor history.
         self.ra.checkpoint = Some(ArchCheckpoint::capture(&self.retire_rat, &self.regs));
         self.ra.rsb_checkpoint = self.bp.rsb_checkpoint();
@@ -172,8 +173,13 @@ impl Core {
             self.stats.max_episode_window = episode_window;
         }
         self.stats.total_episode_window += episode_window;
+        self.emit(crate::probe::PipelineEvent::RunaheadExit { cycle: now, window: episode_window });
         // Flush everything; restore the checkpoint. The squashed entries
         // are never inspected — the RAT and free lists are rebuilt whole.
+        self.emit(crate::probe::PipelineEvent::Squash {
+            cycle: now,
+            squashed: self.rob.len() as u64,
+        });
         self.stats.squashed += self.rob.len() as u64;
         self.rob.clear();
         self.sq.clear();
@@ -285,7 +291,15 @@ impl Core {
             let lanes = self.cfg.runahead.vector_lanes;
             for lane in 1..=lanes {
                 let target = addr.wrapping_add_signed(stride * lane as i64);
-                self.mem.access(target, now, AccessKind::Load, FillPolicy::Normal);
+                let access = self.mem.access(target, now, AccessKind::Load, FillPolicy::Normal);
+                if access.filled {
+                    self.emit(crate::probe::PipelineEvent::CacheFill {
+                        cycle: now,
+                        level: access.level,
+                        line: self.mem.line_of(target),
+                        transient: true,
+                    });
+                }
                 self.stats.vector_lane_prefetches += 1;
             }
         }

@@ -125,7 +125,7 @@ impl SecureState {
     }
 }
 
-impl Core {
+impl<O: crate::probe::PipelineObserver> Core<O> {
     /// Rename-time hook: tracks branch scopes in speculative order and
     /// seeds predicate taint. Returns `(scope id for a scoped conditional,
     /// innermost scope open at this instruction)`.

@@ -3,6 +3,7 @@
 //! — any program computes the same results on every machine variant.
 
 use proptest::prelude::*;
+use specrun_cpu::probe::CountingObserver;
 use specrun_cpu::{Core, CpuConfig, RunaheadPolicy};
 use specrun_isa::{AluOp, IntReg, MemWidth, Program, ProgramBuilder};
 
@@ -153,6 +154,38 @@ proptest! {
                 (*core.stats(), regs)
             };
             prop_assert_eq!(run(true), run(false));
+        }
+    }
+
+    /// An attached observer is invisible: a core with a `CountingObserver`
+    /// produces bit-identical `CpuStats` and architectural state to a
+    /// detached run on arbitrary programs — and the observer's event totals
+    /// reconcile with the stats counters bumped at the same pipeline points
+    /// (squash sum == `stats.squashed`, runahead enters ==
+    /// `stats.runahead_entries`, and so on).
+    #[test]
+    fn observer_is_invisible_and_reconciles(ops in proptest::collection::vec(op(), 1..40)) {
+        let program = build(&ops);
+        for base in [CpuConfig::no_runahead(), CpuConfig::default(), CpuConfig::secure_runahead()] {
+            let detached = {
+                let mut core = Core::new(base.clone());
+                core.load_program(&program);
+                core.run(5_000_000);
+                let regs: Vec<u64> = (1..=9).map(|i| core.read_int_reg(r(i))).collect();
+                (*core.stats(), regs)
+            };
+            let mut core = Core::with_observer(base, CountingObserver::default());
+            core.load_program(&program);
+            core.run(5_000_000);
+            let regs: Vec<u64> = (1..=9).map(|i| core.read_int_reg(r(i))).collect();
+            let stats = *core.stats();
+            prop_assert_eq!(&detached, &(stats, regs), "observer must not perturb the run");
+            let seen = core.observer();
+            prop_assert_eq!(seen.runahead_enters, stats.runahead_entries);
+            prop_assert_eq!(seen.runahead_exits, stats.runahead_exits);
+            prop_assert_eq!(seen.squashed_total, stats.squashed);
+            prop_assert_eq!(seen.commits, stats.committed);
+            prop_assert_eq!(seen.mispredicts, stats.branch_mispredicts);
         }
     }
 

@@ -27,6 +27,7 @@ USAGE:
     specrun-lab run [SCENARIO ...] [--all] [--quick] [--threads N] [--seed N]
                     [--artifacts-dir DIR] [--no-artifacts]
     specrun-lab perf [--quick] [--baseline PATH | --baseline-from-git] [--max-drop F]
+                     [--repeats N]
 
 COMMANDS:
     list    Print every registered scenario.
@@ -38,7 +39,9 @@ COMMANDS:
     perf    Wall-clock throughput benchmark (writes BENCH_step.json) with
             an optional perf-regression gate. The baseline is read before
             the new report is written; --baseline-from-git reads the
-            committed BENCH_step.json at HEAD.
+            committed BENCH_step.json at HEAD. --repeats N reports the
+            best of N wall-clock samples per workload (CI uses 3), which
+            cuts false gate failures on noisy shared hosts.
 ";
 
 /// Entry point for the `specrun-lab` binary. Returns the exit code.

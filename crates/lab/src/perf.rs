@@ -60,11 +60,18 @@ pub struct PerfOptions {
     /// Maximum tolerated fractional drop in any `*_cycles_per_sec` metric
     /// before the gate fails (default 0.25).
     pub max_drop: f64,
+    /// Wall-clock measurements per workload; the *best* (fastest) of the
+    /// repeats is reported. On a noisy shared host a single sample can be
+    /// arbitrarily slowed by an unlucky descheduling — the minimum is the
+    /// closest observable to the machine's true rate, so best-of-N cuts
+    /// false perf-gate failures without loosening the threshold (CI uses
+    /// `--repeats 3`). Default 1.
+    pub repeats: u32,
 }
 
 impl Default for PerfOptions {
     fn default() -> PerfOptions {
-        PerfOptions { quick: false, baseline: BaselineSource::None, max_drop: 0.25 }
+        PerfOptions { quick: false, baseline: BaselineSource::None, max_drop: 0.25, repeats: 1 }
     }
 }
 
@@ -87,11 +94,19 @@ impl PerfOptions {
         {
             opts.max_drop = drop;
         }
+        if let Some(repeats) = std::env::var("SPECRUN_BENCH_REPEATS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&r: &u32| r > 0)
+        {
+            opts.repeats = repeats;
+        }
         opts
     }
 
     /// Applies `perf` subcommand flags on top (`--quick`,
-    /// `--baseline PATH`, `--baseline-from-git`, `--max-drop F`).
+    /// `--baseline PATH`, `--baseline-from-git`, `--max-drop F`,
+    /// `--repeats N`).
     pub fn apply_args(mut self, args: &[String]) -> Result<PerfOptions, String> {
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -106,6 +121,13 @@ impl PerfOptions {
                     let v = it.next().ok_or("--max-drop needs a value")?;
                     self.max_drop =
                         v.parse().map_err(|_| format!("invalid --max-drop value {v}"))?;
+                }
+                "--repeats" => {
+                    let v = it.next().ok_or("--repeats needs a count")?;
+                    self.repeats = v.parse().map_err(|_| format!("invalid --repeats value {v}"))?;
+                    if self.repeats == 0 {
+                        return Err("--repeats must be at least 1".to_string());
+                    }
                 }
                 other => return Err(format!("unknown perf option {other}")),
             }
@@ -145,7 +167,7 @@ struct KernelResult {
     ff_secs: f64,
 }
 
-fn measure_kernel(w: &Workload, base: CpuConfig, max_cycles: u64) -> KernelResult {
+fn measure_kernel(w: &Workload, base: CpuConfig, max_cycles: u64, repeats: u32) -> KernelResult {
     let mut naive_cfg = base.clone();
     naive_cfg.fast_forward = false;
     let mut ff_cfg = base;
@@ -153,39 +175,54 @@ fn measure_kernel(w: &Workload, base: CpuConfig, max_cycles: u64) -> KernelResul
 
     // `run_workload_timed` times only the simulation loop, so cycles/sec
     // is iteration-count-independent and a quick CI run stays comparable
-    // to the committed full-mode baseline.
-    let (naive, naive_secs) = run_workload_timed(w, naive_cfg, max_cycles);
-    let (ff, ff_secs) = run_workload_timed(w, ff_cfg, max_cycles);
-
-    assert_eq!(
-        (naive.cycles, naive.committed),
-        (ff.cycles, ff.committed),
-        "fast-forward must be architecturally invisible on {}",
-        w.name
-    );
-    KernelResult { cycles: ff.cycles, naive_secs, ff_secs }
+    // to the committed full-mode baseline. Best-of-N wall clock per
+    // configuration: the cycle counts are asserted identical across
+    // repeats, only the host-side seconds vary.
+    let mut best: Option<KernelResult> = None;
+    for _ in 0..repeats.max(1) {
+        let (naive, naive_secs) = run_workload_timed(w, naive_cfg.clone(), max_cycles);
+        let (ff, ff_secs) = run_workload_timed(w, ff_cfg.clone(), max_cycles);
+        assert_eq!(
+            (naive.cycles, naive.committed),
+            (ff.cycles, ff.committed),
+            "fast-forward must be architecturally invisible on {}",
+            w.name
+        );
+        let best = best.get_or_insert(KernelResult { cycles: ff.cycles, naive_secs, ff_secs });
+        assert_eq!(best.cycles, ff.cycles, "repeats of {} must simulate identically", w.name);
+        best.naive_secs = best.naive_secs.min(naive_secs);
+        best.ff_secs = best.ff_secs.min(ff_secs);
+    }
+    best.expect("at least one repeat ran")
 }
 
 /// Runs a nop slide of `n` instructions to completion with the text image
-/// pre-warmed into L1I, timing only the simulation loop. Naive stepping
-/// (fast-forward off): the pipeline is busy every cycle, which is exactly
-/// the case the sub-timer exists to measure.
-fn measure_frontend_nop_slide(n: usize) -> (u64, f64) {
+/// pre-warmed into L1I, timing only the simulation loop (best wall clock
+/// over `repeats` runs). Naive stepping (fast-forward off): the pipeline
+/// is busy every cycle, which is exactly the case the sub-timer exists to
+/// measure.
+fn measure_frontend_nop_slide(n: usize, repeats: u32) -> (u64, f64) {
     let mut b = ProgramBuilder::new(0x1000);
     b.nops(n);
     b.halt();
     let program = b.build().expect("nop slide builds");
     let mut cfg = CpuConfig::no_runahead();
     cfg.fast_forward = false;
-    let mut core = Core::new(cfg);
-    let text_len = program.text_end() - program.text_base();
-    core.mem_mut().warm_ifetch_range(program.text_base(), text_len);
-    core.load_program(&program);
-    let start = Instant::now();
-    let exit = core.run(100_000_000);
-    let secs = start.elapsed().as_secs_f64();
-    assert_eq!(exit, specrun_cpu::RunExit::Halted, "nop slide must halt");
-    (core.stats().cycles, secs)
+    let mut best: Option<(u64, f64)> = None;
+    for _ in 0..repeats.max(1) {
+        let mut core = Core::new(cfg.clone());
+        let text_len = program.text_end() - program.text_base();
+        core.mem_mut().warm_ifetch_range(program.text_base(), text_len);
+        core.load_program(&program);
+        let start = Instant::now();
+        let exit = core.run(100_000_000);
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(exit, specrun_cpu::RunExit::Halted, "nop slide must halt");
+        let best = best.get_or_insert((core.stats().cycles, secs));
+        assert_eq!(best.0, core.stats().cycles, "nop-slide repeats must simulate identically");
+        best.1 = best.1.min(secs);
+    }
+    best.expect("at least one repeat ran")
 }
 
 /// Runs the full throughput benchmark, writes `BENCH_step.json`, and gates
@@ -207,6 +244,7 @@ pub fn run(opts: &PerfOptions) -> i32 {
 
     let mut report = BenchReport::new("step");
     report.note("quick_mode", if quick { "yes" } else { "no" });
+    report.note("repeats", opts.repeats.to_string());
 
     println!("== simulator throughput: naive stepping vs idle-cycle fast-forward ==");
     println!("kernel,machine,cycles,naive_Mcyc_per_s,ff_Mcyc_per_s,speedup");
@@ -218,7 +256,7 @@ pub fn run(opts: &PerfOptions) -> i32 {
         ("mcf/no_runahead", &mcf, CpuConfig::no_runahead()),
         ("mcf/runahead", &mcf, CpuConfig::default()),
     ] {
-        let r = measure_kernel(w, cfg, 500_000_000);
+        let r = measure_kernel(w, cfg, 500_000_000, opts.repeats);
         let naive_rate = r.cycles as f64 / r.naive_secs;
         let ff_rate = r.cycles as f64 / r.ff_secs;
         let speedup = r.naive_secs / r.ff_secs;
@@ -245,7 +283,7 @@ pub fn run(opts: &PerfOptions) -> i32 {
     println!("== front-end sub-timer: warmed nop slide ==");
     println!("slide_insts,cycles,naive_Mcyc_per_s");
     let slide = if quick { 40_000 } else { 200_000 };
-    let (fe_cycles, fe_secs) = measure_frontend_nop_slide(slide);
+    let (fe_cycles, fe_secs) = measure_frontend_nop_slide(slide, opts.repeats);
     let fe_rate = fe_cycles as f64 / fe_secs;
     println!("{slide},{fe_cycles},{:.2}", fe_rate / 1e6);
     report.metric("frontend_nop_slide_cycles", fe_cycles as f64);
@@ -371,6 +409,27 @@ mod tests {
         assert!(opts.quick);
         assert_eq!(opts.baseline, BaselineSource::Path("some.json".into()));
         assert_eq!(opts.max_drop, 0.5);
+        assert_eq!(opts.repeats, 1, "repeats defaults to a single sample");
+    }
+
+    #[test]
+    fn repeats_flag_parses_and_rejects_zero() {
+        let opts =
+            PerfOptions::default().apply_args(&["--repeats".to_string(), "3".to_string()]).unwrap();
+        assert_eq!(opts.repeats, 3);
+        assert!(PerfOptions::default()
+            .apply_args(&["--repeats".to_string(), "0".to_string()])
+            .is_err());
+        assert!(PerfOptions::default().apply_args(&["--repeats".to_string()]).is_err());
+    }
+
+    #[test]
+    fn best_of_n_takes_the_fastest_sample() {
+        let w = specrun_workloads::kernels::pointer_chase(40);
+        let once = measure_kernel(&w, CpuConfig::default(), 10_000_000, 1);
+        let thrice = measure_kernel(&w, CpuConfig::default(), 10_000_000, 3);
+        assert_eq!(once.cycles, thrice.cycles, "repeats never change the simulation");
+        assert!(thrice.naive_secs > 0.0 && thrice.ff_secs > 0.0);
     }
 
     #[test]

@@ -9,8 +9,9 @@ use specrun::attack::{
     run_btb_poc, run_pht_poc, run_pht_sweep, run_rsb_poc, PocConfig, PocOutcome, SweepConfig,
 };
 use specrun::defense::verify_pht_blocked;
+use specrun::session::{leak_trace_for, Policy, Session};
 use specrun::window::measure_windows;
-use specrun::Machine;
+use specrun_cpu::probe::CountingObserver;
 use specrun_cpu::{CpuConfig, RunaheadPolicy};
 use specrun_workloads::ipc::{run_workload, IpcComparison};
 use specrun_workloads::metrics::MetricSource;
@@ -62,6 +63,12 @@ pub fn registry() -> Vec<Scenario> {
             title: "Secure-runahead defense effectiveness and overhead",
             paper_ref: "§6",
             run: run_defense,
+        },
+        Scenario {
+            name: "leak_trace",
+            title: "Ground-truth transient-fill trace vs probe-timing inference",
+            paper_ref: "§5 methodology",
+            run: run_leak_trace,
         },
         Scenario {
             name: "bench_step",
@@ -305,8 +312,8 @@ fn run_fig9(ctx: &RunContext) -> ScenarioRun {
     run.note("secret", cfg.secret.to_string());
     run.digest("runahead", &CpuConfig::default());
 
-    let mut machine = Machine::runahead();
-    let outcome = run_pht_poc(&mut machine, &cfg);
+    let mut session = Session::builder().policy(Policy::Runahead).build();
+    let outcome = run_pht_poc(&mut session, &cfg);
 
     outcome.emit_metrics("poc", &mut run.metrics);
     let timings = outcome.timings.as_slice();
@@ -402,10 +409,10 @@ fn run_fig11(ctx: &RunContext) -> ScenarioRun {
     run.digest("no_runahead", &CpuConfig::no_runahead());
     run.digest("runahead", &CpuConfig::default());
 
-    let machines = [Machine::no_runahead, Machine::runahead];
-    let outcomes = parallel_map(&machines, worker_threads(ctx), |_, make| {
-        let mut machine = make();
-        run_pht_poc(&mut machine, &PocConfig::fig11(FIG11_SLIDE))
+    let policies = [Policy::NoRunahead, Policy::Runahead];
+    let outcomes = parallel_map(&policies, worker_threads(ctx), |_, &policy| {
+        let mut session = Session::builder().policy(policy).build();
+        run_pht_poc(&mut session, &PocConfig::fig11(FIG11_SLIDE))
     });
     let (base, attacked) = (&outcomes[0], &outcomes[1]);
     base.emit_metrics("no_runahead", &mut run.metrics);
@@ -464,16 +471,16 @@ fn run_variants(ctx: &RunContext) -> ScenarioRun {
     }
     let outcomes = parallel_map(&jobs, worker_threads(ctx), |_, job| match job {
         Job::Policy(policy) => {
-            let mut machine = Machine::with_policy(*policy);
-            run_pht_poc(&mut machine, &PocConfig::fig11(FIG11_SLIDE))
+            let mut session = Session::builder().policy(Policy::Variant(*policy)).build();
+            run_pht_poc(&mut session, &PocConfig::fig11(FIG11_SLIDE))
         }
         Job::Variant(name) => {
             let cfg = PocConfig { nop_slide: FIG11_SLIDE, ..PocConfig::default() };
-            let mut machine = Machine::runahead();
+            let mut session = Session::builder().policy(Policy::Runahead).build();
             match *name {
-                "pht" => run_pht_poc(&mut machine, &cfg),
-                "btb" => run_btb_poc(&mut machine, &cfg),
-                "rsb" => run_rsb_poc(&mut machine, &cfg),
+                "pht" => run_pht_poc(&mut session, &cfg),
+                "btb" => run_btb_poc(&mut session, &cfg),
+                "rsb" => run_rsb_poc(&mut session, &cfg),
                 other => unreachable!("unknown variant {other}"),
             }
         }
@@ -536,13 +543,13 @@ fn run_defense(ctx: &RunContext) -> ScenarioRun {
 
     // Effectiveness: the Fig. 11 attack against the defended machines.
     let machines = [
-        ("undefended", Machine::runahead as fn() -> Machine),
-        ("secure_sl_cache", Machine::secure),
-        ("skip_inv_branch", Machine::skip_inv),
+        ("undefended", Policy::Runahead),
+        ("secure_sl_cache", Policy::Secure),
+        ("skip_inv_branch", Policy::SkipInv),
     ];
-    let reports = parallel_map(&machines, worker_threads(ctx), |_, (_, make)| {
-        let mut machine = make();
-        verify_pht_blocked(&mut machine, &PocConfig::fig11(FIG11_SLIDE))
+    let reports = parallel_map(&machines, worker_threads(ctx), |_, (_, policy)| {
+        let mut session = Session::builder().policy(*policy).build();
+        verify_pht_blocked(&mut session, &PocConfig::fig11(FIG11_SLIDE))
     });
     run.line("machine,leaked,blocked,sl_promotions,sl_deletions,skipped_inv".to_string());
     for ((name, _), report) in machines.iter().zip(&reports) {
@@ -640,6 +647,133 @@ fn run_defense(ctx: &RunContext) -> ScenarioRun {
         "secure runahead still beats the no-runahead baseline (geomean speedup > 1)",
         gs > 1.0,
         format!("{gs:.3}"),
+    );
+    run
+}
+
+// ---------------------------------------------------------------------------
+// leak_trace — ground-truth leakage tracing. A LeakTraceObserver watches
+// the pipeline's own TransientLoad/CacheFill events (the SPECULOSE
+// methodology: observe the transient accesses, don't just time their side
+// effects), cross-checks the direct observation against the probe-timing
+// inference, and carries the "secure runahead transient secret fills = 0"
+// invariant — a scenario class the timing-only API could not express.
+// ---------------------------------------------------------------------------
+
+fn run_leak_trace(ctx: &RunContext) -> ScenarioRun {
+    let mut run = ScenarioRun::new(&scenario("leak_trace"), ctx);
+    // The Fig. 11 shape (slide > ROB): with the gadget beyond the reorder
+    // window, ordinary speculation cannot reach it, so *every* probe-line
+    // fill is a runahead-transient fill and the ground-truth observer sees
+    // the whole channel. (With a short slide the first transmit happens
+    // under plain speculation — architecturally-attributed fills — and the
+    // trace would rightly blame Spectre, not SPECRUN.)
+    let cfg = PocConfig::fig11(FIG11_SLIDE); // secret 127
+    run.note("secret", cfg.secret.to_string());
+    run.note("nop_slide", FIG11_SLIDE.to_string());
+    run.note("scale", "fixed (one PoC run per machine; quick = full)");
+    run.digest("runahead", &CpuConfig::default());
+    run.digest("secure", &CpuConfig::secure_runahead());
+
+    let jobs = [("runahead", Policy::Runahead), ("secure_sl_cache", Policy::Secure)];
+    let results = parallel_map(&jobs, worker_threads(ctx), |_, (_, policy)| {
+        let tracer = leak_trace_for(&cfg.layout, &CpuConfig::default());
+        let mut session = Session::builder()
+            .policy(*policy)
+            .observer((CountingObserver::default(), tracer))
+            .build();
+        let outcome = run_pht_poc(&mut session, &cfg);
+        let stats = *session.stats();
+        let (counts, trace) = session.observer().clone();
+        (outcome, stats, counts, trace)
+    });
+
+    run.line("machine,timing_leaked,ground_truth,transient_secret_fills,secret_reads".to_string());
+    for ((name, _), (outcome, _stats, counts, trace)) in jobs.iter().zip(&results) {
+        outcome.emit_metrics(name, &mut run.metrics);
+        run.metrics
+            .push(format!("{name}_transient_secret_fills"), trace.transient_secret_fills() as f64);
+        run.metrics.push(format!("{name}_secret_reads"), trace.secret_reads() as f64);
+        run.metrics.push(format!("{name}_transient_loads"), trace.transient_loads() as f64);
+        run.metrics.push(format!("{name}_squash_events"), counts.squash_events as f64);
+        run.metrics.push(format!("{name}_observer_commits"), counts.commits as f64);
+        run.metrics.push(format!("{name}_observer_squashed"), counts.squashed_total as f64);
+        run.line(format!(
+            "{name},{:?},{:?},{},{}",
+            outcome.leaked,
+            trace.ground_truth_byte(&[0]),
+            trace.transient_secret_fills(),
+            trace.secret_reads()
+        ));
+    }
+
+    let (attacked, attacked_stats, attacked_counts, attacked_trace) = &results[0];
+    let (secured, _, _, secured_trace) = &results[1];
+
+    // The inference and the ground truth must name the same probe indices
+    // (probe entry 0 is excluded on both sides: training touches it
+    // architecturally).
+    let timing_hot: Vec<usize> =
+        attacked.timings.hot_indices(cfg.threshold).into_iter().filter(|&i| i != 0).collect();
+    let truth_hot = attacked_trace.hot_indices(&[0]);
+    run.check(
+        "ground_truth_matches_timing",
+        "the probe indices the observer saw transiently filled are exactly the ones \
+         the timing inference flags hot",
+        timing_hot == truth_hot,
+        format!("timing {timing_hot:?} vs ground truth {truth_hot:?}"),
+    );
+    run.check(
+        "ground_truth_recovers_secret",
+        format!(
+            "the observer's directly-counted transient fill names the planted secret ({})",
+            cfg.secret
+        ),
+        attacked_trace.ground_truth_byte(&[0]) == Some(cfg.secret)
+            && attacked.leaked == Some(cfg.secret),
+        format!(
+            "ground truth {:?}, timing {:?}",
+            attacked_trace.ground_truth_byte(&[0]),
+            attacked.leaked
+        ),
+    );
+    run.check(
+        "secret_read_transiently",
+        "the runahead machine reads the secret line during runahead (the access that \
+         architecturally never happens)",
+        attacked_trace.secret_reads() > 0,
+        attacked_trace.secret_reads(),
+    );
+    run.check(
+        "secure_runahead_zero_transient_secret_fills",
+        "secure runahead transient secret fills = 0: the SL-cache defense leaves no \
+         transient fill in any probe line",
+        secured_trace.transient_secret_fills() == 0,
+        secured_trace.transient_secret_fills(),
+    );
+    run.check(
+        "secure_timing_agrees",
+        "the timing inference agrees with the ground truth that the defended machine \
+         leaks nothing",
+        secured.leaked.is_none(),
+        format!("{:?}", secured.leaked),
+    );
+    run.check(
+        "observer_reconciles_with_stats",
+        "observer event totals reconcile with CpuStats (runahead enters, squashed sum, \
+         commits)",
+        attacked_counts.runahead_enters == attacked_stats.runahead_entries
+            && attacked_counts.squashed_total == attacked_stats.squashed
+            && attacked_counts.commits == attacked_stats.committed,
+        format!(
+            "enters {}/{}, squashed {}/{}, commits {}/{}",
+            attacked_counts.runahead_enters,
+            attacked_stats.runahead_entries,
+            attacked_counts.squashed_total,
+            attacked_stats.squashed,
+            attacked_counts.commits,
+            attacked_stats.committed
+        ),
     );
     run
 }

@@ -12,6 +12,10 @@ use specrun_lab::scenario::RunContext;
 const LEGACY_EXPERIMENTS: [&str; 8] =
     ["fig7", "fig9", "fig10", "fig11", "table1", "variants", "defense", "bench_step"];
 
+/// Scenarios born after the registry (no legacy binary): the ground-truth
+/// observer trace. Must stay registered too.
+const OBSERVER_SCENARIOS: [&str; 1] = ["leak_trace"];
+
 #[test]
 fn every_scenario_quick_mode_is_byte_identical_across_runs() {
     let ctx = RunContext::quick();
@@ -41,14 +45,14 @@ fn quick_campaign_passes_every_paper_claim() {
     for scenario in registry() {
         report.runs.push(scenario.execute(&ctx));
     }
-    assert_eq!(report.runs.len(), LEGACY_EXPERIMENTS.len());
+    assert_eq!(report.runs.len(), LEGACY_EXPERIMENTS.len() + OBSERVER_SCENARIOS.len());
     assert!(report.passed(), "quick-mode paper-claim invariants failed: {:?}", report.failures());
     // The merged report is itself deterministic content: no wall-clock
     // fields, insertion-ordered keys.
     let json = report.to_json().render();
     assert!(json.contains("\"passed\": true"));
-    for legacy in LEGACY_EXPERIMENTS {
-        assert!(json.contains(&format!("\"scenario\": \"{legacy}\"")), "{legacy} missing");
+    for name in LEGACY_EXPERIMENTS.iter().chain(&OBSERVER_SCENARIOS) {
+        assert!(json.contains(&format!("\"scenario\": \"{name}\"")), "{name} missing");
     }
 }
 
@@ -58,7 +62,7 @@ fn thread_count_does_not_change_artifacts() {
     // artifacts must not care. Cover both fan-out paths that consume
     // ctx.threads: parallel_map over machines (fig11) and the seeded
     // multi-trial sweep (bench_step).
-    for name in ["fig11", "bench_step"] {
+    for name in ["fig11", "bench_step", "leak_trace"] {
         let scenario = specrun_lab::registry::find(name).unwrap();
         let one = scenario.execute(&RunContext { threads: 1, ..RunContext::quick() });
         let four = scenario.execute(&RunContext { threads: 4, ..RunContext::quick() });

@@ -64,6 +64,13 @@ pub struct Access {
     pub ready_at: u64,
     /// Structure that serviced the request.
     pub level: HitLevel,
+    /// Whether this access created new cache state: a hit below L1 promoted
+    /// the line upward, or a DRAM miss allocated an installing fill. `false`
+    /// for L1 hits, [`FillPolicy::NoFill`] accesses, and MSHR merges into an
+    /// already-inflight line — the ground truth a cache-fill observer needs
+    /// to attribute each fill to exactly one access. (A later `clflush` can
+    /// still cancel an allocated DRAM fill before it lands.)
+    pub filled: bool,
 }
 
 /// Cache geometry and latency for the whole hierarchy.
@@ -285,7 +292,7 @@ impl MemHierarchy {
                 } else {
                     self.config.l1d.hit_latency
                 };
-                return Access { ready_at: now + latency, level: HitLevel::L1 };
+                return Access { ready_at: now + latency, level: HitLevel::L1, filled: false };
             }
         }
 
@@ -309,7 +316,11 @@ impl MemHierarchy {
                 self.l1d_memo = memo;
             }
             self.stats.record_hit(HitLevel::L1, is_ifetch);
-            return Access { ready_at: now + l1_cfg.hit_latency, level: HitLevel::L1 };
+            return Access {
+                ready_at: now + l1_cfg.hit_latency,
+                level: HitLevel::L1,
+                filled: false,
+            };
         }
 
         // L2.
@@ -322,7 +333,11 @@ impl MemHierarchy {
                 self.touched_l1(is_ifetch);
             }
             self.stats.record_hit(HitLevel::L2, is_ifetch);
-            return Access { ready_at: now + self.config.l2.hit_latency, level: HitLevel::L2 };
+            return Access {
+                ready_at: now + self.config.l2.hit_latency,
+                level: HitLevel::L2,
+                filled: promote,
+            };
         }
 
         // L3.
@@ -337,7 +352,11 @@ impl MemHierarchy {
                 self.touched_l1(is_ifetch);
             }
             self.stats.record_hit(HitLevel::L3, is_ifetch);
-            return Access { ready_at: now + self.config.l3.hit_latency, level: HitLevel::L3 };
+            return Access {
+                ready_at: now + self.config.l3.hit_latency,
+                level: HitLevel::L3,
+                filled: promote,
+            };
         }
 
         // MSHR merge. A later Normal-policy access does *not* flip a NoFill
@@ -350,7 +369,7 @@ impl MemHierarchy {
             let entry = &mut self.inflight[i];
             entry.ifetch &= is_ifetch;
             self.stats.mshr_merges += 1;
-            return Access { ready_at: entry.complete_at, level: HitLevel::Mem };
+            return Access { ready_at: entry.complete_at, level: HitLevel::Mem, filled: false };
         }
 
         // DRAM.
@@ -359,7 +378,7 @@ impl MemHierarchy {
         self.inflight_lines.push(line);
         self.next_complete = self.next_complete.min(complete_at);
         self.stats.record_hit(HitLevel::Mem, is_ifetch);
-        Access { ready_at: complete_at, level: HitLevel::Mem }
+        Access { ready_at: complete_at, level: HitLevel::Mem, filled: promote }
     }
 
     /// `clflush`: evicts the line containing `addr` from every level and

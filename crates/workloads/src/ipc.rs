@@ -1,6 +1,7 @@
 //! The Fig. 7 IPC harness: run each kernel on the no-runahead and runahead
 //! machines and compare.
 
+use specrun_cpu::probe::{NoopObserver, PipelineObserver};
 use specrun_cpu::{Core, CpuConfig, RunExit};
 
 use crate::kernels::Workload;
@@ -43,7 +44,27 @@ pub fn run_workload_timed(
     config: CpuConfig,
     max_cycles: u64,
 ) -> (IpcResult, f64) {
-    let mut core = Core::new(config);
+    let (result, secs, _) = run_workload_observed(workload, config, max_cycles, NoopObserver);
+    (result, secs)
+}
+
+/// The observer-carrying kernel runner every other entry point reduces to:
+/// runs `workload` to completion on a fresh [`Core`] with `observer`
+/// attached, returning the IPC result, the wall-clock seconds spent in the
+/// simulation loop alone, and the observer with whatever it saw. With
+/// [`NoopObserver`] this is exactly [`run_workload_timed`] — the observer
+/// is statically inert.
+///
+/// # Panics
+///
+/// Panics if the kernel does not halt within the cycle budget.
+pub fn run_workload_observed<O: PipelineObserver>(
+    workload: &Workload,
+    config: CpuConfig,
+    max_cycles: u64,
+    observer: O,
+) -> (IpcResult, f64, O) {
+    let mut core = Core::with_observer(config, observer);
     for (addr, bytes) in &workload.setup {
         core.mem_mut().write_bytes(*addr, bytes);
     }
@@ -59,7 +80,7 @@ pub fn run_workload_timed(
         ipc: stats.ipc(),
         runahead_entries: stats.runahead_entries,
     };
-    (result, secs)
+    (result, secs, core.into_observer())
 }
 
 /// One Fig. 7 bar pair: a kernel's IPC without and with runahead.

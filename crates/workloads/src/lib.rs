@@ -23,7 +23,10 @@ pub mod metrics;
 pub mod rng;
 
 pub use harness::{parallel_map, ConfigMatrix, Summary, TrialSpec};
-pub use ipc::{compare, compare_with, geomean_speedup, IpcComparison, IpcResult, DEFAULT_ITERS};
+pub use ipc::{
+    compare, compare_with, geomean_speedup, run_workload_observed, IpcComparison, IpcResult,
+    DEFAULT_ITERS,
+};
 pub use kernels::Workload;
 pub use metrics::{MetricSet, MetricSource};
 pub use rng::SplitMix64;

@@ -1,36 +1,54 @@
-//! Quickstart: build a tiny program, run it on the Table 1 runahead
-//! machine, and look at the statistics.
+//! Quickstart: one `Session` is the whole experiment — build the Table 1
+//! runahead machine, plant a secret, run the SPECRUN proof of concept, and
+//! watch the pipeline leak it (with ground-truth event tracing attached).
 //!
 //! ```sh
-//! cargo run --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
-use specrun::Machine;
-use specrun_isa::{IntReg, ProgramBuilder};
+use specrun::attack::{run_pht_poc, PocConfig};
+use specrun::session::{leak_trace_for, Policy, Session};
+use specrun_cpu::CpuConfig;
 
 fn main() {
-    let r = |i| IntReg::new(i).unwrap();
+    // The attack configuration: Fig. 9's planted secret byte 86 ('V'),
+    // pushed beyond the 256-entry ROB by a nop slide (the Fig. 11 shape)
+    // so runahead is the *only* channel — every probe-line fill the
+    // observer sees is then a transient, secret-dependent one.
+    let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
 
-    // A little program: sum the numbers 0..100, with a flushed load in the
-    // middle so the machine demonstrates a runahead episode.
-    let mut b = ProgramBuilder::new(0x1000);
-    b.li(r(1), 0); // sum
-    b.li(r(2), 0x9000); // a data address
-    b.flush(r(2), 0); // evict it
-    b.ld(r(3), r(2), 0); // long-latency load → runahead trigger
-    b.for_loop(r(4), 100, |b| {
-        b.add(r(1), r(1), r(4));
-    });
-    b.halt();
-    let program = b.build().expect("program builds");
+    // One builder chain replaces the old Machine presets + hand plumbing:
+    // machine policy, attack layout, planted secret, and a ground-truth
+    // observer that counts transient secret-dependent cache fills as the
+    // pipeline makes them.
+    let mut session = Session::builder()
+        .policy(Policy::Runahead)
+        .layout(cfg.layout)
+        .observer(leak_trace_for(&cfg.layout, &CpuConfig::default()))
+        .build();
 
-    println!("{}", program.disassemble());
+    let outcome = run_pht_poc(&mut session, &cfg);
 
-    let mut machine = Machine::runahead();
-    machine.run_program(&program, 1_000_000);
-
-    println!("sum 0..100 = {}", machine.reg(r(1)));
-    assert_eq!(machine.reg(r(1)), (0..100).sum::<u64>());
+    println!("planted secret:  {} ({:?})", cfg.secret, cfg.secret as char);
+    match outcome.leaked {
+        Some(byte) => println!("leaked byte: {byte} ({:?})", byte as char),
+        None => println!("leaked byte: none"),
+    }
+    let trace = session.observer();
+    println!(
+        "ground truth:    {} transient secret-dependent fill(s), {} transient read(s) of the \
+         secret line, observer says byte {:?}",
+        trace.transient_secret_fills(),
+        trace.secret_reads(),
+        trace.ground_truth_byte(&[0]),
+    );
+    println!(
+        "signature:       {} runahead episode(s), {} never-resolving INV branch(es)",
+        outcome.runahead_entries, outcome.inv_branches
+    );
     println!();
-    println!("{}", machine.stats());
+    println!("{}", session.stats());
+
+    assert_eq!(outcome.leaked, Some(cfg.secret), "the runahead machine must leak");
+    assert_eq!(trace.ground_truth_byte(&[0]), Some(cfg.secret), "ground truth must agree");
 }

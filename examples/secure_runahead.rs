@@ -8,19 +8,19 @@
 
 use specrun::attack::{run_pht_poc, PocConfig};
 use specrun::defense::verify_pht_blocked;
-use specrun::Machine;
+use specrun::session::{Policy, Session};
 
 fn main() {
     // Control: undefended runahead machine.
     let cfg = PocConfig::fig11(300);
-    let mut undefended = Machine::runahead();
+    let mut undefended = Session::builder().policy(Policy::Runahead).build();
     let outcome = run_pht_poc(&mut undefended, &cfg);
     println!("undefended runahead machine: leaked = {:?} (secret 127)", outcome.leaked);
     assert_eq!(outcome.leaked, Some(127));
 
     // SL cache + taint tracking (Algorithm 1).
     let cfg = PocConfig::fig11(300);
-    let mut secure = Machine::secure();
+    let mut secure = Session::builder().policy(Policy::Secure).build();
     let report = verify_pht_blocked(&mut secure, &cfg);
     println!(
         "secure runahead (SL cache):  leaked = {:?}, promotions = {}, deletions = {}",
@@ -30,7 +30,7 @@ fn main() {
 
     // Skip-INV-branch mitigation.
     let cfg = PocConfig::fig11(300);
-    let mut skip = Machine::skip_inv();
+    let mut skip = Session::builder().policy(Policy::SkipInv).build();
     let report = verify_pht_blocked(&mut skip, &cfg);
     println!(
         "skip-INV-branch mitigation:  leaked = {:?}, suppressed branches = {}",

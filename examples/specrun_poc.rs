@@ -6,7 +6,7 @@
 //! ```
 
 use specrun::attack::{run_pht_poc, AttackLayout, PocConfig};
-use specrun::Machine;
+use specrun::session::{Policy, Session};
 
 fn main() {
     let secret = b"SPECRUN!";
@@ -22,8 +22,8 @@ fn main() {
             ..AttackLayout::default()
         };
         let cfg = PocConfig { layout, secret: byte, ..PocConfig::default() };
-        let mut machine = Machine::runahead();
-        let outcome = run_pht_poc(&mut machine, &cfg);
+        let mut session = Session::builder().policy(Policy::Runahead).layout(layout).build();
+        let outcome = run_pht_poc(&mut session, &cfg);
         let got = outcome.leaked.unwrap_or(b'?');
         print!("{}", got as char);
         recovered.push(got);

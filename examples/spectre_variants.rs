@@ -7,12 +7,12 @@
 //! ```
 
 use specrun::attack::{run_btb_poc, run_rsb_poc, PocConfig};
-use specrun::Machine;
+use specrun::session::{Policy, Session};
 
 fn main() {
     let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
-    let mut machine = Machine::runahead();
-    let btb = run_btb_poc(&mut machine, &cfg);
+    let mut session = Session::builder().policy(Policy::Runahead).build();
+    let btb = run_btb_poc(&mut session, &cfg);
     println!(
         "SpectreBTB-in-runahead: leaked = {:?} (expected {}), episodes = {}",
         btb.leaked, btb.expected, btb.runahead_entries
@@ -20,8 +20,8 @@ fn main() {
     assert!(btb.success());
 
     let cfg = PocConfig { nop_slide: 300, ..PocConfig::default() };
-    let mut machine = Machine::runahead();
-    let rsb = run_rsb_poc(&mut machine, &cfg);
+    let mut session = Session::builder().policy(Policy::Runahead).build();
+    let rsb = run_rsb_poc(&mut session, &cfg);
     println!(
         "SpectreRSB-in-runahead: leaked = {:?} (expected {}), episodes = {}",
         rsb.leaked, rsb.expected, rsb.runahead_entries

@@ -95,7 +95,7 @@ fn umbrella_prelude_compiles_and_works() {
     use specrun_suite::prelude::*;
     let config = CpuConfig::default();
     assert_eq!(config.rob_entries, 256);
-    let mut machine = Machine::no_runahead();
-    machine.write_bytes(0x100, b"ok");
-    assert_eq!(machine.read_bytes(0x100, 2), b"ok");
+    let mut session = Session::builder().policy(Policy::NoRunahead).build();
+    session.write_bytes(0x100, b"ok");
+    assert_eq!(session.read_bytes(0x100, 2), b"ok");
 }

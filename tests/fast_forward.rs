@@ -6,7 +6,7 @@
 //! same decisions as the retired scan-based one (`sched_check`).
 
 use specrun::attack::{run_pht_poc, PocConfig};
-use specrun::Machine;
+use specrun::session::Session;
 use specrun_cpu::{Core, CpuConfig, CpuStats, RunExit};
 use specrun_isa::IntReg;
 use specrun_workloads::{kernels, suite_with_iters, Workload};
@@ -109,9 +109,9 @@ fn fast_forward_is_invisible_to_the_attack_poc() {
     let mut outcomes = Vec::new();
     for ff in [true, false] {
         let cfg = CpuConfig { fast_forward: ff, ..CpuConfig::default() };
-        let mut machine = Machine::new(cfg);
-        let out = run_pht_poc(&mut machine, &PocConfig::default());
-        outcomes.push((out.leaked, out.expected, *machine.core().stats()));
+        let mut session = Session::builder().config(cfg).build();
+        let out = run_pht_poc(&mut session, &PocConfig::default());
+        outcomes.push((out.leaked, out.expected, *session.core().stats()));
     }
     assert_eq!(outcomes[0], outcomes[1], "fast-forward changed the PoC outcome");
     assert_eq!(outcomes[0].0, Some(86), "the runahead machine must leak the secret");
@@ -127,9 +127,9 @@ fn predecode_check_is_invisible_to_the_attack_poc() {
     let mut outcomes = Vec::new();
     for check in [true, false] {
         let cfg = CpuConfig { predecode_check: check, ..CpuConfig::default() };
-        let mut machine = Machine::new(cfg);
-        let out = run_pht_poc(&mut machine, &PocConfig::default());
-        outcomes.push((out.leaked, out.expected, *machine.core().stats()));
+        let mut session = Session::builder().config(cfg).build();
+        let out = run_pht_poc(&mut session, &PocConfig::default());
+        outcomes.push((out.leaked, out.expected, *session.core().stats()));
     }
     assert_eq!(outcomes[0], outcomes[1], "predecode_check changed the PoC outcome");
     assert_eq!(outcomes[0].0, Some(86), "the runahead machine must leak the secret");

@@ -3,16 +3,16 @@
 
 use specrun::attack::{run_pht_poc, PocConfig};
 use specrun::defense::verify_pht_blocked;
+use specrun::session::{Policy, Session};
 use specrun::window::measure_windows;
-use specrun::Machine;
 use specrun_workloads::{compare, geomean_speedup, suite_with_iters};
 
 /// Fig. 9: SPECRUN leaks a secret from the victim on the runahead machine.
 #[test]
 fn claim_fig9_leak() {
     let cfg = PocConfig::default();
-    let mut machine = Machine::runahead();
-    let outcome = run_pht_poc(&mut machine, &cfg);
+    let mut session = Session::builder().policy(Policy::Runahead).build();
+    let outcome = run_pht_poc(&mut session, &cfg);
     assert_eq!(outcome.leaked, Some(86));
     assert!(outcome.runahead_entries > 0);
 }
@@ -30,10 +30,10 @@ fn claim_window_shape() {
 #[test]
 fn claim_fig11_separation() {
     let cfg = PocConfig::fig11(300);
-    let mut plain = Machine::no_runahead();
+    let mut plain = Session::builder().policy(Policy::NoRunahead).build();
     assert_eq!(run_pht_poc(&mut plain, &cfg).leaked, None);
     let cfg = PocConfig::fig11(300);
-    let mut ra = Machine::runahead();
+    let mut ra = Session::builder().policy(Policy::Runahead).build();
     assert_eq!(run_pht_poc(&mut ra, &cfg).leaked, Some(127));
 }
 
@@ -63,8 +63,8 @@ fn claim_fig7_speedup() {
 #[test]
 fn claim_defense_blocks() {
     let cfg = PocConfig::fig11(300);
-    let mut machine = Machine::secure();
-    let report = verify_pht_blocked(&mut machine, &cfg);
+    let mut session = Session::builder().policy(Policy::Secure).build();
+    let report = verify_pht_blocked(&mut session, &cfg);
     assert!(report.blocked());
     assert!(report.outcome.runahead_entries > 0, "runahead still ran");
 }
@@ -74,9 +74,9 @@ fn claim_defense_blocks() {
 fn claim_deterministic() {
     let run = || {
         let cfg = PocConfig::default();
-        let mut machine = Machine::runahead();
-        let o = run_pht_poc(&mut machine, &cfg);
-        (o.leaked, machine.stats().cycles, machine.stats().committed)
+        let mut session = Session::builder().policy(Policy::Runahead).build();
+        let o = run_pht_poc(&mut session, &cfg);
+        (o.leaked, session.stats().cycles, session.stats().committed)
     };
     assert_eq!(run(), run());
 }
