@@ -36,10 +36,12 @@ pub mod attack;
 pub mod defense;
 mod machine;
 mod metrics;
+pub mod plan;
 pub mod session;
 pub mod window;
 
 pub use machine::Machine;
+pub use plan::{config_for, layout_for, poc_config_for, run_plan, PlanOutcome};
 pub use session::{Policy, Session, SessionBuilder};
 
 /// Commonly used items, for glob import in examples and tests.

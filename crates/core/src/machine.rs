@@ -8,14 +8,14 @@
 //! PHT/BTB/RSB, DRAM contention — deliberately persists. That persistence
 //! is the paper's threat model.
 //!
-//! The named constructors (`runahead()`, `secure()`, …) are deprecated
-//! shims: experiments are set up through
+//! Experiments are set up through
 //! [`Session::builder()`](crate::session::Session::builder), the single
 //! experiment surface, which also carries the memory layout, planted
-//! secrets and an optional [`PipelineObserver`].
+//! secrets and an optional [`PipelineObserver`]; the machine itself is the
+//! session's execution substrate.
 
 use specrun_cpu::probe::{NoopObserver, PipelineObserver};
-use specrun_cpu::{Core, CpuConfig, RunExit, RunaheadPolicy, RunaheadTrigger, SecureConfig};
+use specrun_cpu::{Core, CpuConfig, RunExit};
 use specrun_isa::{IntReg, Program};
 use specrun_mem::HitLevel;
 
@@ -30,52 +30,6 @@ impl Machine {
     /// Creates a detached machine from an explicit configuration.
     pub fn new(config: CpuConfig) -> Machine {
         Machine { core: Core::new(config) }
-    }
-
-    /// The paper's *runahead machine* (Table 1, original runahead).
-    #[deprecated(since = "0.1.0", note = "use `Session::builder().policy(Policy::Runahead)`")]
-    pub fn runahead() -> Machine {
-        Machine::new(CpuConfig::default())
-    }
-
-    /// The paper's *no-runahead machine* (Table 1, runahead disabled).
-    #[deprecated(since = "0.1.0", note = "use `Session::builder().policy(Policy::NoRunahead)`")]
-    pub fn no_runahead() -> Machine {
-        Machine::new(CpuConfig::no_runahead())
-    }
-
-    /// A runahead machine with the relaxed "data cache miss" trigger used by
-    /// the paper's §5.3 scenario ➂.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::builder().policy(Policy::HeadMissTrigger)`"
-    )]
-    pub fn runahead_head_miss() -> Machine {
-        let mut cfg = CpuConfig::default();
-        cfg.runahead.trigger = RunaheadTrigger::HeadMiss;
-        Machine::new(cfg)
-    }
-
-    /// A machine running the given runahead variant (§4.3).
-    #[deprecated(since = "0.1.0", note = "use `Session::builder().policy(Policy::Variant(..))`")]
-    pub fn with_policy(policy: RunaheadPolicy) -> Machine {
-        let mut cfg = CpuConfig::default();
-        cfg.runahead.policy = policy;
-        Machine::new(cfg)
-    }
-
-    /// The §6 secure runahead machine (SL cache + taint tracking).
-    #[deprecated(since = "0.1.0", note = "use `Session::builder().policy(Policy::Secure)`")]
-    pub fn secure() -> Machine {
-        Machine::new(CpuConfig::secure_runahead())
-    }
-
-    /// The §6 alternative mitigation (skip INV-source branches).
-    #[deprecated(since = "0.1.0", note = "use `Session::builder().policy(Policy::SkipInv)`")]
-    pub fn skip_inv() -> Machine {
-        let mut cfg = CpuConfig::default();
-        cfg.runahead.secure = SecureConfig::skip_inv_default();
-        Machine::new(cfg)
     }
 }
 
@@ -197,7 +151,6 @@ impl<O: PipelineObserver> Machine<O> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::session::{Policy, Session};
     use specrun_isa::ProgramBuilder;
 
     #[test]
@@ -208,28 +161,6 @@ mod tests {
         b.halt();
         m.run_program(&b.build().unwrap(), 1000);
         assert_eq!(m.residency(0x5000), HitLevel::L1, "caches persist across programs");
-    }
-
-    /// The deprecated preset shims must agree with the `Session` policies
-    /// they point at, for the one release both exist.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_presets_match_session_policies() {
-        let cases: [(Machine, Policy); 5] = [
-            (Machine::runahead(), Policy::Runahead),
-            (Machine::no_runahead(), Policy::NoRunahead),
-            (Machine::runahead_head_miss(), Policy::HeadMissTrigger),
-            (Machine::secure(), Policy::Secure),
-            (Machine::skip_inv(), Policy::SkipInv),
-        ];
-        for (machine, policy) in cases {
-            let session = Session::builder().policy(policy).build();
-            assert_eq!(
-                format!("{:?}", machine.core().config()),
-                format!("{:?}", session.machine().core().config()),
-                "preset and session policy {policy:?} must configure identical machines"
-            );
-        }
     }
 
     #[test]

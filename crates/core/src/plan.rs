@@ -1,0 +1,210 @@
+//! The `Plan → Session` bridge: turns a fuzzed [`Plan`] into a configured
+//! [`Session`] and runs it to a [`PlanOutcome`].
+//!
+//! The plan grammar lives in `specrun-workloads` (pure data, no dependency
+//! on this crate); the invariant registry lives in `specrun-lab`. This
+//! module owns the middle: mapping plan policies onto session
+//! [`Policy`]s, composing the machine configuration (policy first, then
+//! the fuzzed knobs — so a Secure plan's fuzzed SL geometry survives), and
+//! driving the right PoC flavour with the ground-truth observers attached.
+
+use specrun_cpu::probe::CountingObserver;
+use specrun_cpu::{CpuConfig, CpuStats, RunaheadPolicy};
+use specrun_workloads::plan::{GadgetKind, Plan, PlanPolicy};
+
+use crate::attack::{run_btb_poc, run_pht_poc, run_rsb_poc, AttackLayout, PocConfig};
+use crate::session::{leak_trace_for, Policy, Session};
+
+impl From<PlanPolicy> for Policy {
+    fn from(p: PlanPolicy) -> Policy {
+        match p {
+            PlanPolicy::Runahead => Policy::Runahead,
+            PlanPolicy::NoRunahead => Policy::NoRunahead,
+            PlanPolicy::HeadMissTrigger => Policy::HeadMissTrigger,
+            PlanPolicy::Precise => Policy::Variant(RunaheadPolicy::Precise),
+            PlanPolicy::Vector => Policy::Variant(RunaheadPolicy::Vector),
+            PlanPolicy::Secure => Policy::Secure,
+            PlanPolicy::SkipInv => Policy::SkipInv,
+        }
+    }
+}
+
+/// The machine configuration a plan describes: Table 1, then the plan's
+/// policy, then its knobs (in that order — knobs refine the policy's
+/// machine, and defense-only knobs are gated on the policy having armed
+/// the defense).
+pub fn config_for(plan: &Plan) -> CpuConfig {
+    let mut cfg = CpuConfig::default();
+    Policy::from(plan.policy).apply(&mut cfg);
+    plan.knobs.apply(&mut cfg);
+    cfg
+}
+
+/// The attack layout a plan describes.
+pub fn layout_for(plan: &Plan) -> AttackLayout {
+    let l = &plan.layout;
+    AttackLayout {
+        bound_addr: l.bound_addr,
+        bound_value: l.bound_value,
+        array1_base: l.array1_base,
+        secret_addr: l.secret_addr,
+        probe_base: l.probe_base,
+        probe_stride: l.probe_stride,
+        probe_entries: l.probe_entries,
+        results_base: l.results_base,
+    }
+}
+
+/// The PoC configuration a plan describes.
+pub fn poc_config_for(plan: &Plan) -> PocConfig {
+    PocConfig {
+        layout: layout_for(plan),
+        secret: plan.secret,
+        training_rounds: plan.victim.training_rounds,
+        nop_slide: plan.victim.nop_slide as usize,
+        attack_filler: plan.victim.attack_filler as usize,
+        max_cycles: plan.victim.max_cycles,
+        ..PocConfig::default()
+    }
+}
+
+/// Everything one plan execution produced, in a form the fuzz oracles can
+/// compare: the channel's claim, the ground-truth trace, the reconciliation
+/// counters and the architectural fingerprint. `PartialEq` is the
+/// determinism invariant — two runs of the same plan must be equal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanOutcome {
+    /// Byte the covert channel claims to have recovered, if any.
+    pub leaked: Option<u8>,
+    /// The planted secret.
+    pub expected: u8,
+    /// Runahead episodes the attack caused.
+    pub runahead_entries: u64,
+    /// INV-source branches that never resolved (the SPECRUN signature).
+    pub inv_branches: u64,
+    /// Ground truth from the leak tracer: the unique probe entry filled
+    /// transiently, excluding the training entry 0.
+    pub ground_truth: Option<u8>,
+    /// Transient fills of the watched secret's probe line.
+    pub transient_secret_fills: u64,
+    /// Transient reads of the secret line itself.
+    pub secret_reads: u64,
+    /// Transient fill count per probe entry.
+    pub fills_per_entry: Vec<u64>,
+    /// Event totals for observer/stats reconciliation.
+    pub counts: CountingObserver,
+    /// The core's statistics at the end of the run.
+    pub stats: CpuStats,
+    /// Architectural-state fingerprint at the end of the run.
+    pub arch_fingerprint: u64,
+}
+
+/// Runs `plan` end to end on a fresh session with the ground-truth
+/// observers attached.
+///
+/// # Panics
+///
+/// Panics if the plan describes an invalid machine configuration or the
+/// simulator itself fails — the fuzz harness runs this under
+/// `catch_unwind` and treats a panic as a reportable failing plan.
+pub fn run_plan(plan: &Plan) -> PlanOutcome {
+    let layout = layout_for(plan);
+    let config = config_for(plan);
+    let tracer = leak_trace_for(&layout, &config);
+    let mut session = Session::builder()
+        .config(config)
+        .layout(layout)
+        .observer((CountingObserver::default(), tracer))
+        .build();
+    for w in &plan.warm {
+        session.warm(w.addr, w.len);
+    }
+    let cfg = poc_config_for(plan);
+    let outcome = match plan.victim.gadget {
+        GadgetKind::Pht => run_pht_poc(&mut session, &cfg),
+        GadgetKind::Btb => run_btb_poc(&mut session, &cfg),
+        GadgetKind::Rsb => run_rsb_poc(&mut session, &cfg),
+    };
+    let stats = *session.stats();
+    let arch_fingerprint = session.machine().core().arch_fingerprint();
+    let (counts, trace) = session.observer().clone();
+    PlanOutcome {
+        leaked: outcome.leaked,
+        expected: outcome.expected,
+        runahead_entries: outcome.runahead_entries,
+        inv_branches: outcome.inv_branches,
+        ground_truth: trace.ground_truth_byte(&[0]),
+        transient_secret_fills: trace.transient_secret_fills(),
+        secret_reads: trace.secret_reads(),
+        fills_per_entry: trace.fills_per_entry().to_vec(),
+        counts,
+        stats,
+        arch_fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specrun_cpu::RunaheadTrigger;
+    use specrun_workloads::plan::KnobSpec;
+
+    fn paper_plan(policy: PlanPolicy) -> Plan {
+        let mut plan = Plan::generate(1, 0, true);
+        plan.policy = policy;
+        plan.victim.gadget = GadgetKind::Pht;
+        plan.knobs = KnobSpec::default();
+        plan
+    }
+
+    #[test]
+    fn policy_mapping_matches_session_policies() {
+        let cfg = |p: PlanPolicy| {
+            let mut c = CpuConfig::default();
+            Policy::from(p).apply(&mut c);
+            c
+        };
+        assert_eq!(cfg(PlanPolicy::NoRunahead).runahead.policy, RunaheadPolicy::Disabled);
+        assert_eq!(cfg(PlanPolicy::Precise).runahead.policy, RunaheadPolicy::Precise);
+        assert_eq!(cfg(PlanPolicy::Vector).runahead.policy, RunaheadPolicy::Vector);
+        assert_eq!(cfg(PlanPolicy::HeadMissTrigger).runahead.trigger, RunaheadTrigger::HeadMiss);
+        assert!(cfg(PlanPolicy::Secure).runahead.secure.sl_cache);
+        assert!(cfg(PlanPolicy::SkipInv).runahead.secure.skip_inv_branches);
+    }
+
+    #[test]
+    fn secure_knobs_survive_policy_composition() {
+        let mut plan = paper_plan(PlanPolicy::Secure);
+        plan.knobs.sl_entries = 16;
+        plan.knobs.sl_latency = 2;
+        let cfg = config_for(&plan);
+        assert!(cfg.runahead.secure.sl_cache);
+        assert_eq!(cfg.runahead.secure.sl_entries, 16);
+        assert_eq!(cfg.runahead.secure.sl_latency, 2);
+    }
+
+    #[test]
+    fn run_plan_is_deterministic_and_leak_matches_ground_truth() {
+        // Fig. 11 shape (slide > ROB): plain speculation cannot reach the
+        // gadget, so every probe fill is runahead-transient and the tracer
+        // sees the complete channel. (With a short slide the first transmit
+        // happens under plain speculation and ground truth is rightly
+        // absent — the fuzz invariant only requires agreement, not
+        // presence.)
+        let mut plan = paper_plan(PlanPolicy::Runahead);
+        plan.victim.nop_slide = 300;
+        let a = run_plan(&plan);
+        let b = run_plan(&plan);
+        assert_eq!(a, b, "same plan, same outcome");
+        assert_eq!(a.leaked, Some(plan.secret), "paper machine leaks");
+        assert_eq!(a.ground_truth, Some(plan.secret), "tracer saw the same byte");
+        assert!(a.transient_secret_fills > 0);
+    }
+
+    #[test]
+    fn run_plan_secure_sees_zero_transient_fills() {
+        let plan = paper_plan(PlanPolicy::Secure);
+        let out = run_plan(&plan);
+        assert_eq!(out.transient_secret_fills, 0, "SL cache blocks transient fills");
+    }
+}

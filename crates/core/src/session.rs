@@ -68,8 +68,7 @@ pub enum Policy {
 }
 
 impl Policy {
-    /// Applies the policy to a configuration (exactly what the deprecated
-    /// `Machine` presets used to construct).
+    /// Applies the policy to a configuration.
     pub fn apply(self, cfg: &mut CpuConfig) {
         match self {
             Policy::Runahead => {

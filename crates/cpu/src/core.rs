@@ -337,6 +337,38 @@ impl<O: PipelineObserver> Core<O> {
         self.regs.value(self.retire_rat.get(ArchReg::Int(r)))
     }
 
+    /// Committed (architectural) value of a floating-point register.
+    pub fn read_fp_reg(&self, r: specrun_isa::FpReg) -> u64 {
+        self.regs.value(self.retire_rat.get(ArchReg::Fp(r)))
+    }
+
+    /// FNV-1a fingerprint of the committed architectural state: every
+    /// integer and floating-point register plus the halt flag. Two runs of
+    /// the same program on identically configured cores must agree — this
+    /// is the oracle `specrun-lab fuzz`'s determinism invariant re-runs
+    /// plans against. Microarchitectural state (caches, predictors, cycle
+    /// count) is deliberately excluded: the fingerprint answers "did the
+    /// program compute the same thing", not "did it take the same time".
+    pub fn arch_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for i in 0..specrun_isa::NUM_INT_REGS {
+            let r = IntReg::new(i as u8).expect("index in range");
+            mix(self.read_int_reg(r));
+        }
+        for i in 0..specrun_isa::NUM_FP_REGS {
+            let r = specrun_isa::FpReg::new(i as u8).expect("index in range");
+            mix(self.read_fp_reg(r));
+        }
+        mix(u64::from(self.halted));
+        h
+    }
+
     /// Number of entries currently resident in the defense's SL cache.
     pub fn sl_counter(&self) -> usize {
         self.secure.sl.counter()

@@ -14,6 +14,7 @@
 
 use std::path::PathBuf;
 
+use crate::fuzz::{self, FuzzOptions};
 use crate::perf::{self, PerfOptions};
 use crate::registry::{find, registry};
 use crate::report::LabReport;
@@ -28,6 +29,9 @@ USAGE:
                     [--artifacts-dir DIR] [--no-artifacts]
     specrun-lab perf [--quick] [--baseline PATH | --baseline-from-git] [--max-drop F]
                      [--repeats N]
+    specrun-lab fuzz [--plans N] [--seed N] [--shard-threads N] [--quick]
+                     [--fail-dir DIR] [--report PATH] [--invert-invariant NAME]
+                     [--replay FILE] [--list-invariants]
 
 COMMANDS:
     list    Print every registered scenario.
@@ -42,6 +46,16 @@ COMMANDS:
             committed BENCH_step.json at HEAD. --repeats N reports the
             best of N wall-clock samples per workload (CI uses 3), which
             cuts false gate failures on noisy shared hosts.
+    fuzz    Generative attack-plan soak: derive N whole attack plans from
+            --seed (hex accepted), run each twice through the simulator
+            with the ground-truth observers attached, and enforce the
+            fuzz-invariant registry (--list-invariants prints it). Writes
+            a byte-stable FUZZ_report.json (same bytes for a fixed seed,
+            any --shard-threads); each violating plan is shrunk to a
+            minimal reproducer and serialized to --fail-dir (default:
+            fuzz-failures/) for `fuzz --replay <file>`.
+            --invert-invariant flips one predicate to self-test the
+            failure pipeline. Exit 1 on violations, 2 on usage errors.
 ";
 
 /// Entry point for the `specrun-lab` binary. Returns the exit code.
@@ -65,6 +79,19 @@ pub fn main() -> i32 {
             Ok(opts) => perf::run(&opts),
             Err(e) => {
                 eprintln!("error: {e}");
+                2
+            }
+        },
+        Some("fuzz") => match parse_fuzz_args(&args[1..]) {
+            Ok(FuzzCommand::ListInvariants) => {
+                list_invariants();
+                0
+            }
+            Ok(FuzzCommand::Run(opts)) => fuzz::run(&opts),
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!();
+                eprint!("{USAGE}");
                 2
             }
         },
@@ -101,6 +128,74 @@ fn list() {
     }
 }
 
+fn list_invariants() {
+    println!("{:<36} claim", "invariant");
+    for inv in crate::fuzz::INVARIANTS {
+        println!("{:<36} {}", inv.name, inv.claim);
+    }
+}
+
+/// Parses a u64 that may be written in hex (`0xC0FFEE`) or decimal.
+fn parse_u64(v: &str) -> Result<u64, String> {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| format!("invalid number {v}"))
+}
+
+#[derive(Debug)]
+enum FuzzCommand {
+    ListInvariants,
+    Run(FuzzOptions),
+}
+
+fn parse_fuzz_args(args: &[String]) -> Result<FuzzCommand, String> {
+    let mut opts = FuzzOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list-invariants" => return Ok(FuzzCommand::ListInvariants),
+            "--plans" => {
+                let v = it.next().ok_or("--plans needs a count")?;
+                opts.plans = parse_u64(v)?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = parse_u64(v)?;
+            }
+            "--shard-threads" => {
+                let v = it.next().ok_or("--shard-threads needs a count")?;
+                opts.threads = v.parse().map_err(|_| format!("invalid thread count {v}"))?;
+            }
+            "--quick" => opts.quick = true,
+            "--fail-dir" => {
+                let v = it.next().ok_or("--fail-dir needs a path")?;
+                opts.fail_dir = PathBuf::from(v);
+            }
+            "--report" => {
+                let v = it.next().ok_or("--report needs a path")?;
+                opts.report_path = PathBuf::from(v);
+            }
+            "--invert-invariant" => {
+                let v = it.next().ok_or("--invert-invariant needs a name")?;
+                if crate::fuzz::find_invariant(v).is_none() {
+                    return Err(format!(
+                        "unknown invariant {v} (see `specrun-lab fuzz --list-invariants`)"
+                    ));
+                }
+                opts.invert = Some(v.to_string());
+            }
+            "--replay" => {
+                let v = it.next().ok_or("--replay needs a file")?;
+                opts.replay = Some(PathBuf::from(v));
+            }
+            other => return Err(format!("unknown fuzz option {other}")),
+        }
+    }
+    Ok(FuzzCommand::Run(opts))
+}
+
 struct RunArgs {
     names: Vec<String>,
     ctx: RunContext,
@@ -123,7 +218,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
-                ctx.seed = v.parse().map_err(|_| format!("invalid seed {v}"))?;
+                ctx.seed = parse_u64(v)?;
             }
             "--artifacts-dir" => {
                 let v = it.next().ok_or("--artifacts-dir needs a path")?;
@@ -251,5 +346,56 @@ mod tests {
     fn unknown_scenario_is_reported() {
         let err = run_command(&strings(&["fig12", "--no-artifacts"])).unwrap_err();
         assert!(err.contains("unknown scenario fig12"), "{err}");
+    }
+
+    #[test]
+    fn parses_hex_and_decimal_seeds() {
+        assert_eq!(parse_u64("0xC0FFEE").unwrap(), 0xC0FFEE);
+        assert_eq!(parse_u64("0Xc0ffee").unwrap(), 0xC0FFEE);
+        assert_eq!(parse_u64("12648430").unwrap(), 0xC0FFEE);
+        assert!(parse_u64("0xZZ").is_err());
+        assert!(parse_u64("nope").is_err());
+        let parsed = parse_run_args(&strings(&["fig7", "--seed", "0x10"])).unwrap();
+        assert_eq!(parsed.ctx.seed, 16);
+    }
+
+    #[test]
+    fn parses_fuzz_options() {
+        let cmd = parse_fuzz_args(&strings(&[
+            "--plans",
+            "50",
+            "--seed",
+            "0xC0FFEE",
+            "--shard-threads",
+            "4",
+            "--quick",
+            "--fail-dir",
+            "/tmp/ff",
+            "--report",
+            "/tmp/r.json",
+            "--invert-invariant",
+            "makes_progress",
+        ]))
+        .unwrap();
+        let FuzzCommand::Run(opts) = cmd else { panic!("expected a run command") };
+        assert_eq!(opts.plans, 50);
+        assert_eq!(opts.seed, 0xC0FFEE);
+        assert_eq!(opts.threads, 4);
+        assert!(opts.quick);
+        assert_eq!(opts.fail_dir, PathBuf::from("/tmp/ff"));
+        assert_eq!(opts.report_path, PathBuf::from("/tmp/r.json"));
+        assert_eq!(opts.invert.as_deref(), Some("makes_progress"));
+    }
+
+    #[test]
+    fn rejects_bad_fuzz_usage() {
+        assert!(parse_fuzz_args(&strings(&["--plans"])).is_err(), "missing value");
+        assert!(parse_fuzz_args(&strings(&["--bogus"])).is_err(), "unknown flag");
+        let err = parse_fuzz_args(&strings(&["--invert-invariant", "nope"])).unwrap_err();
+        assert!(err.contains("unknown invariant nope"), "{err}");
+        assert!(matches!(
+            parse_fuzz_args(&strings(&["--list-invariants"])).unwrap(),
+            FuzzCommand::ListInvariants
+        ));
     }
 }

@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod fuzz;
 pub mod json;
 pub mod perf;
 pub mod registry;
 pub mod report;
 pub mod scenario;
 
+pub use fuzz::{FuzzInvariant, FuzzOptions, Violation, FUZZ_REPORT_NAME, INVARIANTS};
 pub use json::Json;
 pub use report::{parse_metrics, BenchReport, LabReport, LAB_REPORT_NAME};
 pub use scenario::{Invariant, RunContext, Scenario, ScenarioRun, DEFAULT_SEED};

@@ -246,7 +246,7 @@ pub fn config_digest(config: &CpuConfig) -> u64 {
     fnv1a(format!("{config:?}").as_bytes())
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

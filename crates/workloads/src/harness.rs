@@ -13,8 +13,10 @@
 //! * [`ConfigMatrix`] — builds the cartesian product of machine-config axes
 //!   into a flat list of [`TrialSpec`]s, each with a deterministic per-trial
 //!   RNG seed;
-//! * [`parallel_map`] — fans a closure out over a slice on a scoped thread
-//!   pool (work-stealing via an atomic cursor), preserving input order;
+//! * [`parallel_map`] / [`try_parallel_map`] — fan a closure out over a
+//!   slice on a scoped thread pool (work-stealing via an atomic cursor),
+//!   preserving input order; the `try` form captures per-trial panics as
+//!   [`TrialError`]s so one degenerate config cannot kill a campaign;
 //! * [`Summary`] — aggregates per-trial metrics (n/mean/min/max).
 //!
 //! ```
@@ -25,6 +27,7 @@
 //! assert_eq!(s.max, 16.0);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use specrun_cpu::{CpuConfig, RunaheadPolicy, SecureConfig};
@@ -34,6 +37,84 @@ use crate::rng::SplitMix64;
 /// Number of worker threads the host offers.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A trial that panicked instead of returning a result.
+///
+/// Campaigns fan out over hundreds of independent configurations; one
+/// degenerate config must surface as *data* — which trial, what it said —
+/// rather than poisoning the whole sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialError {
+    /// Index of the panicking item in the input slice.
+    pub index: usize,
+    /// The panic payload, rendered to a string when possible.
+    pub message: String,
+}
+
+impl std::fmt::Display for TrialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trial {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TrialError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Panic-safe [`parallel_map`]: runs `f` over `items` on up to `threads`
+/// scoped worker threads and returns per-trial results in input order,
+/// with each panicking trial captured as a [`TrialError`] instead of
+/// unwinding through the pool. Every trial runs to completion regardless
+/// of how many others panic.
+pub fn try_parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, TrialError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let run_one = |i: usize, item: &T| {
+        catch_unwind(AssertUnwindSafe(|| f(i, item)))
+            .map_err(|payload| TrialError { index: i, message: panic_message(payload) })
+    };
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, item)| run_one(i, item)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, Result<R, TrialError>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, run_one(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker loop itself cannot panic")).collect()
+    });
+    let mut out: Vec<Option<Result<R, TrialError>>> = (0..n).map(|_| None).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter().map(|r| r.expect("every index produced")).collect()
 }
 
 /// Runs `f` over `items` on up to `threads` scoped worker threads and
@@ -46,45 +127,19 @@ pub fn default_threads() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any worker.
+/// Re-raises the first (lowest-index) trial panic after all trials have
+/// completed. Sweeps that must survive degenerate configurations use
+/// [`try_parallel_map`], which returns the panic as a [`TrialError`].
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, n);
-    if threads == 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f(i, &items[i])));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("trial worker panicked")).collect()
-    });
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    for (i, r) in per_worker.into_iter().flatten() {
-        out[i] = Some(r);
-    }
-    out.into_iter().map(|r| r.expect("every index produced")).collect()
+    try_parallel_map(items, threads, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
 }
 
 /// One point of a configuration sweep.
@@ -274,6 +329,42 @@ mod tests {
         assert_eq!(parallel_map(&[7u64], 16, |_, &x| x + 1), vec![8]);
         // More threads than items, single-threaded fallback.
         assert_eq!(parallel_map(&[1u64, 2], 1, |_, &x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn try_parallel_map_isolates_panicking_trials() {
+        let items: Vec<u64> = (0..40).collect();
+        for threads in [1, 4] {
+            let results = try_parallel_map(&items, threads, |_, &x| {
+                assert!(x % 10 != 3, "trial {x} is degenerate");
+                x * 2
+            });
+            assert_eq!(results.len(), items.len(), "every trial reports");
+            for (i, r) in results.iter().enumerate() {
+                if i % 10 == 3 {
+                    let err = r.as_ref().unwrap_err();
+                    assert_eq!(err.index, i);
+                    assert!(err.message.contains("degenerate"), "payload kept: {}", err.message);
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i as u64 * 2), "good trials unaffected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trial_error_displays_index_and_payload() {
+        let e = TrialError { index: 7, message: "boom".into() };
+        assert_eq!(e.to_string(), "trial 7 panicked: boom");
+    }
+
+    #[test]
+    #[should_panic(expected = "trial 1 panicked")]
+    fn parallel_map_still_propagates_panics() {
+        parallel_map(&[0u64, 1, 2], 1, |_, &x| {
+            assert_ne!(x, 1, "bad");
+            x
+        });
     }
 
     #[test]

@@ -16,19 +16,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
 pub mod harness;
 pub mod ipc;
 pub mod kernels;
 pub mod metrics;
+pub mod plan;
 pub mod rng;
 
-pub use harness::{parallel_map, ConfigMatrix, Summary, TrialSpec};
+pub use fuzz::shrink_plan;
+pub use harness::{parallel_map, try_parallel_map, ConfigMatrix, Summary, TrialError, TrialSpec};
 pub use ipc::{
     compare, compare_with, geomean_speedup, run_workload_observed, IpcComparison, IpcResult,
     DEFAULT_ITERS,
 };
 pub use kernels::Workload;
 pub use metrics::{MetricSet, MetricSource};
+pub use plan::{GadgetKind, KnobSpec, Plan, PlanLayout, PlanPolicy, VictimSpec, WarmStep};
 pub use rng::SplitMix64;
 
 /// The full Fig. 7 suite in the paper's order, at the default scale.
