@@ -107,6 +107,11 @@ pub fn run_btb_poc<O: PipelineObserver>(session: &mut Session<O>, cfg: &PocConfi
     for _ in 0..4 {
         session.run_program(&trainer, 100_000);
     }
+    // The trainer's normal exit is Wedged: it architecturally jumps to the
+    // gadget address, which exists only in the victim's image. Discharge
+    // the sticky record so the end-of-run health check reports the victim
+    // and probe only.
+    session.acknowledge_non_halt();
     // ② Evict the victim's jump-table slot (co-resident clflush).
     session.flush(layout.bound_addr + 64);
     // ③ Victim executes: enters runahead on the slot load, the INV jr never

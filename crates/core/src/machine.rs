@@ -24,19 +24,25 @@ use specrun_mem::HitLevel;
 #[derive(Debug, Clone)]
 pub struct Machine<O: PipelineObserver = NoopObserver> {
     core: Core<O>,
+    last_exit: Option<RunExit>,
+    first_non_halt: Option<(RunExit, u64)>,
 }
 
 impl Machine {
     /// Creates a detached machine from an explicit configuration.
     pub fn new(config: CpuConfig) -> Machine {
-        Machine { core: Core::new(config) }
+        Machine { core: Core::new(config), last_exit: None, first_non_halt: None }
     }
 }
 
 impl<O: PipelineObserver> Machine<O> {
     /// Creates a machine with `observer` attached to its core's pipeline.
     pub fn with_observer(config: CpuConfig, observer: O) -> Machine<O> {
-        Machine { core: Core::with_observer(config, observer) }
+        Machine {
+            core: Core::with_observer(config, observer),
+            last_exit: None,
+            first_non_halt: None,
+        }
     }
 
     /// Loads a program (resets architectural state only; see module docs).
@@ -46,7 +52,36 @@ impl<O: PipelineObserver> Machine<O> {
 
     /// Runs until `halt` or the cycle budget is exhausted.
     pub fn run(&mut self, max_cycles: u64) -> RunExit {
-        self.core.run(max_cycles)
+        let exit = self.core.run(max_cycles);
+        self.last_exit = Some(exit);
+        if exit != RunExit::Halted && self.first_non_halt.is_none() {
+            self.first_non_halt = Some((exit, max_cycles));
+        }
+        exit
+    }
+
+    /// How the most recent [`Machine::run`] ended (`None` before any run).
+    pub fn last_exit(&self) -> Option<RunExit> {
+        self.last_exit
+    }
+
+    /// The first non-halting exit any run on this machine produced, with
+    /// the cycle budget that run was given — sticky across program
+    /// switches. Multi-program experiments (trainer → victim → probe)
+    /// check this once at the end instead of plumbing every intermediate
+    /// [`RunExit`] through; `None` means every run halted cleanly.
+    pub fn first_non_halt(&self) -> Option<(RunExit, u64)> {
+        self.first_non_halt
+    }
+
+    /// Discharges the sticky non-halt record, returning it. For programs
+    /// whose *normal* termination is not a `halt` — the BTB trainer
+    /// architecturally jumps to the gadget address, which has no
+    /// instruction in its own image, so `Wedged` is its expected exit —
+    /// the experiment acknowledges the exit right after running them, and
+    /// the end-of-run health check only sees genuine failures.
+    pub fn acknowledge_non_halt(&mut self) -> Option<(RunExit, u64)> {
+        self.first_non_halt.take()
     }
 
     /// Loads and runs a program in one call.
@@ -161,6 +196,27 @@ mod tests {
         b.halt();
         m.run_program(&b.build().unwrap(), 1000);
         assert_eq!(m.residency(0x5000), HitLevel::L1, "caches persist across programs");
+    }
+
+    #[test]
+    fn exit_tracking_is_sticky_across_program_switches() {
+        let mut m = Machine::new(CpuConfig::no_runahead());
+        assert_eq!(m.last_exit(), None);
+        assert_eq!(m.first_non_halt(), None);
+        // A loop that never halts within its budget.
+        let mut b = ProgramBuilder::new(0x100);
+        b.label("spin");
+        b.jump("spin");
+        let spin = b.build().unwrap();
+        assert_eq!(m.run_program(&spin, 64), RunExit::CycleLimit);
+        assert_eq!(m.last_exit(), Some(RunExit::CycleLimit));
+        assert_eq!(m.first_non_halt(), Some((RunExit::CycleLimit, 64)));
+        // A later clean run updates last_exit but not the sticky record.
+        let mut b = ProgramBuilder::new(0x100);
+        b.halt();
+        assert_eq!(m.run_program(&b.build().unwrap(), 1000), RunExit::Halted);
+        assert_eq!(m.last_exit(), Some(RunExit::Halted));
+        assert_eq!(m.first_non_halt(), Some((RunExit::CycleLimit, 64)));
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! driving the right PoC flavour with the ground-truth observers attached.
 
 use specrun_cpu::probe::CountingObserver;
-use specrun_cpu::{CpuConfig, CpuStats, RunaheadPolicy};
+use specrun_cpu::{CpuConfig, CpuStats, RunExit, RunaheadPolicy};
+use specrun_workloads::harness::RunError;
 use specrun_workloads::plan::{GadgetKind, Plan, PlanPolicy};
 
 use crate::attack::{run_btb_poc, run_pht_poc, run_rsb_poc, AttackLayout, PocConfig};
@@ -104,10 +105,20 @@ pub struct PlanOutcome {
 ///
 /// # Panics
 ///
-/// Panics if the plan describes an invalid machine configuration or the
-/// simulator itself fails — the fuzz harness runs this under
-/// `catch_unwind` and treats a panic as a reportable failing plan.
+/// Panics if the plan describes an invalid machine configuration, a
+/// program exhausts its cycle budget, or the simulator itself fails — the
+/// fuzz harness runs this under `catch_unwind` and treats a panic as a
+/// reportable failing plan. [`try_run_plan`] is the structured form.
 pub fn run_plan(plan: &Plan) -> PlanOutcome {
+    try_run_plan(plan).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_plan`]: a plan whose programs exhaust their cycle budget
+/// or wedge the core comes back as a structured
+/// [`RunError`] instead of a panic, so a campaign can record it as a
+/// failed entry and keep going. Panics inside the simulator still
+/// propagate (the harness boundary catches those).
+pub fn try_run_plan(plan: &Plan) -> Result<PlanOutcome, RunError> {
     let layout = layout_for(plan);
     let config = config_for(plan);
     let tracer = leak_trace_for(&layout, &config);
@@ -126,9 +137,26 @@ pub fn run_plan(plan: &Plan) -> PlanOutcome {
         GadgetKind::Rsb => run_rsb_poc(&mut session, &cfg),
     };
     let stats = *session.stats();
+    let what = || format!("plan {} ({:?} gadget)", plan.index, plan.victim.gadget);
+    match session.first_non_halt() {
+        None => {}
+        Some((RunExit::CycleLimit, budget)) => {
+            return Err(RunError::CycleBudgetExceeded {
+                what: what(),
+                budget,
+                committed: stats.committed,
+            });
+        }
+        Some((exit, _)) => {
+            return Err(RunError::NoHalt {
+                what: what(),
+                detail: format!("a program exited with {exit:?}"),
+            });
+        }
+    }
     let arch_fingerprint = session.machine().core().arch_fingerprint();
     let (counts, trace) = session.observer().clone();
-    PlanOutcome {
+    Ok(PlanOutcome {
         leaked: outcome.leaked,
         expected: outcome.expected,
         runahead_entries: outcome.runahead_entries,
@@ -140,7 +168,7 @@ pub fn run_plan(plan: &Plan) -> PlanOutcome {
         counts,
         stats,
         arch_fingerprint,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -199,6 +227,25 @@ mod tests {
         assert_eq!(a.leaked, Some(plan.secret), "paper machine leaks");
         assert_eq!(a.ground_truth, Some(plan.secret), "tracer saw the same byte");
         assert!(a.transient_secret_fills > 0);
+    }
+
+    #[test]
+    fn starved_budget_surfaces_as_structured_error() {
+        let mut plan = paper_plan(PlanPolicy::Runahead);
+        plan.victim.max_cycles = 40;
+        match try_run_plan(&plan) {
+            Err(specrun_workloads::harness::RunError::CycleBudgetExceeded {
+                what, budget, ..
+            }) => {
+                assert!(what.contains("Pht gadget"), "{what}");
+                assert_eq!(budget, 40);
+            }
+            other => panic!("expected CycleBudgetExceeded, got {other:?}"),
+        }
+        // The panicking wrapper renders the same error.
+        let caught = std::panic::catch_unwind(|| run_plan(&plan)).expect_err("must panic");
+        let message = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("cycle budget exceeded"), "{message}");
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! `specrun-lab chaos`: the fault-injection drill harness.
+//!
+//! Chaos mode does not look for simulator bugs — the fuzzer does that. It
+//! drills the *recovery machinery* itself: every failure path the
+//! crash-safety work added (trial panic isolation, structured budget
+//! errors, artifact-write failures, torn temp files, torn journal tails,
+//! journal digest corruption) is driven deterministically and its
+//! recovery contract checked. A drill passes when the campaign degrades
+//! exactly as documented: reported failure instead of a dead process,
+//! old-or-new artifacts instead of truncated hybrids, byte-identical
+//! reports after `--resume`.
+//!
+//! Faults are injected at two seams:
+//!
+//! * [`ChaosSink`](crate::sink::ChaosSink) — numbered IO operations fail
+//!   (optionally leaving a torn temp file) at the artifact boundary;
+//! * [`FuzzOptions::chaos_panic_plans`] — named plan evaluations panic at
+//!   the trial boundary.
+//!
+//! Everything is derived from the chaos seed; drills use one worker
+//! thread so IO operation numbering is reproducible run to run.
+
+use std::path::{Path, PathBuf};
+
+use specrun_workloads::harness::RunError;
+use specrun_workloads::plan::Plan;
+
+use crate::fuzz::{self, FuzzOptions, RUN_ERROR_VIOLATION};
+use crate::sink::{tmp_path, ArtifactSink, ChaosSink, FsSink};
+
+/// Options of a chaos run (the `specrun-lab chaos` arguments).
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Small campaigns (the CI scale).
+    pub quick: bool,
+    /// Seed for the drill campaigns.
+    pub seed: u64,
+    /// Scratch directory (default: a per-process temp dir, removed when
+    /// every drill passes).
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> ChaosOptions {
+        ChaosOptions { quick: false, seed: fuzz::DEFAULT_FUZZ_SEED, dir: None }
+    }
+}
+
+/// How many plans each drill campaign runs.
+fn drill_plans(quick: bool) -> u64 {
+    if quick {
+        4
+    } else {
+        12
+    }
+}
+
+/// The drill campaign options rooted at `dir`. One worker thread keeps
+/// the sink's operation numbering deterministic.
+fn drill_opts(opts: &ChaosOptions, dir: &Path) -> FuzzOptions {
+    FuzzOptions {
+        plans: drill_plans(opts.quick),
+        seed: opts.seed,
+        threads: 1,
+        quick: true,
+        fail_dir: dir.join("failures"),
+        report_path: dir.join(fuzz::FUZZ_REPORT_NAME),
+        ..FuzzOptions::default()
+    }
+}
+
+/// On a clean single-threaded campaign the counted sink operations are:
+/// one journal header append, one append per plan, then the report
+/// write — so the report write's operation number is `plans + 1`.
+fn report_write_op(plans: u64) -> u64 {
+    plans + 1
+}
+
+type DrillResult = Result<String, String>;
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+/// A panicking trial must become a reported failing plan, not a dead
+/// campaign: the other plans still evaluate and the report says so.
+fn drill_panic_isolation(opts: &ChaosOptions, dir: &Path) -> DrillResult {
+    let mut fo = drill_opts(opts, dir);
+    fo.chaos_panic_plans = vec![1];
+    let result = fuzz::campaign(&fo);
+    if result.panics != 1 {
+        return Err(format!("expected exactly 1 panic, saw {}", result.panics));
+    }
+    let case = result
+        .failures
+        .iter()
+        .find(|f| f.plan_index == 1)
+        .ok_or("the panicking plan is missing from the failures")?;
+    if !case.violated.iter().any(|v| v == "panic") {
+        return Err(format!("plan 1 violated {:?}, expected a panic signature", case.violated));
+    }
+    if !result.report.contains("\"panics\": 1") {
+        return Err("report does not record the panic tally".to_string());
+    }
+    Ok(format!(
+        "injected panic on plan 1 became a reported failure; {} sibling plan(s) unharmed",
+        fo.plans - 1
+    ))
+}
+
+/// A starved cycle budget must surface as a structured [`RunError`] (and,
+/// inside a campaign, as a `run_error` violation) — never as a panic.
+/// The strict `CycleBudgetExceeded` check uses a PHT plan (straight-line
+/// training code, so starvation means the cycle limit, not a wedge); a
+/// starved BTB/RSB plan may legitimately wedge instead, which is the
+/// other [`RunError`] variant and equally non-fatal.
+fn drill_budget_exhaustion(opts: &ChaosOptions) -> DrillResult {
+    let mut plan = (0..32)
+        .map(|i| Plan::generate(opts.seed, i, true))
+        .find(|p| matches!(p.victim.gadget, specrun_workloads::plan::GadgetKind::Pht))
+        .ok_or("no PHT-gadget plan in the first 32 indices")?;
+    plan.victim.max_cycles = 40; // far below any gadget's runtime
+    match fuzz::try_evaluate(&plan) {
+        Err(RunError::CycleBudgetExceeded { budget: 40, .. }) => {}
+        Err(e) => return Err(format!("expected CycleBudgetExceeded, got: {e}")),
+        Ok(_) => return Err("a 40-cycle budget cannot complete a gadget".to_string()),
+    }
+    let violations = fuzz::checked_violations(&plan, None);
+    match violations.as_slice() {
+        [v] if v.invariant == RUN_ERROR_VIOLATION => {
+            Ok(format!("starved budget degraded to a `{RUN_ERROR_VIOLATION}` violation"))
+        }
+        other => Err(format!("expected a single {RUN_ERROR_VIOLATION} violation, got {other:?}")),
+    }
+}
+
+/// A failed report write must exit 2 and keep the journal; resuming with
+/// a healthy sink reproduces the reference report byte for byte.
+fn drill_report_write_failure(opts: &ChaosOptions, dir: &Path, reference: &str) -> DrillResult {
+    let fo = drill_opts(opts, dir);
+    let chaos = ChaosSink::new(&FsSink, &[report_write_op(fo.plans)]);
+    let code = fuzz::run_with(&fo, &chaos);
+    if code != 2 {
+        return Err(format!("injected report-write failure exited {code}, expected 2"));
+    }
+    if fo.report_path.exists() {
+        return Err("the report exists despite the failed write".to_string());
+    }
+    if !fo.journal_path().exists() {
+        return Err("the journal was discarded on failure".to_string());
+    }
+    let mut resumed = fo.clone();
+    resumed.resume = true;
+    let code = fuzz::run_with(&resumed, &FsSink);
+    if code != 0 {
+        return Err(format!("resume after the failure exited {code}, expected 0"));
+    }
+    if read(&fo.report_path)? != reference {
+        return Err("resumed report differs from the uninterrupted reference".to_string());
+    }
+    if fo.journal_path().exists() {
+        return Err("the journal survived a completed resume".to_string());
+    }
+    Ok("exit 2 on write failure; resume reproduced the reference report byte for byte".to_string())
+}
+
+/// A crash between the temp write and the rename must leave the old
+/// artifact untouched; the resumed run replaces it atomically.
+fn drill_torn_temp_write(opts: &ChaosOptions, dir: &Path, reference: &str) -> DrillResult {
+    let fo = drill_opts(opts, dir);
+    let stale = "stale artifact from a previous campaign\n";
+    std::fs::write(&fo.report_path, stale).map_err(|e| format!("cannot seed stale report: {e}"))?;
+    let chaos = ChaosSink::new(&FsSink, &[report_write_op(fo.plans)]).torn();
+    let code = fuzz::run_with(&fo, &chaos);
+    if code != 2 {
+        return Err(format!("torn report write exited {code}, expected 2"));
+    }
+    if read(&fo.report_path)? != stale {
+        return Err("the torn write mutated the previous artifact".to_string());
+    }
+    if !tmp_path(&fo.report_path).exists() {
+        return Err("torn mode left no orphan temp file to recover over".to_string());
+    }
+    let mut resumed = fo.clone();
+    resumed.resume = true;
+    let code = fuzz::run_with(&resumed, &FsSink);
+    if code != 0 {
+        return Err(format!("resume after the torn write exited {code}, expected 0"));
+    }
+    if read(&fo.report_path)? != reference {
+        return Err("resumed report differs from the uninterrupted reference".to_string());
+    }
+    if tmp_path(&fo.report_path).exists() {
+        return Err("the orphan temp file survived the resumed rename".to_string());
+    }
+    Ok("old artifact survived the torn write; resume atomically installed the new one".to_string())
+}
+
+/// A torn final journal line (the crash mode `append_line` documents) is
+/// dropped on resume; the lost plan re-runs and the report is unchanged.
+fn drill_torn_journal_tail(opts: &ChaosOptions, dir: &Path, reference: &str) -> DrillResult {
+    let mut fo = drill_opts(opts, dir);
+    fo.keep_journal = true;
+    let code = fuzz::run_with(&fo, &FsSink);
+    if code != 0 {
+        return Err(format!("setup campaign exited {code}, expected 0"));
+    }
+    let journal = fo.journal_path();
+    let body = read(&journal)?;
+    let torn = &body[..body.len() - 4]; // clip mid-digest, losing the newline
+    std::fs::write(&journal, torn).map_err(|e| format!("cannot tear journal: {e}"))?;
+    FsSink.remove(&fo.report_path).map_err(|e| format!("cannot drop report before resume: {e}"))?;
+    let mut resumed = fo.clone();
+    resumed.keep_journal = false;
+    resumed.resume = true;
+    let code = fuzz::run_with(&resumed, &FsSink);
+    if code != 0 {
+        return Err(format!("resume over the torn tail exited {code}, expected 0"));
+    }
+    if read(&fo.report_path)? != reference {
+        return Err("resumed report differs from the uninterrupted reference".to_string());
+    }
+    Ok("torn final journal line tolerated; the clipped plan re-ran".to_string())
+}
+
+/// A complete journal entry whose digest does not match is corruption —
+/// resume must refuse (exit 2) rather than trust it.
+fn drill_digest_corruption(opts: &ChaosOptions, dir: &Path) -> DrillResult {
+    let mut fo = drill_opts(opts, dir);
+    fo.keep_journal = true;
+    let code = fuzz::run_with(&fo, &FsSink);
+    if code != 0 {
+        return Err(format!("setup campaign exited {code}, expected 0"));
+    }
+    let journal = fo.journal_path();
+    let body = read(&journal)?;
+    let mut lines: Vec<String> = body.lines().map(str::to_string).collect();
+    if lines.len() < 2 {
+        return Err("setup journal has no entries to corrupt".to_string());
+    }
+    // Flip the last digest character of the first *entry* (line 1; line 0
+    // is the header) — the line stays well-formed, the digest lies.
+    let entry = &mut lines[1];
+    let flipped = if entry.ends_with('0') { '1' } else { '0' };
+    entry.pop();
+    entry.push(flipped);
+    std::fs::write(&journal, format!("{}\n", lines.join("\n")))
+        .map_err(|e| format!("cannot corrupt journal: {e}"))?;
+    let mut resumed = fo.clone();
+    resumed.resume = true;
+    let code = fuzz::run_with(&resumed, &FsSink);
+    let _ = FsSink.remove(&journal);
+    if code != 2 {
+        return Err(format!("resume over a lying digest exited {code}, expected 2"));
+    }
+    Ok("digest mismatch on a complete entry refused with exit 2".to_string())
+}
+
+/// Runs every chaos drill and returns the process exit code: 0 when all
+/// recovery paths behave, 1 when any drill fails, 2 when the harness
+/// cannot even set up.
+pub fn run(opts: &ChaosOptions) -> i32 {
+    let root = opts.dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("specrun-chaos-{}", std::process::id()))
+    });
+    if let Err(e) = std::fs::create_dir_all(&root) {
+        eprintln!("error: cannot create {}: {e}", root.display());
+        return 2;
+    }
+    println!(
+        "chaos: {} drills, seed {:#x}, {} plans per campaign, scratch {}",
+        6,
+        opts.seed,
+        drill_plans(opts.quick),
+        root.display()
+    );
+
+    // The uninterrupted reference every recovery drill must reproduce.
+    let ref_dir = root.join("reference");
+    if let Err(e) = std::fs::create_dir_all(&ref_dir) {
+        eprintln!("error: cannot create {}: {e}", ref_dir.display());
+        return 2;
+    }
+    let ref_opts = drill_opts(opts, &ref_dir);
+    if fuzz::run_with(&ref_opts, &FsSink) != 0 {
+        eprintln!(
+            "error: the reference campaign (seed {:#x}) does not pass cleanly; \
+             chaos drills need a green baseline",
+            opts.seed
+        );
+        return 2;
+    }
+    let reference = match std::fs::read_to_string(&ref_opts.report_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot read reference report: {e}");
+            return 2;
+        }
+    };
+
+    let drills: Vec<(&str, DrillResult)> = vec![
+        ("panic_isolation", {
+            let d = root.join("panic");
+            std::fs::create_dir_all(&d).unwrap();
+            drill_panic_isolation(opts, &d)
+        }),
+        ("budget_exhaustion", drill_budget_exhaustion(opts)),
+        ("report_write_failure", {
+            let d = root.join("write_fail");
+            std::fs::create_dir_all(&d).unwrap();
+            drill_report_write_failure(opts, &d, &reference)
+        }),
+        ("torn_temp_write", {
+            let d = root.join("torn_write");
+            std::fs::create_dir_all(&d).unwrap();
+            drill_torn_temp_write(opts, &d, &reference)
+        }),
+        ("torn_journal_tail", {
+            let d = root.join("torn_tail");
+            std::fs::create_dir_all(&d).unwrap();
+            drill_torn_journal_tail(opts, &d, &reference)
+        }),
+        ("digest_corruption", {
+            let d = root.join("digest");
+            std::fs::create_dir_all(&d).unwrap();
+            drill_digest_corruption(opts, &d)
+        }),
+    ];
+
+    let mut failed = 0u32;
+    println!();
+    for (name, outcome) in &drills {
+        match outcome {
+            Ok(detail) => println!("  [ok] {name}: {detail}"),
+            Err(detail) => {
+                failed += 1;
+                println!("  [FAILED] {name}: {detail}");
+            }
+        }
+    }
+    if failed == 0 {
+        println!("all {} chaos drills recovered as documented", drills.len());
+        if opts.dir.is_none() {
+            let _ = std::fs::remove_dir_all(&root);
+        }
+        0
+    } else {
+        eprintln!("{failed} chaos drill(s) failed; scratch kept at {}", root.display());
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("chaos_{}_{}", name, std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn budget_drill_passes_standalone() {
+        let opts = ChaosOptions::default();
+        drill_budget_exhaustion(&opts).unwrap();
+    }
+
+    #[test]
+    fn panic_drill_passes_standalone() {
+        let opts = ChaosOptions { quick: true, ..ChaosOptions::default() };
+        let dir = scratch("panic");
+        let outcome = drill_panic_isolation(&opts, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        outcome.unwrap();
+    }
+
+    #[test]
+    fn full_chaos_run_is_clean() {
+        let dir = scratch("full");
+        let opts =
+            ChaosOptions { quick: true, seed: fuzz::DEFAULT_FUZZ_SEED, dir: Some(dir.clone()) };
+        assert_eq!(run(&opts), 0, "every drill must recover");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -12,13 +12,18 @@
 //! `artifacts/<scenario>.json` plus the merged `LAB_report.json`, and
 //! exits non-zero if any paper-claim invariant failed.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
+use crate::chaos::{self, ChaosOptions};
 use crate::fuzz::{self, FuzzOptions};
+use crate::journal::{self, Journal};
+use crate::json;
 use crate::perf::{self, PerfOptions};
 use crate::registry::{find, registry};
-use crate::report::LabReport;
+use crate::report::{LabEntry, LabReport};
 use crate::scenario::RunContext;
+use crate::sink::FsSink;
 
 const USAGE: &str = "\
 specrun-lab — declarative campaign runner for the SPECRUN paper artifacts
@@ -26,20 +31,26 @@ specrun-lab — declarative campaign runner for the SPECRUN paper artifacts
 USAGE:
     specrun-lab list
     specrun-lab run [SCENARIO ...] [--all] [--quick] [--threads N] [--seed N]
-                    [--artifacts-dir DIR] [--no-artifacts]
+                    [--artifacts-dir DIR] [--no-artifacts] [--resume]
     specrun-lab perf [--quick] [--baseline PATH | --baseline-from-git] [--max-drop F]
                      [--repeats N]
     specrun-lab fuzz [--plans N] [--seed N] [--shard-threads N] [--quick]
                      [--fail-dir DIR] [--report PATH] [--invert-invariant NAME]
-                     [--replay FILE] [--list-invariants]
+                     [--replay FILE] [--list-invariants] [--resume] [--journal PATH]
+    specrun-lab chaos [--quick] [--seed N] [--dir DIR]
 
 COMMANDS:
     list    Print every registered scenario.
     run     Execute scenarios; write <scenario>.json per scenario plus the
             merged LAB_report.json into --artifacts-dir (default:
-            artifacts/); exit 1 if any paper-claim invariant fails.
-            --quick runs the reduced CI scale (same invariants,
-            byte-stable artifacts).
+            artifacts/); exit 1 if any paper-claim invariant fails or any
+            scenario dies with a structured run error (the merged report
+            then carries \"partial_results\": true). --quick runs the
+            reduced CI scale (same invariants, byte-stable artifacts).
+            Completed scenarios are journaled to
+            <artifacts-dir>/LAB_report.journal as the campaign goes;
+            after a crash, --resume skips the journaled passes and
+            produces the same report bytes an uninterrupted run would.
     perf    Wall-clock throughput benchmark (writes BENCH_step.json) with
             an optional perf-regression gate. The baseline is read before
             the new report is written; --baseline-from-git reads the
@@ -53,9 +64,19 @@ COMMANDS:
             a byte-stable FUZZ_report.json (same bytes for a fixed seed,
             any --shard-threads); each violating plan is shrunk to a
             minimal reproducer and serialized to --fail-dir (default:
-            fuzz-failures/) for `fuzz --replay <file>`.
+            fuzz-failures/) for `fuzz --replay <file>`. Completed plans
+            are journaled beside the report (--journal overrides the
+            path); --resume after a crash skips the journaled passes and
+            writes byte-identical artifacts.
             --invert-invariant flips one predicate to self-test the
-            failure pipeline. Exit 1 on violations, 2 on usage errors.
+            failure pipeline. Exit 1 on violations, 2 on usage/IO errors.
+    chaos   Fault-injection drills for the recovery machinery itself:
+            inject trial panics, starved cycle budgets, artifact-write
+            failures, torn temp files and journal corruption, and verify
+            each degrades exactly as documented (reported failures,
+            old-or-new artifacts, byte-identical resumed reports). Exit 0
+            when every drill recovers, 1 otherwise. --quick shrinks the
+            drill campaigns to the CI scale.
 ";
 
 /// Entry point for the `specrun-lab` binary. Returns the exit code.
@@ -88,6 +109,15 @@ pub fn main() -> i32 {
                 0
             }
             Ok(FuzzCommand::Run(opts)) => fuzz::run(&opts),
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!();
+                eprint!("{USAGE}");
+                2
+            }
+        },
+        Some("chaos") => match parse_chaos_args(&args[1..]) {
+            Ok(opts) => chaos::run(&opts),
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!();
@@ -190,16 +220,43 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzCommand, String> {
                 let v = it.next().ok_or("--replay needs a file")?;
                 opts.replay = Some(PathBuf::from(v));
             }
+            "--resume" => opts.resume = true,
+            "--journal" => {
+                let v = it.next().ok_or("--journal needs a path")?;
+                opts.journal = Some(PathBuf::from(v));
+            }
             other => return Err(format!("unknown fuzz option {other}")),
         }
     }
     Ok(FuzzCommand::Run(opts))
 }
 
+fn parse_chaos_args(args: &[String]) -> Result<ChaosOptions, String> {
+    let mut opts = ChaosOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = parse_u64(v)?;
+            }
+            "--dir" => {
+                let v = it.next().ok_or("--dir needs a path")?;
+                opts.dir = Some(PathBuf::from(v));
+            }
+            other => return Err(format!("unknown chaos option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+#[derive(Debug)]
 struct RunArgs {
     names: Vec<String>,
     ctx: RunContext,
     artifacts_dir: Option<PathBuf>,
+    resume: bool,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -207,6 +264,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut all = false;
     let mut ctx = RunContext::full();
     let mut artifacts_dir = Some(PathBuf::from("artifacts"));
+    let mut resume = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -225,6 +283,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 artifacts_dir = Some(PathBuf::from(v));
             }
             "--no-artifacts" => artifacts_dir = None,
+            "--resume" => resume = true,
             flag if flag.starts_with('-') => return Err(format!("unknown run option {flag}")),
             name => names.push(name.to_string()),
         }
@@ -238,11 +297,35 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     if names.is_empty() {
         return Err("no scenarios requested (name them or pass --all)".to_string());
     }
-    Ok(RunArgs { names, ctx, artifacts_dir })
+    if resume && artifacts_dir.is_none() {
+        return Err("--resume needs the artifact journal; it cannot combine with --no-artifacts"
+            .to_string());
+    }
+    Ok(RunArgs { names, ctx, artifacts_dir, resume })
+}
+
+/// The `run` journal's header: everything that determines the campaign's
+/// bytes. Thread count is deliberately absent — results are
+/// thread-invariant, so a resume may use a different fan-out.
+fn run_journal_header(names: &[String], ctx: &RunContext) -> String {
+    format!("run seed={} mode={} scenarios={}", ctx.seed, ctx.mode(), names.join(","))
+}
+
+/// Decodes one journaled scenario payload (`<invariant_count>
+/// <escaped-artifact-json>`). `None` means the payload is malformed —
+/// callers treat that as journal corruption.
+fn parse_scenario_payload(payload: &str) -> Option<(usize, String)> {
+    let (count, literal) = payload.split_once(' ')?;
+    let count = count.parse::<usize>().ok()?;
+    let text = json::unescape(literal)?;
+    if !text.starts_with('{') {
+        return None;
+    }
+    Some((count, text))
 }
 
 fn run_command(args: &[String]) -> Result<i32, String> {
-    let RunArgs { names, ctx, artifacts_dir } = parse_run_args(args)?;
+    let RunArgs { names, ctx, artifacts_dir, resume } = parse_run_args(args)?;
     let scenarios: Vec<_> = names
         .iter()
         .map(|name| {
@@ -250,10 +333,78 @@ fn run_command(args: &[String]) -> Result<i32, String> {
         })
         .collect::<Result<_, _>>()?;
 
+    // The campaign journal lives beside the artifacts. Passed scenarios
+    // are appended as they complete; --resume splices them back without
+    // re-running, byte-identical to an uninterrupted campaign.
+    let header = run_journal_header(&names, &ctx);
+    let journal = artifacts_dir.as_ref().map(|dir| {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        }
+        Journal::new(&FsSink, dir.join("LAB_report.journal"))
+    });
+    let mut recovered: BTreeMap<String, (usize, String)> = BTreeMap::new();
+    if let Some(j) = &journal {
+        let mut fresh = true;
+        if resume {
+            match journal::load(j.path(), &header) {
+                Ok(Some(state)) => {
+                    fresh = false;
+                    for (key, payload) in &state.entries {
+                        let Some(name) = key.strip_prefix("scenario:") else { continue };
+                        if !names.iter().any(|n| n == name) {
+                            continue;
+                        }
+                        match parse_scenario_payload(payload) {
+                            Some(entry) => {
+                                recovered.insert(name.to_string(), entry);
+                            }
+                            None => {
+                                eprintln!(
+                                    "error: cannot resume from {}: journaled scenario {name} \
+                                     has a malformed payload",
+                                    j.path().display()
+                                );
+                                return Ok(2);
+                            }
+                        }
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("error: cannot resume from {}: {e}", j.path().display());
+                    eprintln!("hint: delete the journal (or drop --resume) to start fresh");
+                    return Ok(2);
+                }
+            }
+        }
+        if fresh {
+            if let Err(e) = j.begin(&header) {
+                eprintln!("error: cannot start journal {}: {e}", j.path().display());
+                return Ok(2);
+            }
+        }
+    }
+
     let mut report = LabReport::default();
+    let mut skipped = 0usize;
     for scenario in &scenarios {
+        if let Some((invariant_count, json)) = recovered.remove(scenario.name) {
+            println!(
+                "== {} ({}) — journaled as passed, skipped ==",
+                scenario.name, scenario.paper_ref
+            );
+            println!();
+            skipped += 1;
+            report.runs.push(LabEntry::Journaled {
+                name: scenario.name.to_string(),
+                invariant_count,
+                json,
+            });
+            continue;
+        }
         println!("== {} ({}) — {} ==", scenario.name, scenario.paper_ref, scenario.title);
-        let run = scenario.execute(&ctx);
+        let run = scenario.try_execute(&ctx);
         for line in &run.lines {
             println!("{line}");
         }
@@ -261,16 +412,49 @@ fn run_command(args: &[String]) -> Result<i32, String> {
             let verdict = if inv.passed { "ok" } else { "FAILED" };
             println!("  [{verdict}] {}: {} (observed: {})", inv.name, inv.claim, inv.observed);
         }
+        if let Some(error) = &run.error {
+            println!("  [FAILED] run_error: scenario did not complete ({error})");
+        }
         println!();
-        report.runs.push(run);
+        if run.passed() {
+            if let Some(j) = &journal {
+                let mut text = run.to_json().render();
+                text.pop(); // journal entries are single-line; drop the newline
+                let payload = format!("{} {}", run.invariants.len(), json::escape(&text));
+                if let Err(e) = j.append(&format!("scenario:{}", run.name), &payload) {
+                    eprintln!("error: cannot append to journal {}: {e}", j.path().display());
+                    return Ok(2);
+                }
+            }
+        }
+        report.runs.push(run.into());
+    }
+    if skipped > 0 {
+        // Progress note only — the report bytes never depend on resume.
+        println!("resumed: {skipped} scenario(s) recovered from the journal");
     }
 
     if let Some(dir) = &artifacts_dir {
-        let paths = report
-            .write_artifacts(dir)
-            .map_err(|e| format!("cannot write artifacts under {}: {e}", dir.display()))?;
+        let paths = match report.write_artifacts(dir) {
+            Ok(paths) => paths,
+            Err(e) => {
+                eprintln!("error: cannot write artifacts under {}: {e}", dir.display());
+                if let Some(j) = &journal {
+                    eprintln!("note: the campaign journal is kept at {}", j.path().display());
+                }
+                return Ok(2);
+            }
+        };
         for p in &paths {
             println!("wrote {}", p.display());
+        }
+    }
+    // Artifacts are durable; retire the journal so a later run without
+    // --resume starts clean.
+    if let Some(j) = &journal {
+        if let Err(e) = j.finish() {
+            eprintln!("error: cannot remove journal {}: {e}", j.path().display());
+            return Ok(2);
         }
     }
 
@@ -285,6 +469,9 @@ fn run_command(args: &[String]) -> Result<i32, String> {
         );
         Ok(0)
     } else {
+        if report.partial_results() {
+            eprintln!("results are PARTIAL: at least one scenario died with a run error");
+        }
         eprintln!("paper-claim invariants FAILED:");
         for (scenario, invariant) in &failures {
             eprintln!("  {scenario}: {invariant}");
@@ -385,6 +572,40 @@ mod tests {
         assert_eq!(opts.fail_dir, PathBuf::from("/tmp/ff"));
         assert_eq!(opts.report_path, PathBuf::from("/tmp/r.json"));
         assert_eq!(opts.invert.as_deref(), Some("makes_progress"));
+    }
+
+    #[test]
+    fn parses_resume_flags() {
+        let parsed = parse_run_args(&strings(&["--all", "--quick", "--resume"])).unwrap();
+        assert!(parsed.resume);
+        let err = parse_run_args(&strings(&["fig7", "--resume", "--no-artifacts"])).unwrap_err();
+        assert!(err.contains("--resume"), "{err}");
+
+        let cmd = parse_fuzz_args(&strings(&["--resume", "--journal", "/tmp/j.journal"])).unwrap();
+        let FuzzCommand::Run(opts) = cmd else { panic!("expected a run command") };
+        assert!(opts.resume);
+        assert_eq!(opts.journal, Some(PathBuf::from("/tmp/j.journal")));
+    }
+
+    #[test]
+    fn parses_chaos_options() {
+        let opts =
+            parse_chaos_args(&strings(&["--quick", "--seed", "0x7", "--dir", "/tmp/c"])).unwrap();
+        assert!(opts.quick);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.dir, Some(PathBuf::from("/tmp/c")));
+        assert!(parse_chaos_args(&strings(&["--bogus"])).is_err(), "unknown flag");
+        assert!(parse_chaos_args(&strings(&["--seed"])).is_err(), "missing value");
+    }
+
+    #[test]
+    fn scenario_payload_round_trips() {
+        let text = "{\"name\": \"fig7\"}";
+        let payload = format!("3 {}", json::escape(text));
+        assert_eq!(parse_scenario_payload(&payload), Some((3, text.to_string())));
+        assert_eq!(parse_scenario_payload("x {}"), None, "bad count");
+        assert_eq!(parse_scenario_payload("3"), None, "no payload");
+        assert_eq!(parse_scenario_payload("3 not-json"), None, "not an object");
     }
 
     #[test]

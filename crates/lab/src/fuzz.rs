@@ -18,17 +18,20 @@
 //! predicate so CI can also prove the failure path (shrink + artifact +
 //! nonzero exit) works without needing a real simulator bug on hand.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::Mutex;
 
-use specrun::plan::{run_plan, PlanOutcome};
+use specrun::plan::{run_plan, try_run_plan, PlanOutcome};
 use specrun_workloads::fuzz::shrink_plan;
-use specrun_workloads::harness::{default_threads, try_parallel_map};
+use specrun_workloads::harness::{default_threads, try_parallel_map_with, RunError};
 use specrun_workloads::plan::{GadgetKind, Plan, PlanPolicy};
 
+use crate::journal::{self, Journal, JournalError};
 use crate::json::Json;
 use crate::scenario::fnv1a;
+use crate::sink::{ArtifactSink, FsSink};
 
 /// Default campaign seed (the CI soak seed).
 pub const DEFAULT_FUZZ_SEED: u64 = 0xC0FFEE;
@@ -224,10 +227,35 @@ pub struct Violation {
 }
 
 /// Runs `plan` twice and returns both outcomes. Panics propagate — the
-/// campaign path catches them in [`try_parallel_map`], the shrinking path
+/// campaign path catches them in the trial harness, the shrinking path
 /// in [`checked_violations`].
 pub fn evaluate(plan: &Plan) -> PlanEval {
     PlanEval { first: run_plan(plan), second: run_plan(plan) }
+}
+
+/// Fallible [`evaluate`]: a plan whose programs exhaust their cycle
+/// budget (or wedge) surfaces as a [`RunError`] instead of a panic, which
+/// the campaign records as a `run_error` violation — a reported failing
+/// plan, not a dead campaign.
+pub fn try_evaluate(plan: &Plan) -> Result<PlanEval, RunError> {
+    Ok(PlanEval { first: try_run_plan(plan)?, second: try_run_plan(plan)? })
+}
+
+/// Name under which a structured [`RunError`] appears in violation lists
+/// (beside the per-invariant names and `"panic"`).
+pub const RUN_ERROR_VIOLATION: &str = "run_error";
+
+/// Digest summarizing one evaluation, journaled with a passing plan so a
+/// resumed campaign can (and tests do) cross-check that skipped work
+/// matches what actually ran.
+fn eval_digest(eval: &PlanEval) -> u64 {
+    fnv1a(
+        format!(
+            "{:016x}/{}/{:?}",
+            eval.first.arch_fingerprint, eval.first.stats.cycles, eval.first.leaked
+        )
+        .as_bytes(),
+    )
 }
 
 /// Checks every applicable invariant, honouring an optional inverted
@@ -256,15 +284,20 @@ pub fn violations_for(plan: &Plan, eval: &PlanEval, invert: Option<&str>) -> Vec
     out
 }
 
-/// [`violations_for`] with panic capture: a panicking plan yields a single
-/// `"panic"` violation carrying the payload. This is the serial flavour
-/// the shrinker's `still_fails` probe uses.
+/// [`violations_for`] with failure capture: a plan that exhausts its
+/// cycle budget yields a single [`RUN_ERROR_VIOLATION`] violation, a
+/// panicking plan a single `"panic"` violation carrying the payload. This
+/// is the serial flavour the shrinker's `still_fails` probe uses, so both
+/// failure signatures shrink like any invariant violation.
 pub fn checked_violations(plan: &Plan, invert: Option<&str>) -> Vec<Violation> {
     match catch_unwind(AssertUnwindSafe(|| {
-        let eval = evaluate(plan);
-        violations_for(plan, &eval, invert)
+        try_evaluate(plan).map(|eval| violations_for(plan, &eval, invert))
     })) {
-        Ok(violations) => violations,
+        Ok(Ok(violations)) => violations,
+        Ok(Err(run_error)) => vec![Violation {
+            invariant: RUN_ERROR_VIOLATION.to_string(),
+            detail: run_error.to_string(),
+        }],
         Err(payload) => {
             let message = payload
                 .downcast_ref::<&str>()
@@ -295,6 +328,18 @@ pub struct FuzzOptions {
     pub invert: Option<String>,
     /// Replay a failing-plan file instead of running a campaign.
     pub replay: Option<PathBuf>,
+    /// Resume from the campaign journal: plans it records as passed are
+    /// skipped; everything else re-runs. The final report is byte-identical
+    /// to an uninterrupted run.
+    pub resume: bool,
+    /// Journal path override (default: `<report path>.journal`).
+    pub journal: Option<PathBuf>,
+    /// Keep the journal after a completed campaign instead of deleting it
+    /// (chaos-harness and test hook; not exposed on the CLI).
+    pub keep_journal: bool,
+    /// Chaos hook (not a CLI flag): plan indices whose evaluation panics,
+    /// driving the panic-isolation recovery path deterministically.
+    pub chaos_panic_plans: Vec<u64>,
 }
 
 impl Default for FuzzOptions {
@@ -308,7 +353,33 @@ impl Default for FuzzOptions {
             report_path: PathBuf::from(FUZZ_REPORT_NAME),
             invert: None,
             replay: None,
+            resume: false,
+            journal: None,
+            keep_journal: false,
+            chaos_panic_plans: Vec::new(),
         }
+    }
+}
+
+impl FuzzOptions {
+    /// Where this campaign's journal lives.
+    pub fn journal_path(&self) -> PathBuf {
+        self.journal
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(format!("{}.journal", self.report_path.display())))
+    }
+
+    /// The journal header string: everything that determines the
+    /// campaign's bytes. Thread count is deliberately absent — results
+    /// are thread-invariant, so a resume may use a different fan-out.
+    fn journal_header(&self) -> String {
+        format!(
+            "fuzz seed={} plans={} mode={} invert={}",
+            self.seed,
+            self.plans,
+            if self.quick { "quick" } else { "full" },
+            self.invert.as_deref().unwrap_or("-"),
+        )
     }
 }
 
@@ -343,6 +414,9 @@ pub struct CampaignResult {
     pub tallies: Vec<(String, u64, u64)>,
     /// Plans that panicked.
     pub panics: u64,
+    /// Plans that failed with a structured [`RunError`] (budget
+    /// exhaustion, wedged core) instead of completing.
+    pub run_errors: u64,
     /// Every failing plan, shrunk and serialized.
     pub failures: Vec<FailCase>,
 }
@@ -393,38 +467,148 @@ fn render_fail_file(opts: &FuzzOptions, case_plan: &Plan, case: &FailCase) -> St
     s
 }
 
+/// Why a journaled campaign could not run at all (distinct from plans
+/// failing *inside* a campaign, which are reported results).
+enum CampaignAbort {
+    /// The resume journal is corrupt or belongs to another campaign.
+    Journal(JournalError),
+    /// The journal could not be written.
+    Io(String),
+}
+
 /// Runs a fuzz campaign without touching the filesystem.
 pub fn campaign(opts: &FuzzOptions) -> CampaignResult {
+    let (result, _) = campaign_with(opts, None)
+        .unwrap_or_else(|_| unreachable!("journal-free runs cannot abort"));
+    result
+}
+
+/// One plan's worker-side outcome: its violations, plus the evaluation
+/// digest journaled with a pass (0 when the plan never completed).
+fn plan_outcome(plan: &Plan, invert: Option<&str>, panic_plans: &[u64]) -> (Vec<Violation>, u64) {
+    assert!(
+        !panic_plans.contains(&plan.index),
+        "chaos: injected panic evaluating plan {}",
+        plan.index
+    );
+    match try_evaluate(plan) {
+        Ok(eval) => {
+            let digest = eval_digest(&eval);
+            (violations_for(plan, &eval, invert), digest)
+        }
+        Err(run_error) => (
+            vec![Violation {
+                invariant: RUN_ERROR_VIOLATION.to_string(),
+                detail: run_error.to_string(),
+            }],
+            0,
+        ),
+    }
+}
+
+/// The campaign core. With a journal, every completed plan is durably
+/// recorded as it finishes (`plan:<i> ok <digest>` / `plan:<i> fail …`);
+/// on `--resume` the journaled passes are skipped and everything else —
+/// failing plans included, they are rare and deterministic — re-runs, so
+/// the merged result (and hence the report bytes) is identical to an
+/// uninterrupted campaign. Returns the result plus how many plans were
+/// skipped.
+fn campaign_with(
+    opts: &FuzzOptions,
+    journal: Option<(&dyn ArtifactSink, PathBuf)>,
+) -> Result<(CampaignResult, u64), CampaignAbort> {
     let invert = opts.invert.as_deref();
     let plans: Vec<Plan> =
         (0..opts.plans).map(|i| Plan::generate(opts.seed, i, opts.quick)).collect();
     let threads = if opts.threads == 0 { default_threads() } else { opts.threads };
+    let header = opts.journal_header();
 
-    // Fan out; a panicking plan surfaces as a TrialError, not a dead run.
-    let results = try_parallel_map(&plans, threads, |_, plan| {
-        let eval = evaluate(plan);
-        violations_for(plan, &eval, invert)
-    });
+    let journal = journal.map(|(sink, path)| Journal::new(sink, path));
+    let mut skip: BTreeSet<u64> = BTreeSet::new();
+    if let Some(j) = &journal {
+        if opts.resume {
+            match journal::load(j.path(), &header) {
+                Ok(Some(state)) => {
+                    for (key, payload) in &state.entries {
+                        let index = key.strip_prefix("plan:").and_then(|s| s.parse::<u64>().ok());
+                        if let Some(index) = index {
+                            if index < opts.plans && payload.starts_with("ok") {
+                                skip.insert(index);
+                            }
+                        }
+                    }
+                }
+                Ok(None) => {
+                    j.begin(&header).map_err(|e| CampaignAbort::Io(e.to_string()))?;
+                }
+                Err(e) => return Err(CampaignAbort::Journal(e)),
+            }
+        } else {
+            j.begin(&header).map_err(|e| CampaignAbort::Io(e.to_string()))?;
+        }
+    }
+
+    // Fan out over the plans the journal does not cover; a panicking plan
+    // surfaces as a TrialError, not a dead run. The completion hook
+    // journals each plan the moment it finishes, from the worker thread.
+    let pending: Vec<&Plan> = plans.iter().filter(|p| !skip.contains(&p.index)).collect();
+    let journal_error: Mutex<Option<String>> = Mutex::new(None);
+    let results = try_parallel_map_with(
+        &pending,
+        threads,
+        |_, plan| plan_outcome(plan, invert, &opts.chaos_panic_plans),
+        |i, result| {
+            let Some(j) = &journal else { return };
+            let payload = match result {
+                Ok((violations, digest)) if violations.is_empty() => format!("ok {digest:016x}"),
+                Ok((violations, _)) => {
+                    let names: BTreeSet<&str> =
+                        violations.iter().map(|v| v.invariant.as_str()).collect();
+                    format!("fail {}", names.into_iter().collect::<Vec<_>>().join(","))
+                }
+                Err(_) => "fail panic".to_string(),
+            };
+            if let Err(e) = j.append(&format!("plan:{}", pending[i].index), &payload) {
+                let mut slot = journal_error.lock().unwrap();
+                slot.get_or_insert_with(|| format!("cannot append to journal: {e}"));
+            }
+        },
+    );
+    if let Some(e) = journal_error.into_inner().unwrap() {
+        return Err(CampaignAbort::Io(e));
+    }
+
+    // Merge fresh results with journaled skips, in plan order. A skipped
+    // plan is a journaled pass: no violations by construction.
+    let mut by_index: BTreeMap<u64, Vec<Violation>> = BTreeMap::new();
+    let mut panics = 0u64;
+    for (plan, result) in pending.iter().zip(results) {
+        let violations = match result {
+            Ok((v, _)) => v,
+            Err(e) => {
+                panics += 1;
+                vec![Violation { invariant: "panic".to_string(), detail: e.message }]
+            }
+        };
+        by_index.insert(plan.index, violations);
+    }
 
     let mut tallies: Vec<(String, u64, u64)> =
         INVARIANTS.iter().map(|inv| (inv.name.to_string(), 0, 0)).collect();
     for (slot, inv) in tallies.iter_mut().zip(INVARIANTS) {
         slot.1 = plans.iter().filter(|p| (inv.applies)(p)).count() as u64;
     }
-    let mut panics = 0u64;
+    let mut run_errors = 0u64;
     let mut failures = Vec::new();
-    for (plan, result) in plans.iter().zip(&results) {
-        let violations = match result {
-            Ok(v) => v.clone(),
-            Err(e) => {
-                panics += 1;
-                vec![Violation { invariant: "panic".to_string(), detail: e.message.clone() }]
-            }
-        };
+    for plan in &plans {
+        let violations = by_index.remove(&plan.index).unwrap_or_default();
         for v in &violations {
             if let Some(slot) = tallies.iter_mut().find(|(name, _, _)| *name == v.invariant) {
                 slot.2 += 1;
             }
+        }
+        if violations.iter().any(|v| v.invariant == RUN_ERROR_VIOLATION) {
+            run_errors += 1;
         }
         if violations.is_empty() {
             continue;
@@ -432,7 +616,7 @@ pub fn campaign(opts: &FuzzOptions) -> CampaignResult {
         let names: BTreeSet<String> = violations.iter().map(|v| v.invariant.clone()).collect();
         // Minimize while preserving the failure signature: a candidate
         // must still violate at least one of the original invariants
-        // (a panic counts as the "panic" signature).
+        // (panics and run errors count as their own signatures).
         let shrunk = shrink_plan(plan, |candidate| {
             checked_violations(candidate, invert).iter().any(|v| names.contains(&v.invariant))
         });
@@ -450,14 +634,15 @@ pub fn campaign(opts: &FuzzOptions) -> CampaignResult {
         failures.push(case);
     }
 
-    let report = render_report(opts, &tallies, panics, &failures);
-    CampaignResult { report, tallies, panics, failures }
+    let report = render_report(opts, &tallies, panics, run_errors, &failures);
+    Ok((CampaignResult { report, tallies, panics, run_errors, failures }, skip.len() as u64))
 }
 
 fn render_report(
     opts: &FuzzOptions,
     tallies: &[(String, u64, u64)],
     panics: u64,
+    run_errors: u64,
     failures: &[FailCase],
 ) -> String {
     let invariants = Json::Obj(
@@ -498,6 +683,7 @@ fn render_report(
         ("inverted_invariant".into(), opts.invert.as_ref().map_or(Json::Null, Json::str)),
         ("invariants".into(), invariants),
         ("panics".into(), Json::Num(panics as f64)),
+        ("run_errors".into(), Json::Num(run_errors as f64)),
         ("failing_plans".into(), failing),
         ("passed".into(), Json::Bool(failures.is_empty())),
     ])
@@ -580,18 +766,42 @@ pub fn replay(path: &std::path::Path) -> i32 {
 }
 
 /// Runs the fuzz subcommand end to end (campaign or replay), writing
-/// artifacts, and returns the process exit code.
+/// artifacts through the real filesystem sink, and returns the process
+/// exit code.
 pub fn run(opts: &FuzzOptions) -> i32 {
+    run_with(opts, &FsSink)
+}
+
+/// [`run`] with an injectable [`ArtifactSink`], so the chaos harness can
+/// fail artifact writes deterministically. Exit codes: 0 clean, 1 when
+/// any plan failed an invariant, 2 on IO or journal errors.
+pub fn run_with(opts: &FuzzOptions, sink: &dyn ArtifactSink) -> i32 {
     if let Some(path) = &opts.replay {
         return replay(path);
     }
-    let result = campaign(opts);
+    let journal_path = opts.journal_path();
+    let (result, skipped) = match campaign_with(opts, Some((sink, journal_path.clone()))) {
+        Ok(ok) => ok,
+        Err(CampaignAbort::Journal(e)) => {
+            eprintln!("error: cannot resume from {}: {e}", journal_path.display());
+            eprintln!("hint: delete the journal (or drop --resume) to start fresh");
+            return 2;
+        }
+        Err(CampaignAbort::Io(e)) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
     println!(
         "fuzz campaign: {} plans, seed {:#x}, {} scale",
         opts.plans,
         opts.seed,
         if opts.quick { "quick" } else { "full" }
     );
+    if skipped > 0 {
+        // Progress note only — the report bytes never depend on resume.
+        println!("  resumed: {skipped} plan(s) already journaled as passing, skipped");
+    }
     for (name, applicable, violations) in &result.tallies {
         let verdict = if *violations == 0 { "ok" } else { "FAILED" };
         println!("  [{verdict}] {name}: {applicable} applicable, {violations} violation(s)");
@@ -599,9 +809,16 @@ pub fn run(opts: &FuzzOptions) -> i32 {
     if result.panics > 0 {
         println!("  [FAILED] panic: {} plan(s) panicked", result.panics);
     }
+    if result.run_errors > 0 {
+        println!(
+            "  [FAILED] {RUN_ERROR_VIOLATION}: {} plan(s) hit a structured run error",
+            result.run_errors
+        );
+    }
 
-    if let Err(e) = std::fs::write(&opts.report_path, &result.report) {
+    if let Err(e) = sink.write_atomic(&opts.report_path, &result.report) {
         eprintln!("error: cannot write {}: {e}", opts.report_path.display());
+        eprintln!("note: the campaign journal is kept at {}", journal_path.display());
         return 2;
     }
     println!("wrote {}", opts.report_path.display());
@@ -613,7 +830,7 @@ pub fn run(opts: &FuzzOptions) -> i32 {
         }
         for case in &result.failures {
             let path = opts.fail_dir.join(&case.file_name);
-            if let Err(e) = std::fs::write(&path, &case.file_body) {
+            if let Err(e) = sink.write_atomic(&path, &case.file_body) {
                 eprintln!("error: cannot write {}: {e}", path.display());
                 return 2;
             }
@@ -624,6 +841,18 @@ pub fn run(opts: &FuzzOptions) -> i32 {
                 case.violated.join(", ")
             );
         }
+    }
+
+    // Artifacts are durable; retire the journal so a later run without
+    // --resume starts clean (kept only for the chaos drills).
+    if !opts.keep_journal {
+        if let Err(e) = sink.remove(&journal_path) {
+            eprintln!("error: cannot remove journal {}: {e}", journal_path.display());
+            return 2;
+        }
+    }
+
+    if !result.failures.is_empty() {
         eprintln!("{} failing plan(s); replay with: specrun-lab fuzz --replay <file>", {
             result.failures.len()
         });

@@ -27,6 +27,14 @@ pub enum Json {
     Arr(Vec<Json>),
     /// An object, in insertion order.
     Obj(Vec<(String, Json)>),
+    /// Pre-rendered JSON text, embedded verbatim except that every line
+    /// after the first is re-indented to the embedding depth. Rendering a
+    /// value at depth 0 and embedding it as `Raw` reproduces byte for byte
+    /// what rendering the original value in place would have produced —
+    /// the property campaign resume relies on when it splices journaled
+    /// per-scenario artifacts back into the merged report. The text must
+    /// not carry a trailing newline.
+    Raw(String),
 }
 
 impl Json {
@@ -90,6 +98,18 @@ impl Json {
                 pad(out, indent);
                 out.push('}');
             }
+            Json::Raw(text) => {
+                // Strings never contain raw newlines (escape() encodes
+                // them), so every '\n' in rendered JSON is structural and
+                // re-indenting per line is safe.
+                for (i, line) in text.lines().enumerate() {
+                    if i > 0 {
+                        out.push('\n');
+                        pad(out, indent);
+                    }
+                    out.push_str(line);
+                }
+            }
         }
     }
 }
@@ -133,6 +153,42 @@ pub fn escape(s: &str) -> String {
     out
 }
 
+/// Decodes a quoted JSON string literal produced by [`escape`] back into
+/// the original text. Returns `None` on anything malformed — callers
+/// (journal resume) treat that as corruption, not as data.
+pub fn unescape(literal: &str) -> Option<String> {
+    let inner = literal.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '"' {
+            return None; // an unescaped quote means we clipped the literal wrong
+        }
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let code: String = chars.by_ref().take(4).collect();
+                if code.len() != 4 {
+                    return None;
+                }
+                let v = u32::from_str_radix(&code, 16).ok()?;
+                out.push(char::from_u32(v)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +223,38 @@ mod tests {
     fn escapes_control_characters() {
         assert_eq!(escape("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn raw_embedding_reproduces_in_place_rendering() {
+        let inner = Json::obj(vec![
+            ("name".into(), Json::str("fig7")),
+            ("items".into(), Json::Arr(vec![Json::Num(1.0), Json::str("two\nlines")])),
+            ("empty".into(), Json::Obj(Vec::new())),
+        ]);
+        let direct =
+            Json::obj(vec![("scenarios".into(), Json::Arr(vec![inner.clone(), inner.clone()]))]);
+        // Render the inner value standalone (depth 0), then splice it back
+        // as Raw — the bytes must match rendering it in place.
+        let mut standalone = inner.render();
+        standalone.pop(); // drop render()'s trailing newline
+        let spliced = Json::obj(vec![(
+            "scenarios".into(),
+            Json::Arr(vec![Json::Raw(standalone.clone()), Json::Raw(standalone)]),
+        )]);
+        assert_eq!(spliced.render(), direct.render());
+    }
+
+    #[test]
+    fn unescape_inverts_escape() {
+        for s in ["plain", "a\"b\\c\n", "\ttabs\r", "\u{1}control", "ünïcode"] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s), "round trip {s:?}");
+        }
+        assert_eq!(unescape("\"a\\u0041b\"").as_deref(), Some("aAb"));
+        assert!(unescape("no quotes").is_none());
+        assert!(unescape("\"trailing backslash\\\"").is_none(), "lone backslash eats the quote");
+        assert!(unescape("\"bad \\q escape\"").is_none());
+        assert!(unescape("\"embedded \" quote\"").is_none());
     }
 
     #[test]

@@ -36,18 +36,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cli;
 pub mod fuzz;
+pub mod journal;
 pub mod json;
 pub mod perf;
 pub mod registry;
 pub mod report;
 pub mod scenario;
+pub mod sink;
 
 pub use fuzz::{FuzzInvariant, FuzzOptions, Violation, FUZZ_REPORT_NAME, INVARIANTS};
 pub use json::Json;
-pub use report::{parse_metrics, BenchReport, LabReport, LAB_REPORT_NAME};
+pub use report::{parse_metrics, BenchReport, LabEntry, LabReport, LAB_REPORT_NAME};
 pub use scenario::{Invariant, RunContext, Scenario, ScenarioRun, DEFAULT_SEED};
+pub use sink::{ArtifactSink, ChaosSink, FsSink};
 
 /// Commonly used items for examples and tests.
 pub mod prelude {

@@ -324,7 +324,15 @@ pub fn run(opts: &PerfOptions) -> i32 {
     report.metric("sweep_trials", sweep_trials as f64);
     report.metric("host_threads", host_threads as f64);
 
-    let path = report.write().expect("BENCH_step.json is writable");
+    let path = match report.write() {
+        Ok(path) => path,
+        Err(e) => {
+            // A full benchmark run is minutes of work — report the IO
+            // failure and exit non-zero instead of panicking it away.
+            eprintln!("error: cannot write BENCH_step.json: {e}");
+            return 2;
+        }
+    };
     println!();
     println!("wrote {}", path.display());
 

@@ -8,72 +8,190 @@ use std::path::{Path, PathBuf};
 
 use crate::json::Json;
 use crate::scenario::ScenarioRun;
+use crate::sink::{ArtifactSink, FsSink};
 
 /// File name of the merged campaign report.
 pub const LAB_REPORT_NAME: &str = "LAB_report.json";
 
-/// A completed campaign: the scenario runs in execution order.
+/// One scenario's contribution to the merged report: either a run from
+/// this process, or a *journaled* run recovered by `--resume` — the
+/// artifact text a previous (crashed) campaign recorded after the
+/// scenario passed. Journaled entries splice back into the merged report
+/// verbatim (via [`Json::Raw`]), so a resumed report is byte-identical to
+/// an uninterrupted one.
+#[derive(Debug, Clone)]
+pub enum LabEntry {
+    /// A scenario executed by this process.
+    Run(ScenarioRun),
+    /// A passed scenario recovered from the campaign journal.
+    Journaled {
+        /// Registry name.
+        name: String,
+        /// How many invariants the journaled run checked.
+        invariant_count: usize,
+        /// The per-scenario artifact object, rendered at depth 0 without
+        /// the trailing newline (exactly what the journal recorded).
+        json: String,
+    },
+}
+
+impl LabEntry {
+    /// Registry name of the scenario.
+    pub fn name(&self) -> &str {
+        match self {
+            LabEntry::Run(run) => &run.name,
+            LabEntry::Journaled { name, .. } => name,
+        }
+    }
+
+    /// Whether the scenario passed. Journaled entries are always passes:
+    /// only passed scenarios are journaled, failures re-run on resume.
+    pub fn passed(&self) -> bool {
+        match self {
+            LabEntry::Run(run) => run.passed(),
+            LabEntry::Journaled { .. } => true,
+        }
+    }
+
+    /// How many invariants the scenario checked.
+    pub fn invariant_count(&self) -> usize {
+        match self {
+            LabEntry::Run(run) => run.invariants.len(),
+            LabEntry::Journaled { invariant_count, .. } => *invariant_count,
+        }
+    }
+
+    /// Structured execution failure, when the scenario did not complete.
+    pub fn error(&self) -> Option<&str> {
+        match self {
+            LabEntry::Run(run) => run.error.as_deref(),
+            LabEntry::Journaled { .. } => None,
+        }
+    }
+
+    /// The merged-report element for this entry.
+    pub fn to_json(&self) -> Json {
+        match self {
+            LabEntry::Run(run) => run.to_json(),
+            LabEntry::Journaled { json, .. } => Json::Raw(json.clone()),
+        }
+    }
+
+    /// The per-scenario artifact file contents.
+    pub fn artifact_text(&self) -> String {
+        match self {
+            LabEntry::Run(run) => run.to_json().render(),
+            LabEntry::Journaled { json, .. } => format!("{json}\n"),
+        }
+    }
+}
+
+impl From<ScenarioRun> for LabEntry {
+    fn from(run: ScenarioRun) -> LabEntry {
+        LabEntry::Run(run)
+    }
+}
+
+/// A completed campaign: the scenario entries in execution order.
 #[derive(Debug, Clone, Default)]
 pub struct LabReport {
     /// Per-scenario results, in execution order.
-    pub runs: Vec<ScenarioRun>,
+    pub runs: Vec<LabEntry>,
 }
 
 impl LabReport {
-    /// Whether every invariant of every scenario held.
+    /// Whether every scenario completed and every invariant held.
     pub fn passed(&self) -> bool {
-        self.runs.iter().all(ScenarioRun::passed)
+        self.runs.iter().all(LabEntry::passed)
+    }
+
+    /// Whether any scenario failed to complete (structured run error):
+    /// the campaign's results are partial — reported, but not a full
+    /// reproduction.
+    pub fn partial_results(&self) -> bool {
+        self.runs.iter().any(|e| e.error().is_some())
     }
 
     /// Total number of checked invariants.
     pub fn invariant_count(&self) -> usize {
-        self.runs.iter().map(|r| r.invariants.len()).sum()
+        self.runs.iter().map(LabEntry::invariant_count).sum()
     }
 
-    /// Every failed invariant, with its scenario name.
+    /// Every failed invariant, with its scenario name. A scenario that
+    /// died before checking anything contributes its error under the
+    /// pseudo-invariant name `run_error`.
     pub fn failures(&self) -> Vec<(String, String)> {
         self.runs
             .iter()
-            .flat_map(|r| r.failures().into_iter().map(|i| (r.name.clone(), i.name.clone())))
+            .flat_map(|entry| match entry {
+                LabEntry::Run(run) if run.error.is_some() => {
+                    vec![(run.name.clone(), "run_error".to_string())]
+                }
+                LabEntry::Run(run) => {
+                    run.failures().into_iter().map(|i| (run.name.clone(), i.name.clone())).collect()
+                }
+                LabEntry::Journaled { .. } => Vec::new(),
+            })
             .collect()
     }
 
     /// The merged report object.
     pub fn to_json(&self) -> Json {
-        let scenarios = self.runs.iter().map(ScenarioRun::to_json).collect();
+        let scenarios = self.runs.iter().map(LabEntry::to_json).collect();
         Json::obj(vec![
             ("lab".into(), Json::str("specrun")),
             ("scenario_count".into(), Json::Num(self.runs.len() as f64)),
             ("invariant_count".into(), Json::Num(self.invariant_count() as f64)),
             ("passed".into(), Json::Bool(self.passed())),
+            ("partial_results".into(), Json::Bool(self.partial_results())),
             ("scenarios".into(), Json::Arr(scenarios)),
         ])
     }
 
     /// Writes `artifacts_dir/<scenario>.json` per run plus the merged
-    /// [`LAB_REPORT_NAME`] into the same directory — everything lands
-    /// inside the directory the caller named, so concurrent campaigns
-    /// with distinct `--artifacts-dir`s never share an output path.
-    /// Any `.json` file already in the directory is removed first: the
-    /// merged report must describe exactly the per-scenario files beside
-    /// it, so a subset run cannot leave stale artifacts from an earlier
-    /// campaign mixed in. Returns every path written, merged report first.
+    /// [`LAB_REPORT_NAME`] into the same directory, through the real
+    /// filesystem sink. See [`LabReport::write_artifacts_with`].
     pub fn write_artifacts(&self, artifacts_dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.write_artifacts_with(artifacts_dir, &FsSink)
+    }
+
+    /// Writes every artifact through `sink` — everything lands inside the
+    /// directory the caller named, so concurrent campaigns with distinct
+    /// `--artifacts-dir`s never share an output path. Each file is
+    /// written atomically (temp + rename): a crash mid-campaign leaves
+    /// old-or-new files, never truncated hybrids. Any `.json` file
+    /// already in the directory that this campaign does not produce is
+    /// removed first: the merged report must describe exactly the
+    /// per-scenario files beside it, so a subset run cannot leave stale
+    /// artifacts from an earlier campaign mixed in. The merged report is
+    /// written *last*, after every per-scenario file it names. Returns
+    /// every path written, merged report first.
+    pub fn write_artifacts_with(
+        &self,
+        artifacts_dir: &Path,
+        sink: &dyn ArtifactSink,
+    ) -> io::Result<Vec<PathBuf>> {
         std::fs::create_dir_all(artifacts_dir)?;
+        let keep: Vec<PathBuf> = std::iter::once(artifacts_dir.join(LAB_REPORT_NAME))
+            .chain(self.runs.iter().map(|e| artifacts_dir.join(format!("{}.json", e.name()))))
+            .collect();
         for entry in std::fs::read_dir(artifacts_dir)? {
             let path = entry?.path();
-            if path.extension().is_some_and(|e| e == "json") && path.is_file() {
-                std::fs::remove_file(&path)?;
+            if path.extension().is_some_and(|e| e == "json")
+                && path.is_file()
+                && !keep.contains(&path)
+            {
+                sink.remove(&path)?;
             }
         }
         let report_path = artifacts_dir.join(LAB_REPORT_NAME);
         let mut paths = vec![report_path.clone()];
-        std::fs::write(&report_path, self.to_json().render())?;
-        for run in &self.runs {
-            let path = artifacts_dir.join(format!("{}.json", run.name));
-            std::fs::write(&path, run.to_json().render())?;
+        for entry in &self.runs {
+            let path = artifacts_dir.join(format!("{}.json", entry.name()));
+            sink.write_atomic(&path, &entry.artifact_text())?;
             paths.push(path);
         }
+        sink.write_atomic(&report_path, &self.to_json().render())?;
         Ok(paths)
     }
 }
@@ -127,12 +245,22 @@ impl BenchReport {
         Json::Obj(fields).render()
     }
 
-    /// Writes `BENCH_<name>.json` into `dir` and returns the path.
-    pub fn write_to(&self, dir: impl Into<PathBuf>) -> io::Result<PathBuf> {
+    /// Writes `BENCH_<name>.json` into `dir` atomically through `sink`
+    /// and returns the path.
+    pub fn write_with(
+        &self,
+        sink: &dyn ArtifactSink,
+        dir: impl Into<PathBuf>,
+    ) -> io::Result<PathBuf> {
         let mut path = dir.into();
         path.push(format!("BENCH_{}.json", self.name));
-        std::fs::write(&path, self.to_json())?;
+        sink.write_atomic(&path, &self.to_json())?;
         Ok(path)
+    }
+
+    /// Writes `BENCH_<name>.json` into `dir` and returns the path.
+    pub fn write_to(&self, dir: impl Into<PathBuf>) -> io::Result<PathBuf> {
+        self.write_with(&FsSink, dir)
     }
 
     /// Writes `BENCH_<name>.json` into the current directory.
@@ -216,8 +344,9 @@ mod tests {
             run.check("ok", "always holds", true, "yes");
             run
         }
-        let report = LabReport { runs: vec![noop(&RunContext::quick())] };
+        let report = LabReport { runs: vec![noop(&RunContext::quick()).into()] };
         assert!(report.passed());
+        assert!(!report.partial_results());
         assert_eq!(report.invariant_count(), 1);
         let dir = std::env::temp_dir().join(format!("lab_artifacts_{}", std::process::id()));
         let paths = report.write_artifacts(&dir).expect("writable temp dir");
@@ -244,7 +373,7 @@ mod tests {
         // A leftover from an earlier, larger campaign plus a non-JSON file.
         std::fs::write(dir.join("stale_scenario.json"), "{}").unwrap();
         std::fs::write(dir.join("keep.txt"), "not an artifact").unwrap();
-        let report = LabReport { runs: vec![noop(&RunContext::quick())] };
+        let report = LabReport { runs: vec![noop(&RunContext::quick()).into()] };
         report.write_artifacts(&dir).unwrap();
         assert!(!dir.join("stale_scenario.json").exists(), "stale artifact must be cleared");
         assert!(dir.join("keep.txt").exists(), "non-JSON files are left alone");
@@ -262,8 +391,55 @@ mod tests {
             run.check("broken", "never holds", false, "no");
             run
         }
-        let report = LabReport { runs: vec![failing(&RunContext::quick())] };
+        let report = LabReport { runs: vec![failing(&RunContext::quick()).into()] };
         assert!(!report.passed());
         assert_eq!(report.failures(), vec![("bad".to_string(), "broken".to_string())]);
+    }
+
+    #[test]
+    fn errored_scenario_marks_results_partial() {
+        use crate::scenario::{RunContext, Scenario, ScenarioRun};
+        fn dead(ctx: &RunContext) -> ScenarioRun {
+            let s = Scenario { name: "dead", title: "t", paper_ref: "r", run: dead };
+            let mut run = ScenarioRun::new(&s, ctx);
+            run.error = Some("cycle budget exceeded: mcf".to_string());
+            run
+        }
+        let report = LabReport { runs: vec![dead(&RunContext::quick()).into()] };
+        assert!(!report.passed());
+        assert!(report.partial_results());
+        assert_eq!(report.failures(), vec![("dead".to_string(), "run_error".to_string())]);
+        let json = report.to_json().render();
+        assert!(json.contains("\"partial_results\": true"));
+        assert!(json.contains("\"error\": \"cycle budget exceeded: mcf\""));
+    }
+
+    #[test]
+    fn journaled_entry_splices_byte_identically() {
+        use crate::scenario::{RunContext, Scenario, ScenarioRun};
+        fn noop(ctx: &RunContext) -> ScenarioRun {
+            let s = Scenario { name: "noop", title: "t", paper_ref: "r", run: noop };
+            let mut run = ScenarioRun::new(&s, ctx);
+            run.check("ok", "always holds", true, "yes");
+            run
+        }
+        let run = noop(&RunContext::quick());
+        let direct = LabReport { runs: vec![run.clone().into()] };
+        let mut artifact = run.to_json().render();
+        artifact.pop(); // journal records the text without the newline
+        let resumed = LabReport {
+            runs: vec![LabEntry::Journaled {
+                name: "noop".to_string(),
+                invariant_count: 1,
+                json: artifact,
+            }],
+        };
+        assert_eq!(
+            resumed.to_json().render(),
+            direct.to_json().render(),
+            "a journaled entry reproduces the uninterrupted report byte for byte"
+        );
+        assert_eq!(resumed.invariant_count(), 1);
+        assert!(resumed.passed());
     }
 }

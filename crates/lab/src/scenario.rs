@@ -104,6 +104,10 @@ pub struct ScenarioRun {
     pub invariants: Vec<Invariant>,
     /// The human-readable report (what the legacy binary printed).
     pub lines: Vec<String>,
+    /// Structured execution failure, when the scenario did not complete:
+    /// the panic (or budget-exhaustion) message captured by
+    /// [`Scenario::try_execute`]. A run with an error never passes.
+    pub error: Option<String>,
 }
 
 impl ScenarioRun {
@@ -120,6 +124,7 @@ impl ScenarioRun {
             config_digests: Vec::new(),
             invariants: Vec::new(),
             lines: Vec::new(),
+            error: None,
         }
     }
 
@@ -154,9 +159,9 @@ impl ScenarioRun {
         self.lines.push(line.into());
     }
 
-    /// Whether every invariant held.
+    /// Whether the scenario completed and every invariant held.
     pub fn passed(&self) -> bool {
-        self.invariants.iter().all(|i| i.passed)
+        self.error.is_none() && self.invariants.iter().all(|i| i.passed)
     }
 
     /// The invariants that failed.
@@ -201,6 +206,7 @@ impl ScenarioRun {
             // reproduce the run.
             ("seed".into(), Json::str(self.seed.to_string())),
             ("passed".into(), Json::Bool(self.passed())),
+            ("error".into(), self.error.as_ref().map_or(Json::Null, Json::str)),
             ("notes".into(), Json::Obj(notes)),
             ("config_digests".into(), Json::Obj(digests)),
             ("metrics".into(), Json::Obj(metrics)),
@@ -223,9 +229,31 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Runs the scenario under `ctx`.
+    /// Runs the scenario under `ctx`. Panics propagate; campaign code
+    /// uses [`Scenario::try_execute`] instead.
     pub fn execute(&self, ctx: &RunContext) -> ScenarioRun {
         (self.run)(ctx)
+    }
+
+    /// Runs the scenario, containing failure: a panicking scenario (a
+    /// budget-exhaustion `run_workload` deep inside a sweep, an assert in
+    /// the simulator) comes back as a [`ScenarioRun`] with
+    /// [`ScenarioRun::error`] set — a reported failed entry in the merged
+    /// report instead of a dead campaign.
+    pub fn try_execute(&self, ctx: &RunContext) -> ScenarioRun {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.run)(ctx))) {
+            Ok(run) => run,
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                let mut run = ScenarioRun::new(self, ctx);
+                run.error = Some(message);
+                run
+            }
+        }
     }
 }
 
@@ -295,6 +323,27 @@ mod tests {
         assert_eq!(a, config_digest(&CpuConfig::default()), "digest is deterministic");
         assert_ne!(a, config_digest(&CpuConfig::no_runahead()));
         assert_ne!(a, config_digest(&CpuConfig::secure_runahead()));
+    }
+
+    #[test]
+    fn a_panicking_scenario_becomes_a_failed_run() {
+        fn explode(_: &RunContext) -> ScenarioRun {
+            panic!("cycle budget exceeded: deep inside a sweep");
+        }
+        let s = Scenario { name: "boom", title: "t", paper_ref: "r", run: explode };
+        let run = s.try_execute(&RunContext::quick());
+        assert!(!run.passed(), "a run with an error never passes");
+        assert_eq!(run.error.as_deref(), Some("cycle budget exceeded: deep inside a sweep"));
+        let json = run.to_json().render();
+        assert!(json.contains("\"passed\": false"));
+        assert!(json.contains("\"error\": \"cycle budget exceeded: deep inside a sweep\""));
+    }
+
+    #[test]
+    fn a_clean_scenario_records_no_error() {
+        let run = dummy(&RunContext::quick());
+        assert_eq!(run.error, None);
+        assert!(run.to_json().render().contains("\"error\": null"));
     }
 
     #[test]

@@ -43,7 +43,7 @@ fn quick_campaign_passes_every_paper_claim() {
     let ctx = RunContext::quick();
     let mut report = LabReport::default();
     for scenario in registry() {
-        report.runs.push(scenario.execute(&ctx));
+        report.runs.push(scenario.execute(&ctx).into());
     }
     assert_eq!(report.runs.len(), LEGACY_EXPERIMENTS.len() + OBSERVER_SCENARIOS.len());
     assert!(report.passed(), "quick-mode paper-claim invariants failed: {:?}", report.failures());

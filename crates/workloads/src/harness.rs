@@ -60,6 +60,53 @@ impl std::fmt::Display for TrialError {
 
 impl std::error::Error for TrialError {}
 
+/// A structured execution failure: what [`run_workload`](crate::ipc::run_workload)
+/// and `run_plan` used to express as a panic, as data.
+///
+/// Campaign layers thread this through `try_*` entry points so one
+/// pathological workload or plan degrades to a reported `failed` entry in
+/// the campaign artifact instead of unwinding through the whole run. The
+/// panicking entry points still exist; they delegate to the `try_*` form
+/// and panic with this error's `Display` rendering, so `catch_unwind`
+/// call sites recover the same message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The cycle budget elapsed before the program committed a halt.
+    CycleBudgetExceeded {
+        /// What was running (kernel name, plan label, …).
+        what: String,
+        /// The cycle budget that elapsed.
+        budget: u64,
+        /// Instructions committed when the budget ran out.
+        committed: u64,
+    },
+    /// Control flow wedged: the program can no longer make progress.
+    NoHalt {
+        /// What was running.
+        what: String,
+        /// What the core reported when it gave up.
+        detail: String,
+    },
+    /// The run panicked; the payload was captured by a harness boundary.
+    Panic(TrialError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::CycleBudgetExceeded { what, budget, committed } => write!(
+                f,
+                "cycle budget exceeded: {what} committed {committed} instruction(s) \
+                 in {budget} cycles without halting"
+            ),
+            RunError::NoHalt { what, detail } => write!(f, "{what} cannot halt: {detail}"),
+            RunError::Panic(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     payload
         .downcast_ref::<&str>()
@@ -79,9 +126,32 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    try_parallel_map_with(items, threads, f, |_, _| {})
+}
+
+/// [`try_parallel_map`] with a completion hook: `on_done(i, &result)` runs
+/// on the worker thread immediately after trial `i` finishes, in whatever
+/// order trials complete. Campaign journals hang off this hook — each
+/// completed trial is durably recorded the moment it exists, so a killed
+/// campaign loses at most the in-flight trials. The hook must be cheap and
+/// must not panic; results are still returned in input order.
+pub fn try_parallel_map_with<T, R, F, D>(
+    items: &[T],
+    threads: usize,
+    f: F,
+    on_done: D,
+) -> Vec<Result<R, TrialError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    D: Fn(usize, &Result<R, TrialError>) + Sync,
+{
     let run_one = |i: usize, item: &T| {
-        catch_unwind(AssertUnwindSafe(|| f(i, item)))
-            .map_err(|payload| TrialError { index: i, message: panic_message(payload) })
+        let result = catch_unwind(AssertUnwindSafe(|| f(i, item)))
+            .map_err(|payload| TrialError { index: i, message: panic_message(payload) });
+        on_done(i, &result);
+        result
     };
     let n = items.len();
     if n == 0 {
@@ -350,6 +420,94 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn try_parallel_map_collects_simultaneous_panics_stably() {
+        // Many shard threads panicking at once: every TrialError is
+        // collected, and the full (index, message) sequence is identical
+        // no matter how the work was sharded.
+        let items: Vec<u64> = (0..64).collect();
+        let run = |threads: usize| {
+            try_parallel_map(&items, threads, |_, &x| {
+                assert!(x % 8 != 0, "trial {x} exploded");
+                x + 1
+            })
+        };
+        let reference = run(1);
+        let errors: Vec<(usize, String)> = reference
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .map(|e| (e.index, e.message.clone()))
+            .collect();
+        assert_eq!(errors.len(), 8, "all eight simultaneous panics are data");
+        assert!(errors.windows(2).all(|w| w[0].0 < w[1].0), "errors sit at ascending indices");
+        assert_eq!(errors[0].0, 0, "the lowest panicking index is first");
+        for threads in [2, 4, 8, 16] {
+            let sharded = run(threads);
+            assert_eq!(sharded, reference, "results invariant at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_map_reraises_lowest_index_among_simultaneous_panics() {
+        let items: Vec<u64> = (0..32).collect();
+        for threads in [1, 4] {
+            let caught = std::panic::catch_unwind(|| {
+                parallel_map(&items, threads, |_, &x| {
+                    assert!(!(10..20).contains(&x), "trial {x} exploded");
+                    x
+                })
+            });
+            let payload = caught.expect_err("panicking trials must propagate");
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("parallel_map re-panics with a formatted message");
+            assert!(
+                message.starts_with("trial 10 panicked"),
+                "lowest index wins at {threads} threads: {message}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_parallel_map_with_reports_every_completion() {
+        use std::sync::Mutex;
+        let items: Vec<u64> = (0..20).collect();
+        for threads in [1, 4] {
+            let seen = Mutex::new(Vec::new());
+            let results = try_parallel_map_with(
+                &items,
+                threads,
+                |_, &x| {
+                    assert!(x != 7, "trial {x} exploded");
+                    x * 3
+                },
+                |i, r| seen.lock().unwrap().push((i, r.is_ok())),
+            );
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort_unstable();
+            let expected: Vec<(usize, bool)> = (0..20).map(|i| (i, i != 7)).collect();
+            assert_eq!(seen, expected, "the hook fires exactly once per trial");
+            assert_eq!(results[3], Ok(9));
+            assert!(results[7].is_err());
+        }
+    }
+
+    #[test]
+    fn run_error_displays_each_variant() {
+        let budget =
+            RunError::CycleBudgetExceeded { what: "lbm".to_string(), budget: 1000, committed: 42 };
+        assert_eq!(
+            budget.to_string(),
+            "cycle budget exceeded: lbm committed 42 instruction(s) in 1000 cycles without halting"
+        );
+        let wedged =
+            RunError::NoHalt { what: "plan 3".to_string(), detail: "pipeline wedged".to_string() };
+        assert_eq!(wedged.to_string(), "plan 3 cannot halt: pipeline wedged");
+        let panic = RunError::Panic(TrialError { index: 2, message: "boom".to_string() });
+        assert_eq!(panic.to_string(), "trial 2 panicked: boom");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use specrun_cpu::probe::{NoopObserver, PipelineObserver};
 use specrun_cpu::{Core, CpuConfig, RunExit};
 
+use crate::harness::RunError;
 use crate::kernels::Workload;
 
 /// Default iteration count giving runs of roughly 10⁵ cycles per kernel.
@@ -26,9 +27,20 @@ pub struct IpcResult {
 ///
 /// # Panics
 ///
-/// Panics if the kernel does not halt within the cycle budget.
+/// Panics if the kernel does not halt within the cycle budget. Campaign
+/// paths that must survive a pathological kernel use [`try_run_workload`].
 pub fn run_workload(workload: &Workload, config: CpuConfig, max_cycles: u64) -> IpcResult {
     run_workload_timed(workload, config, max_cycles).0
+}
+
+/// Fallible [`run_workload`]: a kernel that exhausts its cycle budget (or
+/// wedges) comes back as a structured [`RunError`] instead of a panic.
+pub fn try_run_workload(
+    workload: &Workload,
+    config: CpuConfig,
+    max_cycles: u64,
+) -> Result<IpcResult, RunError> {
+    try_run_workload_observed(workload, config, max_cycles, NoopObserver).map(|(r, _, _)| r)
 }
 
 /// [`run_workload`], additionally returning the wall-clock seconds spent in
@@ -57,13 +69,29 @@ pub fn run_workload_timed(
 ///
 /// # Panics
 ///
-/// Panics if the kernel does not halt within the cycle budget.
+/// Panics if the kernel does not halt within the cycle budget. Campaign
+/// paths use [`try_run_workload_observed`] and degrade gracefully.
 pub fn run_workload_observed<O: PipelineObserver>(
     workload: &Workload,
     config: CpuConfig,
     max_cycles: u64,
     observer: O,
 ) -> (IpcResult, f64, O) {
+    try_run_workload_observed(workload, config, max_cycles, observer)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_workload_observed`]: the root runner every other entry
+/// point reduces to. A kernel that exhausts its cycle budget or wedges is
+/// returned as a [`RunError`] carrying the kernel name and the stats at
+/// the point the core gave up — a campaign records it as a failed entry
+/// and moves on.
+pub fn try_run_workload_observed<O: PipelineObserver>(
+    workload: &Workload,
+    config: CpuConfig,
+    max_cycles: u64,
+    observer: O,
+) -> Result<(IpcResult, f64, O), RunError> {
     let mut core = Core::with_observer(config, observer);
     for (addr, bytes) in &workload.setup {
         core.mem_mut().write_bytes(*addr, bytes);
@@ -72,7 +100,22 @@ pub fn run_workload_observed<O: PipelineObserver>(
     let start = std::time::Instant::now();
     let exit = core.run(max_cycles);
     let secs = start.elapsed().as_secs_f64();
-    assert_eq!(exit, RunExit::Halted, "{} did not halt (stats: {})", workload.name, core.stats());
+    match exit {
+        RunExit::Halted => {}
+        RunExit::CycleLimit => {
+            return Err(RunError::CycleBudgetExceeded {
+                what: workload.name.to_string(),
+                budget: max_cycles,
+                committed: core.stats().committed,
+            });
+        }
+        RunExit::Wedged => {
+            return Err(RunError::NoHalt {
+                what: workload.name.to_string(),
+                detail: format!("core wedged (stats: {})", core.stats()),
+            });
+        }
+    }
     let stats = core.stats();
     let result = IpcResult {
         committed: stats.committed,
@@ -80,7 +123,7 @@ pub fn run_workload_observed<O: PipelineObserver>(
         ipc: stats.ipc(),
         runahead_entries: stats.runahead_entries,
     };
-    (result, secs, core.into_observer())
+    Ok((result, secs, core.into_observer()))
 }
 
 /// One Fig. 7 bar pair: a kernel's IPC without and with runahead.
@@ -209,6 +252,27 @@ mod tests {
     #[test]
     fn geomean_of_identities_is_one() {
         assert!((geomean_speedup(&[]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_structured_error_not_a_panic() {
+        use crate::harness::RunError;
+        let w = kernels::lbm(200);
+        let err = try_run_workload(&w, CpuConfig::no_runahead(), 50)
+            .expect_err("50 cycles cannot finish lbm");
+        match err {
+            RunError::CycleBudgetExceeded { what, budget, .. } => {
+                assert_eq!(what, w.name);
+                assert_eq!(budget, 50);
+            }
+            other => panic!("expected CycleBudgetExceeded, got {other:?}"),
+        }
+        // The panicking wrapper raises the same rendering, so catch_unwind
+        // call sites see an identical message.
+        let caught = std::panic::catch_unwind(|| run_workload(&w, CpuConfig::no_runahead(), 50))
+            .expect_err("wrapper must panic");
+        let message = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("cycle budget exceeded"), "{message}");
     }
 
     #[test]

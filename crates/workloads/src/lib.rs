@@ -25,10 +25,13 @@ pub mod plan;
 pub mod rng;
 
 pub use fuzz::shrink_plan;
-pub use harness::{parallel_map, try_parallel_map, ConfigMatrix, Summary, TrialError, TrialSpec};
+pub use harness::{
+    parallel_map, try_parallel_map, try_parallel_map_with, ConfigMatrix, RunError, Summary,
+    TrialError, TrialSpec,
+};
 pub use ipc::{
-    compare, compare_with, geomean_speedup, run_workload_observed, IpcComparison, IpcResult,
-    DEFAULT_ITERS,
+    compare, compare_with, geomean_speedup, run_workload_observed, try_run_workload,
+    try_run_workload_observed, IpcComparison, IpcResult, DEFAULT_ITERS,
 };
 pub use kernels::Workload;
 pub use metrics::{MetricSet, MetricSource};
