@@ -41,7 +41,10 @@ pub mod session;
 pub mod window;
 
 pub use machine::Machine;
-pub use plan::{config_for, layout_for, poc_config_for, run_plan, try_run_plan, PlanOutcome};
+pub use plan::{
+    config_for, layout_for, poc_config_for, run_plan, try_run_plan, try_run_plan_governed,
+    PlanOutcome,
+};
 pub use session::{Policy, Session, SessionBuilder};
 
 /// Commonly used items, for glob import in examples and tests.

@@ -15,7 +15,7 @@
 //! session's execution substrate.
 
 use specrun_cpu::probe::{NoopObserver, PipelineObserver};
-use specrun_cpu::{Core, CpuConfig, RunExit};
+use specrun_cpu::{CancelToken, Core, CpuConfig, RunExit};
 use specrun_isa::{IntReg, Program};
 use specrun_mem::HitLevel;
 
@@ -26,12 +26,13 @@ pub struct Machine<O: PipelineObserver = NoopObserver> {
     core: Core<O>,
     last_exit: Option<RunExit>,
     first_non_halt: Option<(RunExit, u64)>,
+    cancel: Option<CancelToken>,
 }
 
 impl Machine {
     /// Creates a detached machine from an explicit configuration.
     pub fn new(config: CpuConfig) -> Machine {
-        Machine { core: Core::new(config), last_exit: None, first_non_halt: None }
+        Machine { core: Core::new(config), last_exit: None, first_non_halt: None, cancel: None }
     }
 }
 
@@ -42,7 +43,16 @@ impl<O: PipelineObserver> Machine<O> {
             core: Core::with_observer(config, observer),
             last_exit: None,
             first_non_halt: None,
+            cancel: None,
         }
+    }
+
+    /// Attaches a supervisor [`CancelToken`]: every subsequent run is
+    /// governed — it publishes heartbeats and stops with
+    /// [`RunExit::Cancelled`] when the token trips. `None` detaches, and a
+    /// detached machine runs the exact zero-cost ungoverned loop.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
     }
 
     /// Loads a program (resets architectural state only; see module docs).
@@ -52,7 +62,12 @@ impl<O: PipelineObserver> Machine<O> {
 
     /// Runs until `halt` or the cycle budget is exhausted.
     pub fn run(&mut self, max_cycles: u64) -> RunExit {
-        let exit = self.core.run(max_cycles);
+        // One branch per run call, not per cycle: the governed loop is a
+        // separate monomorphization, so the default path stays zero-cost.
+        let exit = match self.cancel.clone() {
+            Some(token) => self.core.run_governed(max_cycles, &token),
+            None => self.core.run(max_cycles),
+        };
         self.last_exit = Some(exit);
         if exit != RunExit::Halted && self.first_non_halt.is_none() {
             self.first_non_halt = Some((exit, max_cycles));
@@ -217,6 +232,25 @@ mod tests {
         assert_eq!(m.run_program(&b.build().unwrap(), 1000), RunExit::Halted);
         assert_eq!(m.last_exit(), Some(RunExit::Halted));
         assert_eq!(m.first_non_halt(), Some((RunExit::CycleLimit, 64)));
+    }
+
+    #[test]
+    fn attached_token_cancels_and_detaching_restores_plain_runs() {
+        use specrun_cpu::{CancelReason, CancelToken};
+        let mut m = Machine::new(CpuConfig::no_runahead());
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Deadline);
+        m.set_cancel_token(Some(token.clone()));
+        let mut b = ProgramBuilder::new(0x100);
+        b.label("spin");
+        b.jump("spin");
+        let spin = b.build().unwrap();
+        assert_eq!(m.run_program(&spin, 1_000_000), RunExit::Cancelled);
+        assert!(token.beat_cycle() > 0, "the cancelling checkpoint published a heartbeat");
+        assert_eq!(m.first_non_halt(), Some((RunExit::Cancelled, 1_000_000)));
+        m.set_cancel_token(None);
+        m.acknowledge_non_halt();
+        assert_eq!(m.run_program(&spin, 64), RunExit::CycleLimit, "detached runs are ungoverned");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! driving the right PoC flavour with the ground-truth observers attached.
 
 use specrun_cpu::probe::CountingObserver;
-use specrun_cpu::{CpuConfig, CpuStats, RunExit, RunaheadPolicy};
+use specrun_cpu::{CancelToken, CpuConfig, CpuStats, RunExit, RunaheadPolicy};
 use specrun_workloads::harness::RunError;
 use specrun_workloads::plan::{GadgetKind, Plan, PlanPolicy};
 
@@ -119,6 +119,18 @@ pub fn run_plan(plan: &Plan) -> PlanOutcome {
 /// failed entry and keep going. Panics inside the simulator still
 /// propagate (the harness boundary catches those).
 pub fn try_run_plan(plan: &Plan) -> Result<PlanOutcome, RunError> {
+    try_run_plan_governed(plan, None)
+}
+
+/// [`try_run_plan`] under a supervisor [`CancelToken`]: every program run
+/// publishes heartbeats through the token and stops cooperatively when it
+/// trips, surfacing as [`RunError::Cancelled`] (the supervisor reclassifies
+/// that into a deadline or stall verdict using the token's recorded
+/// reason). `None` is exactly [`try_run_plan`].
+pub fn try_run_plan_governed(
+    plan: &Plan,
+    token: Option<CancelToken>,
+) -> Result<PlanOutcome, RunError> {
     let layout = layout_for(plan);
     let config = config_for(plan);
     let tracer = leak_trace_for(&layout, &config);
@@ -127,6 +139,7 @@ pub fn try_run_plan(plan: &Plan) -> Result<PlanOutcome, RunError> {
         .layout(layout)
         .observer((CountingObserver::default(), tracer))
         .build();
+    session.machine_mut().set_cancel_token(token);
     for w in &plan.warm {
         session.warm(w.addr, w.len);
     }
@@ -146,6 +159,9 @@ pub fn try_run_plan(plan: &Plan) -> Result<PlanOutcome, RunError> {
                 budget,
                 committed: stats.committed,
             });
+        }
+        Some((RunExit::Cancelled, _)) => {
+            return Err(RunError::Cancelled { what: what(), committed: stats.committed });
         }
         Some((exit, _)) => {
             return Err(RunError::NoHalt {

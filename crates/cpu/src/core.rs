@@ -39,6 +39,10 @@ pub enum RunExit {
     /// (e.g. an indirect jump to an unmapped address); no further progress
     /// is possible.
     Wedged,
+    /// A [`RunGovernor`](crate::cancel::RunGovernor) checkpoint asked the
+    /// run to stop ([`Core::run_governed`]); state is consistent and the
+    /// run could in principle be continued.
+    Cancelled,
 }
 
 /// Execution mode of the core.
@@ -384,8 +388,24 @@ impl<O: PipelineObserver> Core<O> {
     /// Runs until `halt` commits, progress becomes impossible, or
     /// `max_cycles` cycles elapse.
     pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        self.run_governed(max_cycles, &crate::cancel::NeverCancel)
+    }
+
+    /// [`Core::run`] under a [`RunGovernor`](crate::cancel::RunGovernor):
+    /// every [`CHECK_INTERVAL_CYCLES`](crate::cancel::CHECK_INTERVAL_CYCLES)
+    /// simulated cycles the governor is polled (publishing a heartbeat) and
+    /// may stop the run with [`RunExit::Cancelled`]. With a statically
+    /// inactive governor (`G::ACTIVE == false` — the [`Core::run`] default)
+    /// the checkpoint site compiles away entirely, so the ungoverned loop
+    /// pays nothing; the perf gate enforces that.
+    pub fn run_governed<G: crate::cancel::RunGovernor>(
+        &mut self,
+        max_cycles: u64,
+        governor: &G,
+    ) -> RunExit {
         let limit = self.cycle.saturating_add(max_cycles);
         let mut exit = RunExit::CycleLimit;
+        let mut next_check = self.cycle.saturating_add(crate::cancel::CHECK_INTERVAL_CYCLES);
         while !self.halted && self.cycle < limit {
             self.step();
             if self.fetch_halted
@@ -396,6 +416,15 @@ impl<O: PipelineObserver> Core<O> {
             {
                 exit = RunExit::Wedged;
                 break;
+            }
+            // `>=` rather than `==`: fast-forward can jump the cycle
+            // counter past the threshold in one step.
+            if G::ACTIVE && self.cycle >= next_check {
+                if governor.checkpoint(self.cycle, self.stats.committed) {
+                    exit = RunExit::Cancelled;
+                    break;
+                }
+                next_check = self.cycle.saturating_add(crate::cancel::CHECK_INTERVAL_CYCLES);
             }
             if self.cfg.fast_forward && self.cycle >= self.ff_probe_at {
                 self.fast_forward(limit);

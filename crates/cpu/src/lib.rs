@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod config;
 mod core;
 mod fu;
@@ -49,6 +50,7 @@ mod stats;
 mod taint;
 
 pub use crate::core::{Core, RunExit};
+pub use cancel::{CancelReason, CancelToken, NeverCancel, RunGovernor};
 pub use config::{
     CpuConfig, FuClass, FuConfig, RunaheadConfig, RunaheadPolicy, RunaheadTrigger, SecureConfig,
 };

@@ -10,23 +10,55 @@
 //! old-or-new artifacts instead of truncated hybrids, byte-identical
 //! reports after `--resume`.
 //!
-//! Faults are injected at two seams:
+//! Faults are injected at three seams:
 //!
-//! * [`ChaosSink`](crate::sink::ChaosSink) — numbered IO operations fail
+//! * [`ChaosSink`] — numbered IO operations fail
 //!   (optionally leaving a torn temp file) at the artifact boundary;
-//! * [`FuzzOptions::chaos_panic_plans`] — named plan evaluations panic at
-//!   the trial boundary.
+//! * [`FuzzOptions::chaos_panic_plans`] (and its flaky/sick siblings) —
+//!   named plan evaluations fail at the trial boundary;
+//! * [`ChaosClock`] — virtual time at the supervision boundary, so the
+//!   hung-unit, slow-unit, retry and circuit-breaker drills march wall
+//!   clocks forward deterministically instead of sleeping.
 //!
 //! Everything is derived from the chaos seed; drills use one worker
-//! thread so IO operation numbering is reproducible run to run.
+//! thread so IO operation numbering (and supervision outcome ordering) is
+//! reproducible run to run.
 
 use std::path::{Path, PathBuf};
 
+use specrun_workloads::clock::ChaosClock;
 use specrun_workloads::harness::RunError;
 use specrun_workloads::plan::Plan;
+use specrun_workloads::supervisor::{supervised_map_with, SupervisorConfig, UnitOutcome};
 
 use crate::fuzz::{self, FuzzOptions, RUN_ERROR_VIOLATION};
 use crate::sink::{tmp_path, ArtifactSink, ChaosSink, FsSink};
+
+/// Every drill, in execution order. `--drill NAME` validates against this
+/// list; the supervision self-test in CI runs a subset of it.
+pub const DRILL_NAMES: &[&str] = &[
+    "panic_isolation",
+    "budget_exhaustion",
+    "report_write_failure",
+    "torn_temp_write",
+    "torn_journal_tail",
+    "digest_corruption",
+    "stalled_unit",
+    "deadline_overrun",
+    "quarantine_identical_failure",
+    "transient_flake_retry",
+    "breaker_trip_resume",
+];
+
+/// The drills that compare against the uninterrupted reference report (the
+/// reference campaign is only built when one of these is selected).
+const REFERENCE_DRILLS: &[&str] = &[
+    "report_write_failure",
+    "torn_temp_write",
+    "torn_journal_tail",
+    "transient_flake_retry",
+    "breaker_trip_resume",
+];
 
 /// Options of a chaos run (the `specrun-lab chaos` arguments).
 #[derive(Debug, Clone)]
@@ -38,11 +70,13 @@ pub struct ChaosOptions {
     /// Scratch directory (default: a per-process temp dir, removed when
     /// every drill passes).
     pub dir: Option<PathBuf>,
+    /// Drill names to run (empty = all, in [`DRILL_NAMES`] order).
+    pub drills: Vec<String>,
 }
 
 impl Default for ChaosOptions {
     fn default() -> ChaosOptions {
-        ChaosOptions { quick: false, seed: fuzz::DEFAULT_FUZZ_SEED, dir: None }
+        ChaosOptions { quick: false, seed: fuzz::DEFAULT_FUZZ_SEED, dir: None, drills: Vec::new() }
     }
 }
 
@@ -256,6 +290,165 @@ fn drill_digest_corruption(opts: &ChaosOptions, dir: &Path) -> DrillResult {
     Ok("digest mismatch on a complete entry refused with exit 2".to_string())
 }
 
+/// A unit that hangs — it spins without ever publishing a heartbeat — must
+/// be cancelled by the monitor and classified as *stalled*, not merely
+/// slow. Virtual time makes the verdict instant and deterministic: no
+/// deadline is armed, so only the no-heartbeat window can fire.
+fn drill_stalled_unit() -> DrillResult {
+    let clock = ChaosClock::new();
+    let cfg = SupervisorConfig { stall_ms: 50, poll_ms: 5, ..SupervisorConfig::default() };
+    let items = [0u64];
+    let report = supervised_map_with(
+        &items,
+        1,
+        &cfg,
+        &clock,
+        |i, _, ctx| -> Result<u64, RunError> {
+            // A hung unit: cooperative cancel polls, zero heartbeats.
+            while !ctx.token.is_cancelled() {
+                ctx.clock.sleep_ms(1);
+            }
+            Err(RunError::Cancelled { what: format!("unit {i}"), committed: 0 })
+        },
+        |_, _| {},
+    );
+    match &report.outcomes[0] {
+        UnitOutcome::Failed { error: RunError::Stalled { stall_ms: 50, .. }, .. } => {
+            Ok("hung unit cancelled and classified as stalled on the virtual clock".to_string())
+        }
+        other => Err(format!("expected a Stalled classification, got {other:?}")),
+    }
+}
+
+/// A unit that is slow but demonstrably progressing (heartbeats advance
+/// every virtual millisecond) must be classified as a *deadline* overrun,
+/// never a stall — the stall window is set far beyond the deadline so the
+/// distinction is what is under test.
+fn drill_deadline_overrun() -> DrillResult {
+    let clock = ChaosClock::new();
+    let cfg = SupervisorConfig {
+        deadline_ms: 50,
+        stall_ms: 5000,
+        poll_ms: 5,
+        ..SupervisorConfig::default()
+    };
+    let items = [0u64];
+    let report = supervised_map_with(
+        &items,
+        1,
+        &cfg,
+        &clock,
+        |i, _, ctx| -> Result<u64, RunError> {
+            let mut committed = 0;
+            while !ctx.token.is_cancelled() {
+                committed += 1;
+                ctx.token.beat(committed, committed);
+                ctx.clock.sleep_ms(1);
+            }
+            Err(RunError::Cancelled { what: format!("unit {i}"), committed })
+        },
+        |_, _| {},
+    );
+    match &report.outcomes[0] {
+        UnitOutcome::Failed {
+            error: RunError::DeadlineExceeded { deadline_ms: 50, committed, .. },
+            ..
+        } if *committed > 0 => {
+            Ok("progressing unit past its budget classified as a deadline overrun".to_string())
+        }
+        other => Err(format!("expected a DeadlineExceeded classification, got {other:?}")),
+    }
+}
+
+/// A plan failing *identically* on every attempt must be quarantined after
+/// exactly two attempts — a generous retry budget must not be burned on a
+/// deterministic failure.
+fn drill_quarantine_identical_failure(opts: &ChaosOptions, dir: &Path) -> DrillResult {
+    let mut fo = drill_opts(opts, dir);
+    fo.chaos_sick_plans = vec![1];
+    fo.retries = 5;
+    let result = fuzz::campaign(&fo);
+    if result.quarantined != 1 {
+        return Err(format!("expected 1 quarantined plan, saw {}", result.quarantined));
+    }
+    let case = result
+        .failures
+        .iter()
+        .find(|f| f.plan_index == 1)
+        .ok_or("the quarantined plan is missing from the failures")?;
+    let detail = case.details.first().map(|v| v.detail.as_str()).unwrap_or_default();
+    if !detail.contains("quarantined after 2 attempt(s)") {
+        return Err(format!("expected quarantine after exactly 2 attempts, got: {detail}"));
+    }
+    if !result.report.contains("\"quarantined\": 1") {
+        return Err("report does not record the quarantine tally".to_string());
+    }
+    Ok("identically failing plan quarantined after 2 of 6 allowed attempts".to_string())
+}
+
+/// A transient flake (first attempt fails with an IO error, later attempts
+/// are clean) must heal through retry and leave **byte-identical**
+/// artifacts — retries may cost wall-clock time but never change results.
+fn drill_transient_flake_retry(opts: &ChaosOptions, dir: &Path, reference: &str) -> DrillResult {
+    let mut fo = drill_opts(opts, dir);
+    fo.chaos_flaky_plans = vec![1];
+    fo.retries = 2;
+    let code = fuzz::run_with(&fo, &FsSink);
+    if code != 0 {
+        return Err(format!("flaky campaign exited {code}, expected a healed 0"));
+    }
+    if read(&fo.report_path)? != reference {
+        return Err("healed report differs from the uninterrupted reference".to_string());
+    }
+    Ok("transient flake healed on retry; report byte-identical to the reference".to_string())
+}
+
+/// Once the failure rate crosses the threshold the breaker must stop
+/// launching plans and drain into an explicitly partial report (exit 1,
+/// skipped plans counted, journal kept); a later `--resume` with the cause
+/// fixed completes the campaign byte-identically to the reference.
+fn drill_breaker_trip_resume(opts: &ChaosOptions, dir: &Path, reference: &str) -> DrillResult {
+    let mut fo = drill_opts(opts, dir);
+    fo.chaos_sick_plans = vec![0, 1];
+    fo.max_failure_rate = 0.3;
+    fo.breaker_min_units = 2;
+    let code = fuzz::run_with(&fo, &FsSink);
+    if code != 1 {
+        return Err(format!("tripped campaign exited {code}, expected 1"));
+    }
+    let skipped = fo.plans - 2;
+    let body = read(&fo.report_path)?;
+    if !body.contains("\"breaker_tripped\": true") {
+        return Err("partial report does not record the breaker trip".to_string());
+    }
+    if !body.contains(&format!("\"skipped_plans\": {skipped}")) {
+        return Err(format!("partial report does not count {skipped} skipped plan(s)"));
+    }
+    if !fo.journal_path().exists() {
+        return Err("the journal was discarded after a breaker trip".to_string());
+    }
+    let journal = read(&fo.journal_path())?;
+    for i in 2..fo.plans {
+        if journal.contains(&format!("plan:{i} ")) {
+            return Err(format!("skipped plan {i} was journaled; a resume would not re-run it"));
+        }
+    }
+    // The cause fixed (no sick plans), --resume completes the campaign.
+    let mut resumed = drill_opts(opts, dir);
+    resumed.resume = true;
+    let code = fuzz::run_with(&resumed, &FsSink);
+    if code != 0 {
+        return Err(format!("resume after the trip exited {code}, expected 0"));
+    }
+    if read(&fo.report_path)? != reference {
+        return Err("resumed report differs from the uninterrupted reference".to_string());
+    }
+    Ok(format!(
+        "breaker tripped after 2 failures, {skipped} plan(s) drained to skipped; \
+         resume completed the campaign byte for byte"
+    ))
+}
+
 /// Runs every chaos drill and returns the process exit code: 0 when all
 /// recovery paths behave, 1 when any drill fails, 2 when the harness
 /// cannot even set up.
@@ -267,65 +460,78 @@ pub fn run(opts: &ChaosOptions) -> i32 {
         eprintln!("error: cannot create {}: {e}", root.display());
         return 2;
     }
+    let want = |name: &str| opts.drills.is_empty() || opts.drills.iter().any(|d| d == name);
+    let selected: Vec<&str> = DRILL_NAMES.iter().copied().filter(|n| want(n)).collect();
     println!(
-        "chaos: {} drills, seed {:#x}, {} plans per campaign, scratch {}",
-        6,
+        "chaos: {} drill(s), seed {:#x}, {} plans per campaign, scratch {}",
+        selected.len(),
         opts.seed,
         drill_plans(opts.quick),
         root.display()
     );
 
-    // The uninterrupted reference every recovery drill must reproduce.
-    let ref_dir = root.join("reference");
-    if let Err(e) = std::fs::create_dir_all(&ref_dir) {
-        eprintln!("error: cannot create {}: {e}", ref_dir.display());
-        return 2;
-    }
-    let ref_opts = drill_opts(opts, &ref_dir);
-    if fuzz::run_with(&ref_opts, &FsSink) != 0 {
-        eprintln!(
-            "error: the reference campaign (seed {:#x}) does not pass cleanly; \
-             chaos drills need a green baseline",
-            opts.seed
-        );
-        return 2;
-    }
-    let reference = match std::fs::read_to_string(&ref_opts.report_path) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: cannot read reference report: {e}");
+    // The uninterrupted reference the recovery drills must reproduce —
+    // built only when a selected drill compares against it, so the pure
+    // supervision drills (CI's hang self-test) stay fast.
+    let mut reference = String::new();
+    if REFERENCE_DRILLS.iter().any(|n| want(n)) {
+        let ref_dir = root.join("reference");
+        if let Err(e) = std::fs::create_dir_all(&ref_dir) {
+            eprintln!("error: cannot create {}: {e}", ref_dir.display());
             return 2;
         }
-    };
+        let ref_opts = drill_opts(opts, &ref_dir);
+        if fuzz::run_with(&ref_opts, &FsSink) != 0 {
+            eprintln!(
+                "error: the reference campaign (seed {:#x}) does not pass cleanly; \
+                 chaos drills need a green baseline",
+                opts.seed
+            );
+            return 2;
+        }
+        reference = match std::fs::read_to_string(&ref_opts.report_path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: cannot read reference report: {e}");
+                return 2;
+            }
+        };
+    }
 
-    let drills: Vec<(&str, DrillResult)> = vec![
-        ("panic_isolation", {
-            let d = root.join("panic");
-            std::fs::create_dir_all(&d).unwrap();
-            drill_panic_isolation(opts, &d)
-        }),
-        ("budget_exhaustion", drill_budget_exhaustion(opts)),
-        ("report_write_failure", {
-            let d = root.join("write_fail");
-            std::fs::create_dir_all(&d).unwrap();
-            drill_report_write_failure(opts, &d, &reference)
-        }),
-        ("torn_temp_write", {
-            let d = root.join("torn_write");
-            std::fs::create_dir_all(&d).unwrap();
-            drill_torn_temp_write(opts, &d, &reference)
-        }),
-        ("torn_journal_tail", {
-            let d = root.join("torn_tail");
-            std::fs::create_dir_all(&d).unwrap();
-            drill_torn_journal_tail(opts, &d, &reference)
-        }),
-        ("digest_corruption", {
-            let d = root.join("digest");
-            std::fs::create_dir_all(&d).unwrap();
-            drill_digest_corruption(opts, &d)
-        }),
-    ];
+    let scratch_for = |tag: &str| -> Result<PathBuf, String> {
+        let d = root.join(tag);
+        std::fs::create_dir_all(&d).map_err(|e| format!("cannot create {}: {e}", d.display()))?;
+        Ok(d)
+    };
+    let mut drills: Vec<(&str, DrillResult)> = Vec::new();
+    for name in selected {
+        let outcome =
+            match name {
+                "panic_isolation" => {
+                    scratch_for("panic").and_then(|d| drill_panic_isolation(opts, &d))
+                }
+                "budget_exhaustion" => drill_budget_exhaustion(opts),
+                "report_write_failure" => scratch_for("write_fail")
+                    .and_then(|d| drill_report_write_failure(opts, &d, &reference)),
+                "torn_temp_write" => scratch_for("torn_write")
+                    .and_then(|d| drill_torn_temp_write(opts, &d, &reference)),
+                "torn_journal_tail" => scratch_for("torn_tail")
+                    .and_then(|d| drill_torn_journal_tail(opts, &d, &reference)),
+                "digest_corruption" => {
+                    scratch_for("digest").and_then(|d| drill_digest_corruption(opts, &d))
+                }
+                "stalled_unit" => drill_stalled_unit(),
+                "deadline_overrun" => drill_deadline_overrun(),
+                "quarantine_identical_failure" => scratch_for("quarantine")
+                    .and_then(|d| drill_quarantine_identical_failure(opts, &d)),
+                "transient_flake_retry" => scratch_for("flake")
+                    .and_then(|d| drill_transient_flake_retry(opts, &d, &reference)),
+                "breaker_trip_resume" => scratch_for("breaker")
+                    .and_then(|d| drill_breaker_trip_resume(opts, &d, &reference)),
+                other => Err(format!("drill {other} is named in DRILL_NAMES but not dispatched")),
+            };
+        drills.push((name, outcome));
+    }
 
     let mut failed = 0u32;
     println!();
@@ -377,10 +583,42 @@ mod tests {
     }
 
     #[test]
+    fn supervision_drills_pass_standalone() {
+        drill_stalled_unit().unwrap();
+        drill_deadline_overrun().unwrap();
+        let opts = ChaosOptions { quick: true, ..ChaosOptions::default() };
+        let dir = scratch("quarantine");
+        let outcome = drill_quarantine_identical_failure(&opts, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        outcome.unwrap();
+    }
+
+    #[test]
+    fn drill_filter_runs_the_named_subset_only() {
+        let dir = scratch("filter");
+        let opts = ChaosOptions {
+            quick: true,
+            dir: Some(dir.clone()),
+            drills: vec!["stalled_unit".to_string(), "deadline_overrun".to_string()],
+            ..ChaosOptions::default()
+        };
+        assert_eq!(run(&opts), 0, "the supervision subset must recover");
+        assert!(
+            !dir.join("reference").exists(),
+            "pure supervision drills must not build the reference campaign"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn full_chaos_run_is_clean() {
         let dir = scratch("full");
-        let opts =
-            ChaosOptions { quick: true, seed: fuzz::DEFAULT_FUZZ_SEED, dir: Some(dir.clone()) };
+        let opts = ChaosOptions {
+            quick: true,
+            seed: fuzz::DEFAULT_FUZZ_SEED,
+            dir: Some(dir.clone()),
+            drills: Vec::new(),
+        };
         assert_eq!(run(&opts), 0, "every drill must recover");
         let _ = std::fs::remove_dir_all(&dir);
     }

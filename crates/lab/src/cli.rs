@@ -24,6 +24,8 @@ use crate::registry::{find, registry};
 use crate::report::{LabEntry, LabReport};
 use crate::scenario::RunContext;
 use crate::sink::FsSink;
+use specrun_workloads::clock::{Clock, WallClock};
+use specrun_workloads::supervisor::backoff_ms;
 
 const USAGE: &str = "\
 specrun-lab — declarative campaign runner for the SPECRUN paper artifacts
@@ -32,12 +34,14 @@ USAGE:
     specrun-lab list
     specrun-lab run [SCENARIO ...] [--all] [--quick] [--threads N] [--seed N]
                     [--artifacts-dir DIR] [--no-artifacts] [--resume]
+                    [--deadline-ms N] [--retries N]
     specrun-lab perf [--quick] [--baseline PATH | --baseline-from-git] [--max-drop F]
                      [--repeats N]
     specrun-lab fuzz [--plans N] [--seed N] [--shard-threads N] [--quick]
                      [--fail-dir DIR] [--report PATH] [--invert-invariant NAME]
                      [--replay FILE] [--list-invariants] [--resume] [--journal PATH]
-    specrun-lab chaos [--quick] [--seed N] [--dir DIR]
+                     [--deadline-ms N] [--retries N] [--max-failure-rate F]
+    specrun-lab chaos [--quick] [--seed N] [--dir DIR] [--drill NAME ...]
 
 COMMANDS:
     list    Print every registered scenario.
@@ -51,6 +55,12 @@ COMMANDS:
             <artifacts-dir>/LAB_report.journal as the campaign goes;
             after a crash, --resume skips the journaled passes and
             produces the same report bytes an uninterrupted run would.
+            --deadline-ms reports a scenario that outlives its wall-clock
+            budget as a deadline overrun (checked after the scenario
+            returns); --retries re-runs a failing scenario with a
+            deterministic seeded backoff, quarantining it after two
+            identical failures. Only final attempts are journaled, and no
+            wall-clock value enters the artifacts.
     perf    Wall-clock throughput benchmark (writes BENCH_step.json) with
             an optional perf-regression gate. The baseline is read before
             the new report is written; --baseline-from-git reads the
@@ -70,13 +80,28 @@ COMMANDS:
             writes byte-identical artifacts.
             --invert-invariant flips one predicate to self-test the
             failure pipeline. Exit 1 on violations, 2 on usage/IO errors.
+            Supervision: --deadline-ms cancels a plan cooperatively (the
+            simulator checkpoints every few thousand cycles) once it
+            outlives its wall-clock budget, heartbeats distinguish a slow
+            plan (deadline exceeded) from a hung one (stalled);
+            --retries re-runs supervision failures with a deterministic
+            seeded backoff, quarantining a plan that fails identically
+            twice; --max-failure-rate arms a campaign circuit breaker
+            that stops launching new plans and reports partial results
+            (resume with --resume after fixing the cause).
+            --chaos-flaky-plans I,J,… is a self-test hook failing those
+            plans' first attempt with a transient IO error, proving
+            retries heal byte-identically.
     chaos   Fault-injection drills for the recovery machinery itself:
             inject trial panics, starved cycle budgets, artifact-write
-            failures, torn temp files and journal corruption, and verify
-            each degrades exactly as documented (reported failures,
-            old-or-new artifacts, byte-identical resumed reports). Exit 0
-            when every drill recovers, 1 otherwise. --quick shrinks the
-            drill campaigns to the CI scale.
+            failures, torn temp files, journal corruption, hung and slow
+            units, transient flakes and breaker trips, and verify each
+            degrades exactly as documented (reported failures, old-or-new
+            artifacts, byte-identical resumed reports, deterministic
+            supervision verdicts on a virtual clock). Exit 0 when every
+            drill recovers, 1 otherwise. --quick shrinks the drill
+            campaigns to the CI scale; --drill NAME (repeatable) runs a
+            subset of the drills.
 ";
 
 /// Entry point for the `specrun-lab` binary. Returns the exit code.
@@ -174,10 +199,42 @@ fn parse_u64(v: &str) -> Result<u64, String> {
     parsed.map_err(|_| format!("invalid number {v}"))
 }
 
+/// Parses an explicit worker thread count. `0` is rejected — "auto" is
+/// spelled by omitting the flag, not by a zero that silently means
+/// something else — and so are counts past the harness ceiling (a typo'd
+/// `--threads 20000` must not spawn twenty thousand workers).
+fn parse_threads(v: &str) -> Result<usize, String> {
+    let n: usize = v.parse().map_err(|_| format!("invalid thread count {v}"))?;
+    if n == 0 {
+        return Err("thread count must be >= 1 (omit the flag to use every host core)".into());
+    }
+    if n > specrun_workloads::harness::MAX_THREADS {
+        return Err(format!(
+            "thread count {n} exceeds the ceiling of {}",
+            specrun_workloads::harness::MAX_THREADS
+        ));
+    }
+    Ok(n)
+}
+
+/// Parses a failure-rate threshold in `[0, 1]`.
+fn parse_rate(v: &str) -> Result<f64, String> {
+    let rate: f64 = v.parse().map_err(|_| format!("invalid rate {v}"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("rate {v} is not in [0, 1]"));
+    }
+    Ok(rate)
+}
+
+/// Parses a comma-separated list of plan indices (`3,17,40`).
+fn parse_index_list(v: &str) -> Result<Vec<u64>, String> {
+    v.split(',').map(|s| parse_u64(s.trim())).collect()
+}
+
 #[derive(Debug)]
 enum FuzzCommand {
     ListInvariants,
-    Run(FuzzOptions),
+    Run(Box<FuzzOptions>),
 }
 
 fn parse_fuzz_args(args: &[String]) -> Result<FuzzCommand, String> {
@@ -196,7 +253,7 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzCommand, String> {
             }
             "--shard-threads" => {
                 let v = it.next().ok_or("--shard-threads needs a count")?;
-                opts.threads = v.parse().map_err(|_| format!("invalid thread count {v}"))?;
+                opts.threads = parse_threads(v)?;
             }
             "--quick" => opts.quick = true,
             "--fail-dir" => {
@@ -225,10 +282,30 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzCommand, String> {
                 let v = it.next().ok_or("--journal needs a path")?;
                 opts.journal = Some(PathBuf::from(v));
             }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a count")?;
+                opts.deadline_ms = parse_u64(v)?;
+                // A deadline implies stall detection: a unit producing no
+                // heartbeat for the whole deadline window is stalled, not
+                // merely slow.
+                opts.stall_ms = opts.deadline_ms;
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a count")?;
+                opts.retries = v.parse().map_err(|_| format!("invalid retry count {v}"))?;
+            }
+            "--max-failure-rate" => {
+                let v = it.next().ok_or("--max-failure-rate needs a rate")?;
+                opts.max_failure_rate = parse_rate(v)?;
+            }
+            "--chaos-flaky-plans" => {
+                let v = it.next().ok_or("--chaos-flaky-plans needs plan indices")?;
+                opts.chaos_flaky_plans = parse_index_list(v)?;
+            }
             other => return Err(format!("unknown fuzz option {other}")),
         }
     }
-    Ok(FuzzCommand::Run(opts))
+    Ok(FuzzCommand::Run(Box::new(opts)))
 }
 
 fn parse_chaos_args(args: &[String]) -> Result<ChaosOptions, String> {
@@ -245,6 +322,16 @@ fn parse_chaos_args(args: &[String]) -> Result<ChaosOptions, String> {
                 let v = it.next().ok_or("--dir needs a path")?;
                 opts.dir = Some(PathBuf::from(v));
             }
+            "--drill" => {
+                let v = it.next().ok_or("--drill needs a drill name")?;
+                if !chaos::DRILL_NAMES.contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown drill {v} (available: {})",
+                        chaos::DRILL_NAMES.join(", ")
+                    ));
+                }
+                opts.drills.push(v.to_string());
+            }
             other => return Err(format!("unknown chaos option {other}")),
         }
     }
@@ -257,6 +344,8 @@ struct RunArgs {
     ctx: RunContext,
     artifacts_dir: Option<PathBuf>,
     resume: bool,
+    deadline_ms: u64,
+    retries: u32,
 }
 
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
@@ -265,6 +354,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut ctx = RunContext::full();
     let mut artifacts_dir = Some(PathBuf::from("artifacts"));
     let mut resume = false;
+    let mut deadline_ms = 0u64;
+    let mut retries = 0u32;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -272,7 +363,15 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--quick" => ctx.quick = true,
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a count")?;
-                ctx.threads = v.parse().map_err(|_| format!("invalid thread count {v}"))?;
+                ctx.threads = parse_threads(v)?;
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs a count")?;
+                deadline_ms = parse_u64(v)?;
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a count")?;
+                retries = v.parse().map_err(|_| format!("invalid retry count {v}"))?;
             }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
@@ -301,7 +400,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         return Err("--resume needs the artifact journal; it cannot combine with --no-artifacts"
             .to_string());
     }
-    Ok(RunArgs { names, ctx, artifacts_dir, resume })
+    Ok(RunArgs { names, ctx, artifacts_dir, resume, deadline_ms, retries })
 }
 
 /// The `run` journal's header: everything that determines the campaign's
@@ -324,8 +423,55 @@ fn parse_scenario_payload(payload: &str) -> Option<(usize, String)> {
     Some((count, text))
 }
 
+/// Executes one scenario under the `run` supervision policy: post-hoc
+/// wall-clock deadline detection (scenario bodies are monolithic, so the
+/// deadline is checked once the body returns — the fuzz path is the fully
+/// cooperative one), bounded retries with the same deterministic seeded
+/// backoff the campaign supervisor uses, and quarantine after two
+/// identical failures. Returns the final run plus whether it was
+/// quarantined.
+fn execute_supervised(
+    scenario: &crate::scenario::Scenario,
+    index: usize,
+    ctx: &RunContext,
+    clock: &dyn Clock,
+    deadline_ms: u64,
+    retries: u32,
+) -> (crate::scenario::ScenarioRun, bool) {
+    let mut attempt = 0u32;
+    let mut last_signature: Option<String> = None;
+    loop {
+        if attempt > 0 {
+            let wait = backoff_ms(ctx.seed, index as u64, attempt);
+            println!("  retry {attempt} of {retries} after {wait} ms backoff");
+            clock.sleep_ms(wait);
+        }
+        let started = clock.now_ms();
+        let mut run = scenario.try_execute(ctx);
+        let elapsed = clock.now_ms().saturating_sub(started);
+        if deadline_ms > 0 && elapsed >= deadline_ms && run.error.is_none() {
+            run.error =
+                Some(format!("deadline exceeded: scenario outlived its {deadline_ms} ms budget"));
+        }
+        if run.passed() {
+            return (run, false);
+        }
+        let signature = run.error.clone().unwrap_or_else(|| {
+            run.failures().iter().map(|i| i.name.clone()).collect::<Vec<_>>().join(",")
+        });
+        if last_signature.as_deref() == Some(signature.as_str()) {
+            return (run, true);
+        }
+        if attempt >= retries {
+            return (run, false);
+        }
+        last_signature = Some(signature);
+        attempt += 1;
+    }
+}
+
 fn run_command(args: &[String]) -> Result<i32, String> {
-    let RunArgs { names, ctx, artifacts_dir, resume } = parse_run_args(args)?;
+    let RunArgs { names, ctx, artifacts_dir, resume, deadline_ms, retries } = parse_run_args(args)?;
     let scenarios: Vec<_> = names
         .iter()
         .map(|name| {
@@ -388,7 +534,8 @@ fn run_command(args: &[String]) -> Result<i32, String> {
 
     let mut report = LabReport::default();
     let mut skipped = 0usize;
-    for scenario in &scenarios {
+    let clock = WallClock::new();
+    for (index, scenario) in scenarios.iter().enumerate() {
         if let Some((invariant_count, json)) = recovered.remove(scenario.name) {
             println!(
                 "== {} ({}) — journaled as passed, skipped ==",
@@ -404,7 +551,8 @@ fn run_command(args: &[String]) -> Result<i32, String> {
             continue;
         }
         println!("== {} ({}) — {} ==", scenario.name, scenario.paper_ref, scenario.title);
-        let run = scenario.try_execute(&ctx);
+        let (run, quarantined) =
+            execute_supervised(scenario, index, &ctx, &clock, deadline_ms, retries);
         for line in &run.lines {
             println!("{line}");
         }
@@ -414,6 +562,12 @@ fn run_command(args: &[String]) -> Result<i32, String> {
         }
         if let Some(error) = &run.error {
             println!("  [FAILED] run_error: scenario did not complete ({error})");
+        }
+        if quarantined {
+            println!(
+                "  [FAILED] quarantined: {} failed identically twice; retries stopped",
+                scenario.name
+            );
         }
         println!();
         if run.passed() {
@@ -431,7 +585,10 @@ fn run_command(args: &[String]) -> Result<i32, String> {
     }
     if skipped > 0 {
         // Progress note only — the report bytes never depend on resume.
-        println!("resumed: {skipped} scenario(s) recovered from the journal");
+        println!(
+            "resumed: {skipped} scenario(s) recovered from the journal; {} re-run",
+            scenarios.len() - skipped
+        );
     }
 
     if let Some(dir) = &artifacts_dir {
@@ -606,6 +763,64 @@ mod tests {
         assert_eq!(parse_scenario_payload("x {}"), None, "bad count");
         assert_eq!(parse_scenario_payload("3"), None, "no payload");
         assert_eq!(parse_scenario_payload("3 not-json"), None, "not an object");
+    }
+
+    #[test]
+    fn rejects_zero_and_absurd_thread_counts() {
+        for flag in [&["fig7", "--threads", "0"][..], &["fig7", "--threads", "100000"][..]] {
+            let err = parse_run_args(&strings(flag)).unwrap_err();
+            assert!(err.contains("thread count"), "{err}");
+        }
+        let err = parse_fuzz_args(&strings(&["--shard-threads", "0"])).unwrap_err();
+        assert!(err.contains(">= 1"), "{err}");
+        let err = parse_fuzz_args(&strings(&["--shard-threads", "99999"])).unwrap_err();
+        assert!(err.contains("ceiling"), "{err}");
+        assert!(parse_threads("8").is_ok());
+    }
+
+    #[test]
+    fn parses_supervision_options() {
+        let cmd = parse_fuzz_args(&strings(&[
+            "--deadline-ms",
+            "5000",
+            "--retries",
+            "2",
+            "--max-failure-rate",
+            "0.25",
+            "--chaos-flaky-plans",
+            "3,17",
+        ]))
+        .unwrap();
+        let FuzzCommand::Run(opts) = cmd else { panic!("expected a run command") };
+        assert_eq!(opts.deadline_ms, 5000);
+        assert_eq!(opts.stall_ms, 5000, "a deadline arms stall detection");
+        assert_eq!(opts.retries, 2);
+        assert_eq!(opts.max_failure_rate, 0.25);
+        assert_eq!(opts.chaos_flaky_plans, vec![3, 17]);
+        assert!(parse_fuzz_args(&strings(&["--max-failure-rate", "1.5"])).is_err());
+        assert!(parse_fuzz_args(&strings(&["--max-failure-rate", "-0.1"])).is_err());
+        assert!(parse_fuzz_args(&strings(&["--chaos-flaky-plans", "1,x"])).is_err());
+
+        let parsed =
+            parse_run_args(&strings(&["fig7", "--deadline-ms", "9000", "--retries", "1"])).unwrap();
+        assert_eq!(parsed.deadline_ms, 9000);
+        assert_eq!(parsed.retries, 1);
+    }
+
+    #[test]
+    fn parses_and_validates_drill_filters() {
+        let opts = parse_chaos_args(&strings(&[
+            "--quick",
+            "--drill",
+            "stalled_unit",
+            "--drill",
+            "deadline_overrun",
+        ]))
+        .unwrap();
+        assert_eq!(opts.drills, vec!["stalled_unit", "deadline_overrun"]);
+        let err = parse_chaos_args(&strings(&["--drill", "nope"])).unwrap_err();
+        assert!(err.contains("unknown drill nope"), "{err}");
+        assert!(err.contains("stalled_unit"), "lists the available drills: {err}");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! determinism oracle), and checks the [`INVARIANTS`] registry — the
 //! cross-cutting claims that must hold for *every* victim shape the
 //! grammar can produce, not just the paper's hand-written PoCs. Trials fan
-//! out over [`try_parallel_map`], so a panicking plan becomes a reportable
+//! out over [`try_parallel_map_with`], so a panicking plan becomes a reportable
 //! failing case rather than killing the campaign; every failing plan is
 //! then minimized by [`shrink_plan`] while preserving at least one of its
 //! originally-violated invariants, and serialized (original + shrunk) to a
@@ -23,10 +23,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Mutex;
 
-use specrun::plan::{run_plan, try_run_plan, PlanOutcome};
+use specrun::plan::{run_plan, try_run_plan, try_run_plan_governed, PlanOutcome};
+use specrun_workloads::clock::WallClock;
 use specrun_workloads::fuzz::shrink_plan;
 use specrun_workloads::harness::{default_threads, try_parallel_map_with, RunError};
 use specrun_workloads::plan::{GadgetKind, Plan, PlanPolicy};
+use specrun_workloads::supervisor::{
+    supervised_map_with, CancelToken, SupervisorConfig, UnitCtx, UnitOutcome,
+};
 
 use crate::journal::{self, Journal, JournalError};
 use crate::json::Json;
@@ -241,6 +245,17 @@ pub fn try_evaluate(plan: &Plan) -> Result<PlanEval, RunError> {
     Ok(PlanEval { first: try_run_plan(plan)?, second: try_run_plan(plan)? })
 }
 
+/// [`try_evaluate`] under a supervisor [`CancelToken`]: both executions
+/// publish heartbeats through the token and stop cooperatively when the
+/// monitor trips it, surfacing as [`RunError::Cancelled`] for the
+/// supervisor to classify as a deadline or stall.
+pub fn try_evaluate_governed(plan: &Plan, token: &CancelToken) -> Result<PlanEval, RunError> {
+    Ok(PlanEval {
+        first: try_run_plan_governed(plan, Some(token.clone()))?,
+        second: try_run_plan_governed(plan, Some(token.clone()))?,
+    })
+}
+
 /// Name under which a structured [`RunError`] appears in violation lists
 /// (beside the per-invariant names and `"panic"`).
 pub const RUN_ERROR_VIOLATION: &str = "run_error";
@@ -340,6 +355,29 @@ pub struct FuzzOptions {
     /// Chaos hook (not a CLI flag): plan indices whose evaluation panics,
     /// driving the panic-isolation recovery path deterministically.
     pub chaos_panic_plans: Vec<u64>,
+    /// Per-plan wall-clock deadline in ms (`0` = no deadline). A plan
+    /// still progressing past it is cancelled cooperatively and reported
+    /// as a deadline overrun.
+    pub deadline_ms: u64,
+    /// No-heartbeat window in ms before a plan counts as stalled
+    /// (`0` = no stall detection).
+    pub stall_ms: u64,
+    /// Retry attempts per failing plan (supervision errors only; invariant
+    /// violations are results, not failures, and never retry).
+    pub retries: u32,
+    /// Failure-rate threshold of the campaign circuit breaker
+    /// (`1.0` = disabled).
+    pub max_failure_rate: f64,
+    /// Chaos hook (`--chaos-flaky-plans`, a self-test flag): plan indices
+    /// whose first attempt fails with a transient IO error, proving the
+    /// retry path heals byte-identically.
+    pub chaos_flaky_plans: Vec<u64>,
+    /// Chaos hook (not a CLI flag): plan indices failing identically on
+    /// every attempt, driving the quarantine and circuit-breaker paths.
+    pub chaos_sick_plans: Vec<u64>,
+    /// Completed plans required before the breaker may trip (chaos/test
+    /// hook; not a CLI flag).
+    pub breaker_min_units: u64,
 }
 
 impl Default for FuzzOptions {
@@ -357,6 +395,13 @@ impl Default for FuzzOptions {
             journal: None,
             keep_journal: false,
             chaos_panic_plans: Vec::new(),
+            deadline_ms: 0,
+            stall_ms: 0,
+            retries: 0,
+            max_failure_rate: 1.0,
+            chaos_flaky_plans: Vec::new(),
+            chaos_sick_plans: Vec::new(),
+            breaker_min_units: SupervisorConfig::default().breaker_min_units,
         }
     }
 }
@@ -369,9 +414,33 @@ impl FuzzOptions {
             .unwrap_or_else(|| PathBuf::from(format!("{}.journal", self.report_path.display())))
     }
 
+    /// The supervision policy these options describe.
+    pub fn supervisor_config(&self) -> SupervisorConfig {
+        SupervisorConfig {
+            deadline_ms: self.deadline_ms,
+            stall_ms: self.stall_ms,
+            retries: self.retries,
+            seed: self.seed,
+            max_failure_rate: self.max_failure_rate,
+            breaker_min_units: self.breaker_min_units,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    /// Whether the campaign runs under the supervisor (any supervision
+    /// feature on, or a supervision chaos hook armed). A plain campaign
+    /// keeps the monitor-free harness path.
+    fn supervised(&self) -> bool {
+        self.supervisor_config().is_active()
+            || !self.chaos_flaky_plans.is_empty()
+            || !self.chaos_sick_plans.is_empty()
+    }
+
     /// The journal header string: everything that determines the
     /// campaign's bytes. Thread count is deliberately absent — results
     /// are thread-invariant, so a resume may use a different fan-out.
+    /// Supervision options are absent for the same reason: they bound
+    /// *how long* a plan may run, never what a completed plan produced.
     fn journal_header(&self) -> String {
         format!(
             "fuzz seed={} plans={} mode={} invert={}",
@@ -415,16 +484,24 @@ pub struct CampaignResult {
     /// Plans that panicked.
     pub panics: u64,
     /// Plans that failed with a structured [`RunError`] (budget
-    /// exhaustion, wedged core) instead of completing.
+    /// exhaustion, wedged core, deadline, stall) instead of completing.
     pub run_errors: u64,
+    /// Plans quarantined by the supervisor for failing identically twice.
+    pub quarantined: u64,
+    /// Plans the circuit breaker skipped: they never ran, and the report
+    /// is explicitly partial (a `--resume` completes them).
+    pub skipped_plans: u64,
+    /// Whether the campaign circuit breaker tripped.
+    pub breaker_tripped: bool,
     /// Every failing plan, shrunk and serialized.
     pub failures: Vec<FailCase>,
 }
 
 impl CampaignResult {
-    /// Whether the campaign found no violations and no panics.
+    /// Whether the campaign found no violations, no panics, and actually
+    /// ran everything (a breaker-tripped partial report never passes).
     pub fn passed(&self) -> bool {
-        self.failures.is_empty()
+        self.failures.is_empty() && self.skipped_plans == 0
     }
 }
 
@@ -506,6 +583,68 @@ fn plan_outcome(plan: &Plan, invert: Option<&str>, panic_plans: &[u64]) -> (Vec<
     }
 }
 
+/// [`plan_outcome`] for the supervised path. Plan-level failures (budget
+/// exhaustion, wedged core) stay **in-band** — they are deterministic
+/// results, reported exactly as on the plain path and never retried. Only
+/// supervision-layer failures (cooperative cancellation, injected IO
+/// flakes) return `Err`, handing the supervisor something a retry could
+/// plausibly heal.
+fn supervised_plan_outcome(
+    plan: &Plan,
+    invert: Option<&str>,
+    opts: &FuzzOptions,
+    ctx: &UnitCtx,
+) -> Result<(Vec<Violation>, u64), RunError> {
+    assert!(
+        !opts.chaos_panic_plans.contains(&plan.index),
+        "chaos: injected panic evaluating plan {}",
+        plan.index
+    );
+    if opts.chaos_sick_plans.contains(&plan.index) {
+        return Err(RunError::Io {
+            what: format!("plan {}", plan.index),
+            detail: "chaos: injected persistent artifact-sink failure".to_string(),
+        });
+    }
+    if opts.chaos_flaky_plans.contains(&plan.index) && ctx.attempt == 0 {
+        return Err(RunError::Io {
+            what: format!("plan {}", plan.index),
+            detail: "chaos: injected transient artifact-sink flake".to_string(),
+        });
+    }
+    match try_evaluate_governed(plan, &ctx.token) {
+        Ok(eval) => {
+            let digest = eval_digest(&eval);
+            Ok((violations_for(plan, &eval, invert), digest))
+        }
+        Err(cancelled @ RunError::Cancelled { .. }) => Err(cancelled),
+        Err(run_error) => Ok((
+            vec![Violation {
+                invariant: RUN_ERROR_VIOLATION.to_string(),
+                detail: run_error.to_string(),
+            }],
+            0,
+        )),
+    }
+}
+
+/// Renders a supervised unit's terminal failure as the single violation
+/// the report carries for that plan.
+fn supervised_violation(error: &RunError, history: &[String], quarantined: bool) -> Violation {
+    let (invariant, base) = match error {
+        RunError::Panic(e) => ("panic", e.message.clone()),
+        other => (RUN_ERROR_VIOLATION, other.to_string()),
+    };
+    let detail = if quarantined {
+        format!("quarantined after {} attempt(s): {}", history.len(), history.join(" | "))
+    } else if history.len() > 1 {
+        format!("{base} (final of {} attempt(s))", history.len())
+    } else {
+        base
+    };
+    Violation { invariant: invariant.to_string(), detail }
+}
+
 /// The campaign core. With a journal, every completed plan is durably
 /// recorded as it finishes (`plan:<i> ok <digest>` / `plan:<i> fail …`);
 /// on `--resume` the journaled passes are skipped and everything else —
@@ -550,47 +689,112 @@ fn campaign_with(
 
     // Fan out over the plans the journal does not cover; a panicking plan
     // surfaces as a TrialError, not a dead run. The completion hook
-    // journals each plan the moment it finishes, from the worker thread.
+    // journals each plan the moment it finishes, from the worker thread —
+    // final attempts only on the supervised path, since the hook fires
+    // once per unit after its retry loop resolves.
     let pending: Vec<&Plan> = plans.iter().filter(|p| !skip.contains(&p.index)).collect();
     let journal_error: Mutex<Option<String>> = Mutex::new(None);
-    let results = try_parallel_map_with(
-        &pending,
-        threads,
-        |_, plan| plan_outcome(plan, invert, &opts.chaos_panic_plans),
-        |i, result| {
-            let Some(j) = &journal else { return };
-            let payload = match result {
-                Ok((violations, digest)) if violations.is_empty() => format!("ok {digest:016x}"),
-                Ok((violations, _)) => {
-                    let names: BTreeSet<&str> =
-                        violations.iter().map(|v| v.invariant.as_str()).collect();
-                    format!("fail {}", names.into_iter().collect::<Vec<_>>().join(","))
-                }
-                Err(_) => "fail panic".to_string(),
-            };
-            if let Err(e) = j.append(&format!("plan:{}", pending[i].index), &payload) {
-                let mut slot = journal_error.lock().unwrap();
-                slot.get_or_insert_with(|| format!("cannot append to journal: {e}"));
-            }
-        },
-    );
-    if let Some(e) = journal_error.into_inner().unwrap() {
-        return Err(CampaignAbort::Io(e));
-    }
+    let journal_append = |index: u64, payload: &str| {
+        let Some(j) = &journal else { return };
+        if let Err(e) = j.append(&format!("plan:{index}"), payload) {
+            let mut slot = journal_error.lock().unwrap();
+            slot.get_or_insert_with(|| format!("cannot append to journal: {e}"));
+        }
+    };
+    let fail_payload = |violations: &[Violation]| {
+        let names: BTreeSet<&str> = violations.iter().map(|v| v.invariant.as_str()).collect();
+        format!("fail {}", names.into_iter().collect::<Vec<_>>().join(","))
+    };
 
-    // Merge fresh results with journaled skips, in plan order. A skipped
-    // plan is a journaled pass: no violations by construction.
     let mut by_index: BTreeMap<u64, Vec<Violation>> = BTreeMap::new();
     let mut panics = 0u64;
-    for (plan, result) in pending.iter().zip(results) {
-        let violations = match result {
-            Ok((v, _)) => v,
-            Err(e) => {
-                panics += 1;
-                vec![Violation { invariant: "panic".to_string(), detail: e.message }]
-            }
-        };
-        by_index.insert(plan.index, violations);
+    let mut quarantined = 0u64;
+    let mut skipped_plans: BTreeSet<u64> = BTreeSet::new();
+    let mut breaker_tripped = false;
+
+    if opts.supervised() {
+        let cfg = opts.supervisor_config();
+        let clock = WallClock::new();
+        let report = supervised_map_with(
+            &pending,
+            threads,
+            &cfg,
+            &clock,
+            |_, plan, ctx| supervised_plan_outcome(plan, invert, opts, ctx),
+            |i, outcome| {
+                let payload = match outcome {
+                    UnitOutcome::Done { result: (violations, digest), .. } => {
+                        if violations.is_empty() {
+                            format!("ok {digest:016x}")
+                        } else {
+                            fail_payload(violations)
+                        }
+                    }
+                    UnitOutcome::Failed { error, .. } | UnitOutcome::Quarantined { error, .. } => {
+                        match error {
+                            RunError::Panic(_) => "fail panic".to_string(),
+                            _ => format!("fail {RUN_ERROR_VIOLATION}"),
+                        }
+                    }
+                    // Never journaled: a resume must re-run skipped plans.
+                    UnitOutcome::Skipped => return,
+                };
+                journal_append(pending[i].index, &payload);
+            },
+        );
+        breaker_tripped = report.breaker_tripped;
+        for (plan, outcome) in pending.iter().zip(report.outcomes) {
+            let violations = match outcome {
+                UnitOutcome::Done { result: (violations, _), .. } => violations,
+                UnitOutcome::Failed { error, history } => {
+                    if matches!(error, RunError::Panic(_)) {
+                        panics += 1;
+                    }
+                    vec![supervised_violation(&error, &history, false)]
+                }
+                UnitOutcome::Quarantined { error, history } => {
+                    quarantined += 1;
+                    if matches!(error, RunError::Panic(_)) {
+                        panics += 1;
+                    }
+                    vec![supervised_violation(&error, &history, true)]
+                }
+                UnitOutcome::Skipped => {
+                    skipped_plans.insert(plan.index);
+                    continue;
+                }
+            };
+            by_index.insert(plan.index, violations);
+        }
+    } else {
+        let results = try_parallel_map_with(
+            &pending,
+            threads,
+            |_, plan| plan_outcome(plan, invert, &opts.chaos_panic_plans),
+            |i, result| {
+                let payload = match result {
+                    Ok((violations, digest)) if violations.is_empty() => {
+                        format!("ok {digest:016x}")
+                    }
+                    Ok((violations, _)) => fail_payload(violations),
+                    Err(_) => "fail panic".to_string(),
+                };
+                journal_append(pending[i].index, &payload);
+            },
+        );
+        for (plan, result) in pending.iter().zip(results) {
+            let violations = match result {
+                Ok((v, _)) => v,
+                Err(e) => {
+                    panics += 1;
+                    vec![Violation { invariant: "panic".to_string(), detail: e.message }]
+                }
+            };
+            by_index.insert(plan.index, violations);
+        }
+    }
+    if let Some(e) = journal_error.into_inner().unwrap() {
+        return Err(CampaignAbort::Io(e));
     }
 
     let mut tallies: Vec<(String, u64, u64)> =
@@ -601,6 +805,12 @@ fn campaign_with(
     let mut run_errors = 0u64;
     let mut failures = Vec::new();
     for plan in &plans {
+        // A breaker-skipped plan never ran: it must not masquerade as a
+        // journaled pass (empty violations), so it is excluded here and
+        // surfaces only through the report's `skipped_plans` count.
+        if skipped_plans.contains(&plan.index) {
+            continue;
+        }
         let violations = by_index.remove(&plan.index).unwrap_or_default();
         for v in &violations {
             if let Some(slot) = tallies.iter_mut().find(|(name, _, _)| *name == v.invariant) {
@@ -634,15 +844,41 @@ fn campaign_with(
         failures.push(case);
     }
 
-    let report = render_report(opts, &tallies, panics, run_errors, &failures);
-    Ok((CampaignResult { report, tallies, panics, run_errors, failures }, skip.len() as u64))
+    let skipped = skipped_plans.len() as u64;
+    let report = render_report(
+        opts,
+        &tallies,
+        panics,
+        run_errors,
+        quarantined,
+        skipped,
+        breaker_tripped,
+        &failures,
+    );
+    Ok((
+        CampaignResult {
+            report,
+            tallies,
+            panics,
+            run_errors,
+            quarantined,
+            skipped_plans: skipped,
+            breaker_tripped,
+            failures,
+        },
+        skip.len() as u64,
+    ))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_report(
     opts: &FuzzOptions,
     tallies: &[(String, u64, u64)],
     panics: u64,
     run_errors: u64,
+    quarantined: u64,
+    skipped_plans: u64,
+    breaker_tripped: bool,
     failures: &[FailCase],
 ) -> String {
     let invariants = Json::Obj(
@@ -684,8 +920,13 @@ fn render_report(
         ("invariants".into(), invariants),
         ("panics".into(), Json::Num(panics as f64)),
         ("run_errors".into(), Json::Num(run_errors as f64)),
+        // Supervision outcomes are counts and flags only: wall-clock
+        // values never enter the gated report.
+        ("quarantined".into(), Json::Num(quarantined as f64)),
+        ("skipped_plans".into(), Json::Num(skipped_plans as f64)),
+        ("breaker_tripped".into(), Json::Bool(breaker_tripped)),
         ("failing_plans".into(), failing),
-        ("passed".into(), Json::Bool(failures.is_empty())),
+        ("passed".into(), Json::Bool(failures.is_empty() && skipped_plans == 0)),
     ])
     .render()
 }
@@ -800,7 +1041,10 @@ pub fn run_with(opts: &FuzzOptions, sink: &dyn ArtifactSink) -> i32 {
     );
     if skipped > 0 {
         // Progress note only — the report bytes never depend on resume.
-        println!("  resumed: {skipped} plan(s) already journaled as passing, skipped");
+        println!(
+            "  resumed: {skipped} plan(s) already journaled as passing, skipped; {} re-run",
+            opts.plans.saturating_sub(skipped)
+        );
     }
     for (name, applicable, violations) in &result.tallies {
         let verdict = if *violations == 0 { "ok" } else { "FAILED" };
@@ -814,6 +1058,19 @@ pub fn run_with(opts: &FuzzOptions, sink: &dyn ArtifactSink) -> i32 {
             "  [FAILED] {RUN_ERROR_VIOLATION}: {} plan(s) hit a structured run error",
             result.run_errors
         );
+    }
+    if result.quarantined > 0 {
+        println!(
+            "  [FAILED] quarantine: {} plan(s) failed identically twice, retries stopped",
+            result.quarantined
+        );
+    }
+    if result.breaker_tripped {
+        println!(
+            "  [FAILED] circuit breaker tripped: {} plan(s) skipped, partial results follow",
+            result.skipped_plans
+        );
+        println!("  hint: fix the failures, then `--resume` to complete the campaign");
     }
 
     if let Err(e) = sink.write_atomic(&opts.report_path, &result.report) {
@@ -844,18 +1101,23 @@ pub fn run_with(opts: &FuzzOptions, sink: &dyn ArtifactSink) -> i32 {
     }
 
     // Artifacts are durable; retire the journal so a later run without
-    // --resume starts clean (kept only for the chaos drills).
-    if !opts.keep_journal {
+    // --resume starts clean (kept for the chaos drills, and always kept
+    // after a breaker trip so `--resume` can finish the campaign).
+    if !opts.keep_journal && !result.breaker_tripped {
         if let Err(e) = sink.remove(&journal_path) {
             eprintln!("error: cannot remove journal {}: {e}", journal_path.display());
             return 2;
         }
     }
 
-    if !result.failures.is_empty() {
-        eprintln!("{} failing plan(s); replay with: specrun-lab fuzz --replay <file>", {
-            result.failures.len()
-        });
+    if !result.passed() {
+        if result.failures.is_empty() {
+            eprintln!("campaign incomplete: {} plan(s) never ran", result.skipped_plans);
+        } else {
+            eprintln!("{} failing plan(s); replay with: specrun-lab fuzz --replay <file>", {
+                result.failures.len()
+            });
+        }
         return 1;
     }
     println!("all invariants held on every plan");

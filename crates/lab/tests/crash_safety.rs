@@ -97,6 +97,84 @@ fn sigkilled_fuzz_campaign_resumes_byte_identically() {
 }
 
 #[test]
+fn sigkilled_supervised_campaign_never_double_counts_retries() {
+    let dir = scratch("retry");
+    let report = dir.join("FUZZ_report.json");
+    let journal = dir.join("FUZZ_report.json.journal");
+    let fail_dir = dir.join("fail");
+    let args = |extra: &[&str]| {
+        let mut v = vec![
+            "fuzz".to_string(),
+            "--plans".into(),
+            "200".into(),
+            "--quick".into(),
+            "--shard-threads".into(),
+            "1".into(),
+            "--report".into(),
+            report.display().to_string(),
+            "--fail-dir".into(),
+            fail_dir.display().to_string(),
+        ];
+        v.extend(extra.iter().map(|s| s.to_string()));
+        v
+    };
+    // The injected flakes fail each plan's first attempt and heal on the
+    // retry, so the supervised campaign exercises the full retry path but
+    // must still converge on the unsupervised reference bytes.
+    let supervised = ["--retries", "2", "--chaos-flaky-plans", "0,7,19,41,87,143"];
+
+    // Reference: the same campaign with no supervision flags at all.
+    let ref_report = dir.join("reference.json");
+    let status = Command::new(lab_bin())
+        .args(args(&[]))
+        .stdout(Stdio::null())
+        .status()
+        .expect("spawn reference fuzz");
+    assert!(status.success(), "reference campaign must pass");
+    std::fs::rename(&report, &ref_report).expect("stash reference report");
+
+    // Supervised run, SIGKILLed while retries are still in flight.
+    let mut child = Command::new(lab_bin())
+        .args(args(&supervised))
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn supervised fuzz to interrupt");
+    wait_for_lines(&journal, 6, Duration::from_secs(30));
+    let _ = child.kill();
+    let _ = child.wait();
+
+    // The journal records *final* attempts only: every plan key appears at
+    // most once, and a healed flaky plan is journaled as a plain success.
+    let text = std::fs::read_to_string(&journal).expect("journal survives the kill");
+    let mut seen = std::collections::HashSet::new();
+    for line in text.lines().skip(1) {
+        // Entry lines read `e <key> [payload] <digest>`; a torn tail may
+        // lack the digest but the key field is still second.
+        let Some(key) = line.split_whitespace().nth(1) else { continue };
+        assert!(seen.insert(key.to_string()), "journal double-counts {key}:\n{text}");
+    }
+    if let Some(line) = text.lines().find(|l| l.starts_with("e plan:0 ")) {
+        assert!(line.contains(" ok "), "flaky plan 0 heals before it is journaled: {line}");
+    }
+
+    // Resume under the same flags: retries replay deterministically and the
+    // report matches the flag-free reference byte for byte.
+    let status = Command::new(lab_bin())
+        .args(args(&supervised))
+        .arg("--resume")
+        .stdout(Stdio::null())
+        .status()
+        .expect("spawn resumed supervised fuzz");
+    assert!(status.success(), "resumed supervised campaign must pass");
+    let resumed = std::fs::read(&report).expect("resumed report");
+    let reference = std::fs::read(&ref_report).expect("reference report");
+    assert_eq!(resumed, reference, "supervision flags must never change the report bytes");
+    assert!(!journal.exists(), "the journal retires once the report is durable");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn sigkilled_run_campaign_resumes_byte_identically() {
     let dir = scratch("run");
     let ref_dir = dir.join("reference");

@@ -34,9 +34,17 @@ use specrun_cpu::{CpuConfig, RunaheadPolicy, SecureConfig};
 
 use crate::rng::SplitMix64;
 
-/// Number of worker threads the host offers.
+/// Ceiling on worker-thread counts: above this, extra threads only add
+/// scheduler churn and per-thread stacks — a campaign is bounded by cores,
+/// not by how many workers it can name. [`default_threads`] clamps to it
+/// and the CLI rejects explicit requests beyond it.
+pub const MAX_THREADS: usize = 256;
+
+/// Number of worker threads the host offers, clamped to [`MAX_THREADS`]
+/// (exotic hosts can report absurd parallelism; a degenerate pool of
+/// hundreds of idle workers helps nothing).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(MAX_THREADS))
 }
 
 /// A trial that panicked instead of returning a result.
@@ -89,6 +97,46 @@ pub enum RunError {
     },
     /// The run panicked; the payload was captured by a harness boundary.
     Panic(TrialError),
+    /// A supervisor's cancel token stopped the run cooperatively; the
+    /// supervisor reclassifies this into [`RunError::DeadlineExceeded`] or
+    /// [`RunError::Stalled`] from the token's recorded reason.
+    Cancelled {
+        /// What was running.
+        what: String,
+        /// Instructions committed when the run stopped.
+        committed: u64,
+    },
+    /// The unit's wall-clock deadline elapsed while it was still making
+    /// progress — slow, not stuck. Distinct from
+    /// [`RunError::CycleBudgetExceeded`], which is *simulated* time: a
+    /// pathological config can burn host seconds per simulated cycle and
+    /// never touch its cycle budget.
+    DeadlineExceeded {
+        /// What was running.
+        what: String,
+        /// The wall-clock deadline that elapsed, in milliseconds.
+        deadline_ms: u64,
+        /// Instructions committed when the run was cancelled.
+        committed: u64,
+    },
+    /// No heartbeat advanced within the stall window — the unit's host
+    /// thread is wedged outside the simulation loop, not merely slow.
+    Stalled {
+        /// What was running.
+        what: String,
+        /// The no-heartbeat window that elapsed, in milliseconds.
+        stall_ms: u64,
+        /// Instructions committed at the last heartbeat seen.
+        last_committed: u64,
+    },
+    /// A transient IO failure (an artifact sink flake) — the one failure
+    /// class a retry is *expected* to heal.
+    Io {
+        /// What was running.
+        what: String,
+        /// The IO error.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -101,6 +149,20 @@ impl std::fmt::Display for RunError {
             ),
             RunError::NoHalt { what, detail } => write!(f, "{what} cannot halt: {detail}"),
             RunError::Panic(e) => write!(f, "{e}"),
+            RunError::Cancelled { what, committed } => {
+                write!(f, "{what} cancelled by the supervisor after {committed} instruction(s)")
+            }
+            RunError::DeadlineExceeded { what, deadline_ms, committed } => write!(
+                f,
+                "deadline exceeded: {what} still running ({committed} instruction(s) committed) \
+                 after {deadline_ms} ms"
+            ),
+            RunError::Stalled { what, stall_ms, last_committed } => write!(
+                f,
+                "stalled: {what} produced no heartbeat for {stall_ms} ms \
+                 (last committed {last_committed} instruction(s))"
+            ),
+            RunError::Io { what, detail } => write!(f, "io error: {what}: {detail}"),
         }
     }
 }
@@ -508,6 +570,34 @@ mod tests {
         assert_eq!(wedged.to_string(), "plan 3 cannot halt: pipeline wedged");
         let panic = RunError::Panic(TrialError { index: 2, message: "boom".to_string() });
         assert_eq!(panic.to_string(), "trial 2 panicked: boom");
+        let cancelled = RunError::Cancelled { what: "plan 7".to_string(), committed: 9 };
+        assert_eq!(
+            cancelled.to_string(),
+            "plan 7 cancelled by the supervisor after 9 instruction(s)"
+        );
+        let deadline = RunError::DeadlineExceeded {
+            what: "plan 7".to_string(),
+            deadline_ms: 250,
+            committed: 9,
+        };
+        assert_eq!(
+            deadline.to_string(),
+            "deadline exceeded: plan 7 still running (9 instruction(s) committed) after 250 ms"
+        );
+        let stalled =
+            RunError::Stalled { what: "plan 7".to_string(), stall_ms: 100, last_committed: 3 };
+        assert_eq!(
+            stalled.to_string(),
+            "stalled: plan 7 produced no heartbeat for 100 ms (last committed 3 instruction(s))"
+        );
+        let io = RunError::Io { what: "plan 7".to_string(), detail: "flaky sink".to_string() };
+        assert_eq!(io.to_string(), "io error: plan 7: flaky sink");
+    }
+
+    #[test]
+    fn default_threads_is_sane_and_clamped() {
+        let n = default_threads();
+        assert!((1..=MAX_THREADS).contains(&n), "default thread count {n} out of range");
     }
 
     #[test]

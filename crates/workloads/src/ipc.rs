@@ -115,6 +115,12 @@ pub fn try_run_workload_observed<O: PipelineObserver>(
                 detail: format!("core wedged (stats: {})", core.stats()),
             });
         }
+        RunExit::Cancelled => {
+            return Err(RunError::Cancelled {
+                what: workload.name.to_string(),
+                committed: core.stats().committed,
+            });
+        }
     }
     let stats = core.stats();
     let result = IpcResult {

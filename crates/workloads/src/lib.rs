@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod fuzz;
 pub mod harness;
 pub mod ipc;
@@ -23,11 +24,13 @@ pub mod kernels;
 pub mod metrics;
 pub mod plan;
 pub mod rng;
+pub mod supervisor;
 
+pub use clock::{ChaosClock, Clock, WallClock};
 pub use fuzz::shrink_plan;
 pub use harness::{
     parallel_map, try_parallel_map, try_parallel_map_with, ConfigMatrix, RunError, Summary,
-    TrialError, TrialSpec,
+    TrialError, TrialSpec, MAX_THREADS,
 };
 pub use ipc::{
     compare, compare_with, geomean_speedup, run_workload_observed, try_run_workload,
@@ -37,6 +40,9 @@ pub use kernels::Workload;
 pub use metrics::{MetricSet, MetricSource};
 pub use plan::{GadgetKind, KnobSpec, Plan, PlanLayout, PlanPolicy, VictimSpec, WarmStep};
 pub use rng::SplitMix64;
+pub use supervisor::{
+    backoff_ms, supervised_map_with, SupervisedReport, SupervisorConfig, UnitCtx, UnitOutcome,
+};
 
 /// The full Fig. 7 suite in the paper's order, at the default scale.
 pub fn fig7_suite() -> Vec<Workload> {

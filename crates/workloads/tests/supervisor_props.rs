@@ -1,0 +1,42 @@
+//! Property-based tests for the campaign supervisor's retry schedule:
+//! [`backoff_ms`] must be a *pure* function of `(campaign seed, unit
+//! index, attempt)` — no wall clock, no host entropy, no thread-count
+//! dependence — because the chaos drills and the SIGKILL-resume test rely
+//! on a retried campaign replaying the exact same schedule.
+
+use proptest::prelude::*;
+use specrun_workloads::supervisor::backoff_ms;
+
+proptest! {
+    /// Same inputs, same schedule — on any call, in any order.
+    #[test]
+    fn backoff_is_pure(seed in any::<u64>(), unit in any::<u64>(), attempt in 0u32..32) {
+        let a = backoff_ms(seed, unit, attempt);
+        let b = backoff_ms(seed, unit, attempt);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The first attempt never waits; every retry waits a bounded,
+    /// non-zero amount (the cap keeps even deep retry chains sub-second,
+    /// the floor keeps a retry from hammering a still-failing resource).
+    #[test]
+    fn backoff_is_bounded(seed in any::<u64>(), unit in any::<u64>(), attempt in 1u32..64) {
+        prop_assert_eq!(backoff_ms(seed, unit, 0), 0);
+        let wait = backoff_ms(seed, unit, attempt);
+        prop_assert!(wait > 0, "retries always wait: {wait}");
+        prop_assert!(wait < 1000, "waits stay sub-second: {wait}");
+    }
+
+    /// The jitter decorrelates sibling units: two units of the same
+    /// campaign (or the same unit under two seeds) rarely share a
+    /// schedule. Checked over the first few attempts jointly, so a single
+    /// coincidental collision does not fail the property.
+    #[test]
+    fn backoff_is_input_sensitive(seed in any::<u64>(), unit in 0u64..10_000) {
+        let schedule = |s: u64, u: u64| -> Vec<u64> {
+            (1u32..6).map(|a| backoff_ms(s, u, a)).collect()
+        };
+        prop_assert_ne!(schedule(seed, unit), schedule(seed, unit.wrapping_add(1)));
+        prop_assert_ne!(schedule(seed, unit), schedule(seed.wrapping_add(1), unit));
+    }
+}
