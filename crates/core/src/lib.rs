@@ -37,6 +37,7 @@ pub mod defense;
 mod machine;
 mod metrics;
 pub mod plan;
+pub mod pool;
 pub mod session;
 pub mod window;
 
@@ -45,6 +46,7 @@ pub use plan::{
     config_for, layout_for, poc_config_for, run_plan, try_run_plan, try_run_plan_governed,
     PlanOutcome,
 };
+pub use pool::{run_campaign, run_shard, run_unit_fresh, ShardSnapshot, UnitResult};
 pub use session::{Policy, Session, SessionBuilder};
 
 /// Commonly used items, for glob import in examples and tests.

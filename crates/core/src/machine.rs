@@ -14,9 +14,11 @@
 //! secrets and an optional [`PipelineObserver`]; the machine itself is the
 //! session's execution substrate.
 
+use std::sync::Arc;
+
 use specrun_cpu::probe::{NoopObserver, PipelineObserver};
 use specrun_cpu::{CancelToken, Core, CpuConfig, RunExit};
-use specrun_isa::{IntReg, Program};
+use specrun_isa::{DecodedProgram, IntReg, Program};
 use specrun_mem::HitLevel;
 
 /// A simulated machine (core + memory + predictors), generic over an
@@ -99,9 +101,22 @@ impl<O: PipelineObserver> Machine<O> {
         self.first_non_halt.take()
     }
 
+    /// Loads an already-predecoded program, sharing its micro-op table
+    /// (forked campaign sessions reuse one [`DecodedProgram`] per attack
+    /// program instead of re-lowering it per session).
+    pub fn load_predecoded(&mut self, decoded: Arc<DecodedProgram>) {
+        self.core.load_program_predecoded(decoded);
+    }
+
     /// Loads and runs a program in one call.
     pub fn run_program(&mut self, program: &Program, max_cycles: u64) -> RunExit {
         self.load(program);
+        self.run(max_cycles)
+    }
+
+    /// Loads and runs an already-predecoded program in one call.
+    pub fn run_predecoded(&mut self, decoded: Arc<DecodedProgram>, max_cycles: u64) -> RunExit {
+        self.load_predecoded(decoded);
         self.run(max_cycles)
     }
 

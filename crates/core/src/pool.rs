@@ -1,0 +1,468 @@
+//! The `CampaignSpec → Session` fork bridge: one warmed snapshot per
+//! shard, one copy-on-write fork per secret.
+//!
+//! The campaign grammar ([`CampaignSpec`], [`ShardSpec`], the streaming
+//! [`ShardStats`]) lives in `specrun-workloads` as pure data; this module
+//! owns the session side, mirroring how [`crate::plan`] pairs with the
+//! fuzz plan grammar. Per shard it builds **one** [`ShardSnapshot`]: the
+//! machine configured (policy, then knobs), the campaign's warm-up
+//! applied, the gadget's programs built and predecoded once into
+//! `Arc<DecodedProgram>`s, and every secret-independent attack step —
+//! PHT/BTB text warming, BTB predictor training — already executed. Each
+//! unit then *forks* the snapshot: cloning a [`Session`] clones the
+//! machine, whose backing store shares its pages `Arc`-per-page and
+//! unshares only what the fork writes (see `specrun_mem::BackingStore`),
+//! and whose program slots share the snapshot's predecode. Planting the
+//! secret and running the victim touches a handful of pages, so a fork
+//! costs a small fraction of a fresh [`Session::builder`] build — that
+//! ratio is what `specrun-lab perf` reports as `sessions_per_sec`.
+//!
+//! [`run_unit_fresh`] is the control: the same unit on a snapshot built
+//! from scratch and consumed in place, never cloned. Fork and fresh runs
+//! must agree **bit for bit** (leak verdict, signature counters,
+//! architectural fingerprint) — the property the tests below pin and the
+//! `pool-repro` CI gate re-checks end to end.
+
+use std::sync::Arc;
+
+use specrun_cpu::{CancelToken, CpuConfig, RunExit};
+use specrun_isa::DecodedProgram;
+use specrun_workloads::clock::WallClock;
+use specrun_workloads::harness::RunError;
+use specrun_workloads::plan::GadgetKind;
+use specrun_workloads::pool::{CampaignSpec, PoolReport, SessionPool, ShardSpec, ShardStats};
+use specrun_workloads::supervisor::UnitCtx;
+
+use crate::attack::covert::DEFAULT_THRESHOLD;
+use crate::attack::gadget;
+use crate::attack::poc::{build_pht_program, PocConfig};
+use crate::attack::variants::{build_btb_trainer, build_btb_victim, build_rsb_victim};
+use crate::attack::AttackLayout;
+use crate::session::{Policy, Session};
+
+/// BTB training runs performed while preparing a BTB shard's snapshot
+/// (the §4.4 variant's fixed warm-up, not the PHT `training_rounds` axis).
+const BTB_TRAINING_RUNS: u32 = 4;
+/// Cycle budget for one BTB trainer run (its normal exit is Wedged).
+const BTB_TRAINER_BUDGET: u64 = 100_000;
+
+/// The machine configuration one shard describes: Table 1, then the
+/// shard's policy, then the campaign's knobs — the same composition order
+/// as [`crate::plan::config_for`], so defense-only knobs stay gated on
+/// the policy having armed the defense.
+pub fn shard_config(spec: &CampaignSpec, shard: &ShardSpec) -> CpuConfig {
+    let mut cfg = CpuConfig::default();
+    Policy::from(shard.policy).apply(&mut cfg);
+    spec.knobs.apply(&mut cfg);
+    cfg
+}
+
+/// The attack layout a campaign describes (shared by every shard).
+pub fn campaign_layout(spec: &CampaignSpec) -> AttackLayout {
+    let l = &spec.layout;
+    AttackLayout {
+        bound_addr: l.bound_addr,
+        bound_value: l.bound_value,
+        array1_base: l.array1_base,
+        secret_addr: l.secret_addr,
+        probe_base: l.probe_base,
+        probe_stride: l.probe_stride,
+        probe_entries: l.probe_entries,
+        results_base: l.results_base,
+    }
+}
+
+/// The gadget-specific half of a snapshot: predecoded programs plus the
+/// addresses the per-unit steps need. None of these depend on the secret.
+#[derive(Debug, Clone)]
+enum ShardPrograms {
+    /// Fig. 8 single-binary attack (train → flush → victim → probe).
+    Pht { attack: Arc<DecodedProgram> },
+    /// §4.4 BTB variant: trained victim plus the attacker's probe;
+    /// `slot_addr` is the victim's jump-table slot the unit flushes.
+    Btb { victim: Arc<DecodedProgram>, probe: Arc<DecodedProgram>, slot_addr: u64 },
+    /// §4.4 RSB variant: victim plus the attacker's probe.
+    Rsb { victim: Arc<DecodedProgram>, probe: Arc<DecodedProgram> },
+}
+
+/// One shard's warmed parent machine plus its predecoded programs.
+///
+/// Everything secret-independent has already happened here; a unit is
+/// [`ShardSnapshot::run_forked`] — clone, plant, run, read back.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    session: Session,
+    programs: ShardPrograms,
+    layout: AttackLayout,
+    max_cycles: u64,
+    label: String,
+}
+
+impl ShardSnapshot {
+    /// Builds and warms the shard's parent machine: configuration
+    /// composed, campaign warm-up applied, programs built and predecoded,
+    /// attacker/victim text warmed, and (for BTB) the predictor trained.
+    pub fn prepare(spec: &CampaignSpec, shard: &ShardSpec) -> ShardSnapshot {
+        let layout = campaign_layout(spec);
+        let mut session =
+            Session::builder().config(shard_config(spec, shard)).layout(layout).build();
+        for w in &spec.warm {
+            session.warm(w.addr, w.len);
+        }
+        let programs = match shard.gadget {
+            GadgetKind::Pht => {
+                let cfg = PocConfig {
+                    layout,
+                    // The program encodes geometry and scale, never the
+                    // secret — that is what makes one predecode per shard
+                    // sound. The placeholder is unused.
+                    secret: 0,
+                    training_rounds: spec.training_rounds,
+                    nop_slide: shard.nop_slide as usize,
+                    attack_filler: spec.attack_filler as usize,
+                    threshold: DEFAULT_THRESHOLD,
+                    max_cycles: spec.max_cycles,
+                };
+                let program = build_pht_program(&cfg);
+                session.warm_text(&program);
+                ShardPrograms::Pht { attack: Arc::new(DecodedProgram::new(program)) }
+            }
+            GadgetKind::Btb => {
+                let victim = build_btb_victim(&layout, shard.nop_slide as usize);
+                let benign = victim.symbol("benign").expect("BTB victim has a benign label");
+                let slot_addr = layout.bound_addr + 64;
+                session.write_value(slot_addr, 8, benign);
+                session.warm(slot_addr, 8);
+                // Train the BTB once for the whole shard: the predictor
+                // state is part of the snapshot every fork inherits.
+                let trainer = Arc::new(DecodedProgram::new(build_btb_trainer(&victim)));
+                for _ in 0..BTB_TRAINING_RUNS {
+                    session.run_predecoded(trainer.clone(), BTB_TRAINER_BUDGET);
+                }
+                // The trainer's normal exit is Wedged (it jumps to an
+                // address that exists only in the victim's image);
+                // discharge it so unit health checks see units only.
+                session.acknowledge_non_halt();
+                session.warm_text(&victim);
+                let probe = gadget::build_probe_program(&layout);
+                ShardPrograms::Btb {
+                    victim: Arc::new(DecodedProgram::new(victim)),
+                    probe: Arc::new(DecodedProgram::new(probe)),
+                    slot_addr,
+                }
+            }
+            GadgetKind::Rsb => {
+                let victim = build_rsb_victim(&layout, shard.nop_slide as usize);
+                session.warm_text(&victim);
+                let probe = gadget::build_probe_program(&layout);
+                ShardPrograms::Rsb {
+                    victim: Arc::new(DecodedProgram::new(victim)),
+                    probe: Arc::new(DecodedProgram::new(probe)),
+                }
+            }
+        };
+        ShardSnapshot {
+            session,
+            programs,
+            layout,
+            max_cycles: spec.max_cycles,
+            label: shard.label(),
+        }
+    }
+
+    /// The warmed parent session (read-only; forks clone it).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Runs one unit on a copy-on-write fork of the snapshot.
+    pub fn run_forked(
+        &self,
+        secret: u8,
+        token: Option<CancelToken>,
+    ) -> Result<UnitResult, RunError> {
+        self.run_on(self.session.clone(), secret, token)
+    }
+
+    /// Runs one unit on the snapshot itself, consuming it — the fresh
+    /// (never-forked) control path for equivalence tests and the perf
+    /// baseline.
+    pub fn run_consuming(
+        self,
+        secret: u8,
+        token: Option<CancelToken>,
+    ) -> Result<UnitResult, RunError> {
+        let session = self.session.clone();
+        self.run_on(session, secret, token)
+    }
+
+    fn run_on(
+        &self,
+        mut session: Session,
+        secret: u8,
+        token: Option<CancelToken>,
+    ) -> Result<UnitResult, RunError> {
+        session.machine_mut().set_cancel_token(token);
+        session.plant(&self.layout, secret);
+        let (leaked, runahead_entries, inv_branches) = match &self.programs {
+            ShardPrograms::Pht { attack } => {
+                session.reset_stats();
+                session.run_predecoded(attack.clone(), self.max_cycles);
+                let out = session.outcome_with(secret, DEFAULT_THRESHOLD, &[0]);
+                (out.leaked, out.runahead_entries, out.inv_branches)
+            }
+            ShardPrograms::Btb { victim, probe, slot_addr } => {
+                // Evict the victim's jump-table slot, then let the victim
+                // enter runahead and fetch down the trained BTB path.
+                session.flush(*slot_addr);
+                session.reset_stats();
+                session.run_predecoded(victim.clone(), self.max_cycles);
+                let runahead = session.stats().runahead_entries;
+                let inv = session.stats().inv_unresolved_branches;
+                session.run_predecoded(probe.clone(), self.max_cycles);
+                let leaked = session.probe_timings().leaked_byte(DEFAULT_THRESHOLD, &[0]);
+                (leaked, runahead, inv)
+            }
+            ShardPrograms::Rsb { victim, probe } => {
+                // D holds 0 so that architecturally F = benign.
+                session.write_value(self.layout.bound_addr, 8, 0);
+                session.warm(self.layout.bound_addr, 8);
+                session.reset_stats();
+                session.run_predecoded(victim.clone(), self.max_cycles);
+                let runahead = session.stats().runahead_entries;
+                let inv = session.stats().inv_unresolved_branches;
+                session.run_predecoded(probe.clone(), self.max_cycles);
+                let leaked = session.probe_timings().leaked_byte(DEFAULT_THRESHOLD, &[0]);
+                (leaked, runahead, inv)
+            }
+        };
+        let committed = session.stats().committed;
+        let what = || format!("pool shard {} secret {secret}", self.label);
+        match session.first_non_halt() {
+            None => {}
+            Some((RunExit::CycleLimit, budget)) => {
+                return Err(RunError::CycleBudgetExceeded { what: what(), budget, committed });
+            }
+            Some((RunExit::Cancelled, _)) => {
+                return Err(RunError::Cancelled { what: what(), committed });
+            }
+            Some((exit, _)) => {
+                return Err(RunError::NoHalt {
+                    what: what(),
+                    detail: format!("a program exited with {exit:?}"),
+                });
+            }
+        }
+        Ok(UnitResult {
+            leaked,
+            expected: secret,
+            runahead_entries,
+            inv_branches,
+            arch_fingerprint: session.machine().core().arch_fingerprint(),
+        })
+    }
+}
+
+/// Everything one unit (one forked session, one secret) produced. Fork
+/// and fresh runs of the same unit must compare equal — `PartialEq` *is*
+/// the fork-fidelity invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitResult {
+    /// Byte the covert channel recovered, if any.
+    pub leaked: Option<u8>,
+    /// The planted secret.
+    pub expected: u8,
+    /// Runahead episodes the victim caused.
+    pub runahead_entries: u64,
+    /// Unresolved INV-source branches (the SPECRUN signature).
+    pub inv_branches: u64,
+    /// Architectural-state fingerprint after the unit's last program.
+    pub arch_fingerprint: u64,
+}
+
+/// The shard runner [`SessionPool::run_with`] expects: prepares the
+/// shard's snapshot once, forks a session per secret, folds every unit
+/// into a streaming [`ShardStats`].
+pub fn run_shard(
+    spec: &CampaignSpec,
+    shard: &ShardSpec,
+    ctx: &UnitCtx,
+) -> Result<ShardStats, RunError> {
+    let snapshot = ShardSnapshot::prepare(spec, shard);
+    let mut stats = ShardStats::default();
+    for &secret in &spec.secrets {
+        let unit = snapshot.run_forked(secret, Some(ctx.token.clone()))?;
+        stats.record(
+            unit.leaked,
+            unit.expected,
+            unit.runahead_entries,
+            unit.inv_branches,
+            unit.arch_fingerprint,
+        );
+    }
+    Ok(stats)
+}
+
+/// Runs one unit on a fresh, never-forked snapshot — the control the
+/// fork path is measured and verified against.
+pub fn run_unit_fresh(
+    spec: &CampaignSpec,
+    shard: &ShardSpec,
+    secret: u8,
+) -> Result<UnitResult, RunError> {
+    ShardSnapshot::prepare(spec, shard).run_consuming(secret, None)
+}
+
+/// Runs a whole campaign with fork-based pooling under passive
+/// supervision: `spec.shards` fanned out over `threads` workers, one
+/// snapshot per shard, one fork per secret.
+pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> PoolReport {
+    SessionPool::new(threads).run_with(spec, &WallClock::new(), run_shard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use specrun_workloads::plan::PlanPolicy;
+    use specrun_workloads::pool::ShardStatus;
+
+    /// A cut-down campaign that still exercises every per-unit path.
+    fn small_spec(shards: Vec<ShardSpec>) -> CampaignSpec {
+        CampaignSpec { secrets: vec![86, 201], shards, ..CampaignSpec::paper_matrix() }
+    }
+
+    fn shard(gadget: GadgetKind, policy: PlanPolicy, nop_slide: u32) -> ShardSpec {
+        ShardSpec { gadget, policy, nop_slide }
+    }
+
+    #[test]
+    fn fork_equals_fresh_bit_for_bit_across_gadgets() {
+        let spec = small_spec(vec![]);
+        for cell in [
+            shard(GadgetKind::Pht, PlanPolicy::Runahead, 0),
+            shard(GadgetKind::Pht, PlanPolicy::Runahead, 300),
+            shard(GadgetKind::Btb, PlanPolicy::Runahead, 0),
+            shard(GadgetKind::Rsb, PlanPolicy::Runahead, 0),
+        ] {
+            let snapshot = ShardSnapshot::prepare(&spec, &cell);
+            for &secret in &spec.secrets {
+                let forked = snapshot.run_forked(secret, None).expect("forked unit runs");
+                let fresh = run_unit_fresh(&spec, &cell, secret).expect("fresh unit runs");
+                assert_eq!(forked, fresh, "{} secret {secret}: fork must be exact", cell.label());
+            }
+        }
+    }
+
+    #[test]
+    fn forked_units_leak_on_runahead_and_not_under_defenses() {
+        let spec = small_spec(vec![]);
+        let leak = shard(GadgetKind::Pht, PlanPolicy::Runahead, 0);
+        let snapshot = ShardSnapshot::prepare(&spec, &leak);
+        for &secret in &spec.secrets {
+            let unit = snapshot.run_forked(secret, None).unwrap();
+            assert_eq!(unit.leaked, Some(secret), "runahead machine leaks each fork's secret");
+            assert!(unit.runahead_entries > 0);
+        }
+        // Fig. 11 shape: with the slide past the ROB only the runahead
+        // channel can reach the gadget, which is what the defense blocks.
+        let secure =
+            ShardSnapshot::prepare(&spec, &shard(GadgetKind::Pht, PlanPolicy::Secure, 300));
+        let unit = secure.run_forked(86, None).unwrap();
+        assert_eq!(unit.leaked, None, "SL cache blocks the channel");
+    }
+
+    #[test]
+    fn sibling_forks_see_their_own_secrets_only() {
+        let spec = small_spec(vec![]);
+        let snapshot =
+            ShardSnapshot::prepare(&spec, &shard(GadgetKind::Pht, PlanPolicy::Runahead, 0));
+        let layout = *snapshot.session().layout();
+        let mut a = snapshot.session().clone();
+        let mut b = snapshot.session().clone();
+        a.plant(&layout, 0x11);
+        b.plant(&layout, 0x22);
+        assert_eq!(a.read_bytes(layout.secret_addr, 1), vec![0x11]);
+        assert_eq!(b.read_bytes(layout.secret_addr, 1), vec![0x22]);
+        assert_eq!(
+            snapshot.session().read_bytes(layout.secret_addr, 1),
+            vec![0],
+            "the parent snapshot never held a secret"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// COW fidelity, memory-only: whatever a fork writes, parent and
+        /// sibling reads are unaffected, and untouched addresses read
+        /// through to the shared (parent) value.
+        #[test]
+        fn forked_session_writes_never_bleed(
+            offset in 0u64..0x4000,
+            parent_byte in any::<u8>(),
+            fork_a_byte in any::<u8>(),
+            fork_b_byte in any::<u8>(),
+        ) {
+            let base = specrun_workloads::plan::WARM_SCRATCH_BASE;
+            let addr = base + offset;
+            let spec = small_spec(vec![]);
+            let cell = shard(GadgetKind::Pht, PlanPolicy::Runahead, 0);
+            let mut snapshot = ShardSnapshot::prepare(&spec, &cell);
+            snapshot.session.write_bytes(addr, &[parent_byte]);
+            let mut a = snapshot.session().clone();
+            let mut b = snapshot.session().clone();
+            a.write_bytes(addr, &[fork_a_byte]);
+            b.write_bytes(addr + 0x4000, &[fork_b_byte]);
+            prop_assert_eq!(a.read_bytes(addr, 1), vec![fork_a_byte]);
+            prop_assert_eq!(b.read_bytes(addr, 1), vec![parent_byte],
+                "sibling must not see fork A's write");
+            prop_assert_eq!(b.read_bytes(addr + 0x4000, 1), vec![fork_b_byte]);
+            prop_assert_eq!(snapshot.session().read_bytes(addr, 1), vec![parent_byte],
+                "parent must not see fork A's write");
+            prop_assert_eq!(snapshot.session().read_bytes(addr + 0x4000, 1), vec![0u8],
+                "parent must not see fork B's write");
+            prop_assert_eq!(a.read_bytes(addr + 0x4000, 1), vec![0u8],
+                "fork A must not see fork B's write");
+        }
+    }
+
+    #[test]
+    fn run_campaign_aggregates_mixed_policies() {
+        let spec = small_spec(vec![
+            shard(GadgetKind::Pht, PlanPolicy::Runahead, 0),
+            shard(GadgetKind::Pht, PlanPolicy::Secure, 300),
+        ]);
+        let report = run_campaign(&spec, 2);
+        assert!(report.all_done(), "{:?}", report.shards);
+        assert_eq!(report.total_units(), 4);
+        assert_eq!(report.shards[0].stats.leaks, 2, "runahead shard leaks every secret");
+        assert_eq!(report.shards[1].stats.leaks, 0, "secure shard leaks nothing");
+        assert!(matches!(report.shards[0].status, ShardStatus::Done { attempts: 1 }));
+    }
+
+    #[test]
+    fn campaign_report_is_thread_count_invariant() {
+        let spec = small_spec(vec![
+            shard(GadgetKind::Pht, PlanPolicy::Runahead, 0),
+            shard(GadgetKind::Rsb, PlanPolicy::Runahead, 0),
+        ]);
+        let one = run_campaign(&spec, 1);
+        let four = run_campaign(&spec, 4);
+        assert_eq!(one, four, "shard fingerprints must not depend on scheduling");
+    }
+
+    #[test]
+    fn starved_budget_surfaces_as_structured_error() {
+        let mut spec = small_spec(vec![]);
+        spec.max_cycles = 40;
+        let cell = shard(GadgetKind::Pht, PlanPolicy::Runahead, 0);
+        match run_unit_fresh(&spec, &cell, 86) {
+            Err(RunError::CycleBudgetExceeded { what, budget, .. }) => {
+                assert!(what.contains("pht_runahead"), "{what}");
+                assert_eq!(budget, 40);
+            }
+            other => panic!("expected CycleBudgetExceeded, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! End-to-end fork-campaign tests: the whole paper matrix through
+//! [`specrun::pool::run_campaign`], with per-shard leak verdicts and the
+//! double-run determinism the repro gate depends on.
+
+use specrun::pool::run_campaign;
+use specrun_workloads::pool::{CampaignSpec, ShardStatus};
+
+/// The full eight-shard PHT/BTB/RSB × policy matrix, 24 forked sessions,
+/// checked shard by shard against the paper's verdicts.
+#[test]
+fn paper_matrix_reproduces_per_figure_verdicts() {
+    let spec = CampaignSpec::paper_matrix();
+    let report = run_campaign(&spec, 0);
+    assert!(report.all_done(), "{:?}", report.shards);
+    assert!(!report.breaker_tripped);
+    assert_eq!(report.total_units(), spec.unit_count());
+
+    let rate = |label: &str| {
+        report
+            .shards
+            .iter()
+            .find(|s| s.spec.label() == label)
+            .unwrap_or_else(|| panic!("shard {label} missing"))
+            .stats
+            .leak_rate()
+    };
+    // Vulnerable runahead leaks in both the Fig. 9 and Fig. 11 shapes.
+    assert_eq!(rate("pht_runahead"), 1.0);
+    assert_eq!(rate("pht_runahead_s300"), 1.0);
+    // Past the ROB, the no-runahead baseline and both §6 defenses hold.
+    assert_eq!(rate("pht_norunahead_s300"), 0.0);
+    assert_eq!(rate("pht_secure_s300"), 0.0);
+    assert_eq!(rate("pht_skipinv_s300"), 0.0);
+    // The §4.4 variants leak — including BTB on the defended machine,
+    // the paper's finding that the SL scheme does not cover BTB/RSB.
+    assert_eq!(rate("btb_runahead_s300"), 1.0);
+    assert_eq!(rate("btb_secure_s300"), 1.0);
+    assert_eq!(rate("rsb_runahead_s300"), 1.0);
+
+    for shard in &report.shards {
+        assert!(matches!(shard.status, ShardStatus::Done { attempts: 1 }), "{:?}", shard);
+        let label = shard.spec.label();
+        if shard.spec.policy == specrun_workloads::plan::PlanPolicy::NoRunahead {
+            assert_eq!(shard.stats.runahead_entries, 0, "{label}: baseline cannot enter runahead");
+        } else {
+            assert!(shard.stats.runahead_entries > 0, "{label} must enter runahead");
+        }
+    }
+}
+
+/// Two runs of the matrix at different thread counts must agree bit for
+/// bit — the in-process half of the CI `pool-repro` artifact gate.
+#[test]
+fn paper_matrix_is_deterministic_across_thread_counts() {
+    let spec = CampaignSpec::paper_matrix();
+    let serial = run_campaign(&spec, 1);
+    let parallel = run_campaign(&spec, 4);
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.metrics(), parallel.metrics());
+}

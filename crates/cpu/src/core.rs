@@ -260,6 +260,16 @@ impl<O: PipelineObserver> Core<O> {
     /// DRAM contention carry over, which is what lets one program train
     /// structures another program will consult (the paper's threat model).
     pub fn load_program(&mut self, program: &Program) {
+        // Predecode once: every instruction is lowered to its `UopMeta`
+        // here, and the pipeline never re-derives static facts per cycle.
+        self.load_program_predecoded(Arc::new(DecodedProgram::new(program.clone())));
+    }
+
+    /// [`Core::load_program`] for an already-predecoded program. The `Arc`
+    /// is stored as-is, so campaign forks running the same attack program
+    /// share one `DecodedProgram` (it is immutable after construction)
+    /// instead of re-lowering and re-allocating it per session.
+    pub fn load_program_predecoded(&mut self, decoded: Arc<DecodedProgram>) {
         self.flush_pipeline();
         self.rat = Rat::identity();
         self.retire_rat = Rat::identity();
@@ -267,11 +277,10 @@ impl<O: PipelineObserver> Core<O> {
         self.regs = RegFile::new(self.cfg.int_prf, self.cfg.fp_prf);
         let sp = self.retire_rat.get(ArchReg::Int(IntReg::SP));
         self.regs.restore(sp, self.cfg.stack_top);
+        let program = decoded.program();
         self.scope_map = program.branch_scopes().iter().map(|s| (s.branch_pc, s.end_pc)).collect();
-        // Predecode once: every instruction is lowered to its `UopMeta`
-        // here, and the pipeline never re-derives static facts per cycle.
-        self.program = Some(Arc::new(DecodedProgram::new(program.clone())));
         self.fetch_pc = program.entry();
+        self.program = Some(decoded);
         self.fetch_halted = false;
         self.halted = false;
         self.mode = Mode::Normal;

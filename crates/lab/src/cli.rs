@@ -23,8 +23,9 @@ use crate::perf::{self, PerfOptions};
 use crate::registry::{find, registry};
 use crate::report::{LabEntry, LabReport};
 use crate::scenario::RunContext;
-use crate::sink::FsSink;
+use crate::sink::{ArtifactSink as _, FsSink};
 use specrun_workloads::clock::{Clock, WallClock};
+use specrun_workloads::pool::CampaignSpec;
 use specrun_workloads::supervisor::backoff_ms;
 
 const USAGE: &str = "\
@@ -37,6 +38,8 @@ USAGE:
                     [--deadline-ms N] [--retries N]
     specrun-lab perf [--quick] [--baseline PATH | --baseline-from-git] [--max-drop F]
                      [--repeats N]
+    specrun-lab pool spec
+    specrun-lab pool run SPEC.json [--threads N] [--out PATH]
     specrun-lab fuzz [--plans N] [--seed N] [--shard-threads N] [--quick]
                      [--fail-dir DIR] [--report PATH] [--invert-invariant NAME]
                      [--replay FILE] [--list-invariants] [--resume] [--journal PATH]
@@ -67,6 +70,15 @@ COMMANDS:
             committed BENCH_step.json at HEAD. --repeats N reports the
             best of N wall-clock samples per workload (CI uses 3), which
             cuts false gate failures on noisy shared hosts.
+    pool    Copy-on-write fork campaigns. `pool spec` prints the paper's
+            full PHT/BTB/RSB × policy matrix as a spec file; `pool run`
+            executes a spec — one warmed snapshot per shard, one forked
+            session per planted secret — over the supervised executor and
+            writes POOL_report.json (--out overrides the path). The
+            artifact is a pure function of the spec: byte-identical across
+            runs and thread counts, which the CI pool-repro job enforces
+            with a byte compare. Exit 0 when every shard completed, 1
+            otherwise, 2 on usage/IO errors.
     fuzz    Generative attack-plan soak: derive N whole attack plans from
             --seed (hex accepted), run each twice through the simulator
             with the ground-truth observers attached, and enforce the
@@ -125,6 +137,15 @@ pub fn main() -> i32 {
             Ok(opts) => perf::run(&opts),
             Err(e) => {
                 eprintln!("error: {e}");
+                2
+            }
+        },
+        Some("pool") => match pool_command(&args[1..]) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!();
+                eprint!("{USAGE}");
                 2
             }
         },
@@ -336,6 +357,106 @@ fn parse_chaos_args(args: &[String]) -> Result<ChaosOptions, String> {
         }
     }
     Ok(opts)
+}
+
+/// A parsed `specrun-lab pool` invocation.
+#[derive(Debug, PartialEq)]
+enum PoolCommand {
+    /// `pool spec`: print the paper-matrix spec document.
+    Spec,
+    /// `pool run SPEC.json`: execute a spec file.
+    Run {
+        /// The spec file to execute.
+        spec_path: PathBuf,
+        /// Worker threads (`0` = all host cores).
+        threads: usize,
+        /// Where the artifact goes.
+        out: PathBuf,
+    },
+}
+
+fn parse_pool_args(args: &[String]) -> Result<PoolCommand, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("spec") => match it.next() {
+            None => Ok(PoolCommand::Spec),
+            Some(extra) => Err(format!("unexpected pool spec argument {extra}")),
+        },
+        Some("run") => {
+            let mut spec_path = None;
+            let mut threads = 0usize;
+            let mut out = PathBuf::from(crate::pool::POOL_REPORT_NAME);
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--threads" => {
+                        let v = it.next().ok_or("--threads needs a count")?;
+                        threads = parse_threads(v)?;
+                    }
+                    "--out" => {
+                        let v = it.next().ok_or("--out needs a path")?;
+                        out = PathBuf::from(v);
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(format!("unknown pool run option {flag}"));
+                    }
+                    path if spec_path.is_none() => spec_path = Some(PathBuf::from(path)),
+                    extra => return Err(format!("unexpected pool run argument {extra}")),
+                }
+            }
+            let spec_path = spec_path
+                .ok_or("pool run needs a spec file (generate one with `specrun-lab pool spec`)")?;
+            Ok(PoolCommand::Run { spec_path, threads, out })
+        }
+        Some(other) => Err(format!("unknown pool subcommand {other} (expected spec or run)")),
+        None => Err("pool needs a subcommand: spec or run".into()),
+    }
+}
+
+/// Executes `specrun-lab pool …`. The artifact bytes are a pure function
+/// of the spec file — `--threads` changes wall-clock time, never output.
+fn pool_command(args: &[String]) -> Result<i32, String> {
+    match parse_pool_args(args)? {
+        PoolCommand::Spec => {
+            println!("{}", CampaignSpec::paper_matrix().to_json(0));
+            Ok(0)
+        }
+        PoolCommand::Run { spec_path, threads, out } => {
+            let text = std::fs::read_to_string(&spec_path)
+                .map_err(|e| format!("cannot read {}: {e}", spec_path.display()))?;
+            let spec = crate::pool::parse_spec(&text)?;
+            println!(
+                "pool: {} shard(s) × {} secret(s) = {} forked session(s)",
+                spec.shards.len(),
+                spec.secrets.len(),
+                spec.unit_count()
+            );
+            let report = specrun::run_campaign(&spec, threads);
+            println!(
+                "{:<22} {:>6} {:>6} {:>10} {:>9}  status",
+                "shard", "units", "leaks", "leak_rate", "runahead"
+            );
+            for shard in &report.shards {
+                println!(
+                    "{:<22} {:>6} {:>6} {:>10.3} {:>9}  {}",
+                    shard.spec.label(),
+                    shard.stats.units,
+                    shard.stats.leaks,
+                    shard.stats.leak_rate(),
+                    shard.stats.runahead_entries,
+                    shard.status.label()
+                );
+            }
+            let artifact = crate::pool::report_json(&spec, &report).render();
+            FsSink
+                .write_atomic(&out, &artifact)
+                .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+            println!("wrote {}", out.display());
+            if report.breaker_tripped {
+                eprintln!("campaign circuit breaker tripped; some shards were skipped");
+            }
+            Ok(if report.all_done() { 0 } else { 1 })
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -821,6 +942,52 @@ mod tests {
         let err = parse_chaos_args(&strings(&["--drill", "nope"])).unwrap_err();
         assert!(err.contains("unknown drill nope"), "{err}");
         assert!(err.contains("stalled_unit"), "lists the available drills: {err}");
+    }
+
+    #[test]
+    fn parses_pool_commands() {
+        assert_eq!(parse_pool_args(&strings(&["spec"])).unwrap(), PoolCommand::Spec);
+        let parsed =
+            parse_pool_args(&strings(&["run", "matrix.json", "--threads", "4", "--out", "/tmp/p"]))
+                .unwrap();
+        assert_eq!(
+            parsed,
+            PoolCommand::Run {
+                spec_path: PathBuf::from("matrix.json"),
+                threads: 4,
+                out: PathBuf::from("/tmp/p"),
+            }
+        );
+        let defaults = parse_pool_args(&strings(&["run", "matrix.json"])).unwrap();
+        assert_eq!(
+            defaults,
+            PoolCommand::Run {
+                spec_path: PathBuf::from("matrix.json"),
+                threads: 0,
+                out: PathBuf::from(crate::pool::POOL_REPORT_NAME),
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_pool_usage() {
+        assert!(parse_pool_args(&strings(&[])).is_err(), "no subcommand");
+        assert!(parse_pool_args(&strings(&["bogus"])).is_err(), "unknown subcommand");
+        assert!(parse_pool_args(&strings(&["spec", "extra"])).is_err(), "spec takes nothing");
+        assert!(parse_pool_args(&strings(&["run"])).is_err(), "run needs a spec file");
+        assert!(parse_pool_args(&strings(&["run", "a.json", "b.json"])).is_err(), "one spec only");
+        assert!(parse_pool_args(&strings(&["run", "a.json", "--bogus"])).is_err(), "unknown flag");
+        assert!(parse_pool_args(&strings(&["run", "a.json", "--threads", "0"])).is_err());
+        let err = pool_command(&strings(&["run", "/nonexistent/spec.json"])).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn pool_spec_document_round_trips_through_the_decoder() {
+        // What `specrun-lab pool spec` prints is exactly what
+        // `specrun-lab pool run` accepts.
+        let printed = CampaignSpec::paper_matrix().to_json(0);
+        assert_eq!(crate::pool::parse_spec(&printed).unwrap(), CampaignSpec::paper_matrix());
     }
 
     #[test]

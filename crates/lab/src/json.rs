@@ -1,4 +1,4 @@
-//! A minimal, deterministic JSON value and writer.
+//! A minimal, deterministic JSON value, writer and reader.
 //!
 //! No serde in this offline build — the lab's artifacts are emitted by
 //! hand. Two properties matter more than generality:
@@ -9,6 +9,12 @@
 //! * **stable number formatting** — integral values render without a
 //!   decimal point, everything else uses Rust's shortest-roundtrip `{}`
 //!   formatting, and non-finite values become `null`.
+//!
+//! [`Json::parse`] is the matching reader — a small recursive-descent
+//! parser for campaign spec files (`specrun-lab pool run <spec.json>`).
+//! It accepts standard JSON and round-trips everything [`Json::render`]
+//! emits; errors carry a byte offset so a hand-edited spec fails loudly
+//! and locatably, never half-decoded.
 
 use std::fmt::Write as _;
 
@@ -109,6 +115,215 @@ impl Json {
                     }
                     out.push_str(line);
                 }
+            }
+        }
+    }
+
+    /// Parses JSON text into a value. Objects keep their source order, so
+    /// `parse` inverts [`Json::render`] (modulo `Raw`, which parses back
+    /// as the structure it rendered). Errors name the byte offset.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a `Num`.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an `Arr`.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Nesting cap for [`Json::parse`]: deeper documents are rejected rather
+/// than risking recursion exhaustion on adversarial input. Lab artifacts
+/// nest four or five levels.
+const MAX_PARSE_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.bytes.get(self.pos) {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(&b) => Err(self.err(&format!("unexpected byte {:?}", b as char))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected `,` or `]` in array"));
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.pos += 1; // consume '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string().map_err(|_| self.err("expected a string object key"))?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected `:` after object key"));
+            }
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Json::Obj(fields));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected `,` or `}` in object"));
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let start = self.pos;
+        if !self.eat(b'"') {
+            return Err(self.err("expected `\"`"));
+        }
+        // Scan to the closing quote, honouring backslash escapes, then
+        // hand the whole literal to `unescape` — one decoder, not two.
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    let literal = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    return unescape(literal).ok_or_else(|| self.err("malformed escape in string"));
+                }
+                b'\\' => {
+                    self.pos += 2; // skip the escape introducer and its payload byte
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = start;
+        Err(self.err("unterminated string"))
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.eat(b'.') {
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if !self.eat(b'+') {
+                let _ = self.eat(b'-');
+            }
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+            _ => {
+                self.pos = start;
+                Err(self.err(&format!("malformed number `{text}`")))
             }
         }
     }
@@ -255,6 +470,74 @@ mod tests {
         assert!(unescape("\"trailing backslash\\\"").is_none(), "lone backslash eats the quote");
         assert!(unescape("\"bad \\q escape\"").is_none());
         assert!(unescape("\"embedded \" quote\"").is_none());
+    }
+
+    #[test]
+    fn parse_inverts_render() {
+        let v = Json::obj(vec![
+            ("name".into(), Json::str("pool")),
+            ("count".into(), Json::Num(24.0)),
+            ("rate".into(), Json::Num(0.5)),
+            ("neg".into(), Json::Num(-3.0)),
+            ("on".into(), Json::Bool(true)),
+            ("off".into(), Json::Bool(false)),
+            ("nothing".into(), Json::Null),
+            ("text".into(), Json::str("two\nlines \"quoted\"")),
+            ("items".into(), Json::Arr(vec![Json::Num(1.0), Json::str("x"), Json::Null])),
+            ("empty_arr".into(), Json::Arr(Vec::new())),
+            ("empty_obj".into(), Json::Obj(Vec::new())),
+            ("nested".into(), Json::obj(vec![("k".into(), Json::Arr(vec![Json::Num(2.5)]))])),
+        ]);
+        let parsed = Json::parse(&v.render()).unwrap();
+        assert_eq!(parsed, v);
+        assert_eq!(parsed.render(), v.render(), "byte-stable through a round trip");
+    }
+
+    #[test]
+    fn parse_accepts_compact_and_whitespace_heavy_text() {
+        let compact = Json::parse("{\"a\":[1,2.5,-3e2],\"b\":{\"c\":true}}").unwrap();
+        let spread =
+            Json::parse("  {\n \"a\" : [ 1 ,\t2.5, -3e2 ] ,\r\n\"b\":{ \"c\" : true } }  ")
+                .unwrap();
+        assert_eq!(compact, spread);
+        assert_eq!(compact.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
+        assert_eq!(compact.get("a").unwrap().as_arr().unwrap()[2], Json::Num(-300.0));
+        assert_eq!(compact.get("b").and_then(|b| b.get("c")), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for (text, why) in [
+            ("", "empty"),
+            ("{\"a\": 1", "unclosed object"),
+            ("[1, 2", "unclosed array"),
+            ("[1 2]", "missing comma"),
+            ("{\"a\" 1}", "missing colon"),
+            ("{a: 1}", "bare key"),
+            ("\"unterminated", "unterminated string"),
+            ("\"bad \\q escape\"", "bad escape"),
+            ("01x", "trailing garbage"),
+            ("truth", "misspelt keyword"),
+            ("-", "lone minus"),
+            ("1e999", "non-finite number"),
+            ("{} {}", "two documents"),
+        ] {
+            let err = Json::parse(text).unwrap_err();
+            assert!(err.contains("json parse error at byte"), "{why}: {err}");
+        }
+        let deep = format!("{}1{}", "[".repeat(80), "]".repeat(80));
+        assert!(Json::parse(&deep).unwrap_err().contains("nesting too deep"));
+    }
+
+    #[test]
+    fn accessors_navigate_without_panicking() {
+        let v = Json::parse("{\"s\": \"hi\", \"n\": 7}").unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(v.get("n").and_then(Json::as_num), Some(7.0));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("s"), None);
+        assert_eq!(Json::Num(1.0).as_str(), None);
+        assert_eq!(Json::str("x").as_arr(), None);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod fuzz;
 pub mod journal;
 pub mod json;
 pub mod perf;
+pub mod pool;
 pub mod registry;
 pub mod report;
 pub mod scenario;
@@ -49,6 +50,7 @@ pub mod sink;
 
 pub use fuzz::{FuzzInvariant, FuzzOptions, Violation, FUZZ_REPORT_NAME, INVARIANTS};
 pub use json::Json;
+pub use pool::{parse_spec, report_json, POOL_REPORT_NAME};
 pub use report::{parse_metrics, BenchReport, LabEntry, LabReport, LAB_REPORT_NAME};
 pub use scenario::{Invariant, RunContext, Scenario, ScenarioRun, DEFAULT_SEED};
 pub use sink::{ArtifactSink, ChaosSink, FsSink};

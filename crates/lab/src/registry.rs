@@ -76,6 +76,12 @@ pub fn registry() -> Vec<Scenario> {
             paper_ref: "methodology",
             run: run_bench_step,
         },
+        Scenario {
+            name: "pool_matrix",
+            title: "Copy-on-write fork campaign across the attack/defense matrix",
+            paper_ref: "§4.3/§4.4/§6",
+            run: run_pool_matrix,
+        },
     ]
 }
 
@@ -848,6 +854,120 @@ fn run_bench_step(ctx: &RunContext) -> ScenarioRun {
     run
 }
 
+// ---------------------------------------------------------------------------
+// pool_matrix — the whole attack/defense matrix as ONE fork campaign:
+// every shard warms a single snapshot session and forks it copy-on-write
+// per planted secret, instead of rebuilding a machine per cell the way the
+// per-figure scenarios do. The invariants re-state the per-figure verdicts
+// (Fig. 9/11 leaks, §6 defenses, the §4.4 BTB/RSB variants and the
+// SL-does-not-cover-BTB finding) over the pooled execution, plus the
+// thread-count invariance the CI pool-repro byte compare depends on.
+// ---------------------------------------------------------------------------
+
+fn run_pool_matrix(ctx: &RunContext) -> ScenarioRun {
+    use specrun_workloads::plan::PlanPolicy;
+    use specrun_workloads::pool::CampaignSpec;
+
+    let mut run = ScenarioRun::new(&scenario("pool_matrix"), ctx);
+    let mut spec = CampaignSpec::paper_matrix();
+    spec.seed = ctx.seed;
+    if ctx.quick {
+        spec.secrets.truncate(2); // [86, 127] — the paper's two figure secrets
+    }
+    run.note("shards", spec.shards.len().to_string());
+    run.note("secrets_per_shard", spec.secrets.len().to_string());
+    run.note("forked_sessions", spec.unit_count().to_string());
+    for shard in &spec.shards {
+        run.digest(shard.label(), &specrun::pool::shard_config(&spec, shard));
+    }
+
+    let report = specrun::run_campaign(&spec, worker_threads(ctx));
+    run.metrics = report.metrics();
+
+    run.line("shard,units,leaks,leak_rate,runahead_entries,inv_branches,status".to_string());
+    for shard in &report.shards {
+        run.line(format!(
+            "{},{},{},{:.3},{},{},{}",
+            shard.spec.label(),
+            shard.stats.units,
+            shard.stats.leaks,
+            shard.stats.leak_rate(),
+            shard.stats.runahead_entries,
+            shard.stats.inv_branches,
+            shard.status.label()
+        ));
+    }
+
+    let rate = |label: &str| {
+        report
+            .shards
+            .iter()
+            .find(|s| s.spec.label() == label)
+            .map_or(f64::NAN, |s| s.stats.leak_rate())
+    };
+    run.check(
+        "all_shards_complete",
+        "every shard of the campaign runs to completion on the first attempt",
+        report.all_done() && !report.breaker_tripped,
+        format!("{}/{} done", report.completed(), report.shards.len()),
+    );
+    let vulnerable =
+        ["pht_runahead", "pht_runahead_s300", "btb_runahead_s300", "rsb_runahead_s300"];
+    run.check(
+        "runahead_shards_leak",
+        "every forked session on the vulnerable runahead machine recovers its secret \
+         (PHT in the Fig. 9 and Fig. 11 shapes, plus the §4.4 BTB/RSB variants)",
+        vulnerable.iter().all(|l| rate(l) == 1.0),
+        vulnerable.iter().map(|l| format!("{l} {:.2}", rate(l))).collect::<Vec<_>>().join(", "),
+    );
+    let defended = ["pht_norunahead_s300", "pht_secure_s300", "pht_skipinv_s300"];
+    run.check(
+        "pht_defenses_hold",
+        "past the ROB, the no-runahead baseline and both §6 defenses leak nothing",
+        defended.iter().all(|l| rate(l) == 0.0),
+        defended.iter().map(|l| format!("{l} {:.2}", rate(l))).collect::<Vec<_>>().join(", "),
+    );
+    run.check(
+        "sl_cache_does_not_cover_btb",
+        "SpectreBTB still leaks on the SL-cache machine (the paper's finding that the \
+         §6 scheme does not cover the BTB/RSB variants)",
+        rate("btb_secure_s300") == 1.0,
+        format!("{:.2}", rate("btb_secure_s300")),
+    );
+    let signatures_ok = report.shards.iter().all(|s| {
+        if s.spec.policy == PlanPolicy::NoRunahead {
+            s.stats.runahead_entries == 0
+        } else {
+            s.stats.runahead_entries > 0
+        }
+    });
+    run.check(
+        "runahead_signature_per_policy",
+        "runahead-capable shards enter runahead; the disabled baseline never does",
+        signatures_ok,
+        report
+            .shards
+            .iter()
+            .map(|s| format!("{} {}", s.spec.label(), s.stats.runahead_entries))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    // The in-process half of the CI pool-repro byte compare: a serial
+    // re-run of the same spec must reproduce the parallel report exactly,
+    // shard fingerprints included.
+    let serial = specrun::run_campaign(&spec, 1);
+    run.check(
+        "thread_count_invariant",
+        "a serial re-run reproduces the pooled report bit for bit (fingerprints included)",
+        serial == report,
+        format!(
+            "fingerprints {:?}",
+            report.shards.iter().map(|s| s.stats.fingerprint).collect::<Vec<_>>()
+        ),
+    );
+    run
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -877,5 +997,15 @@ mod tests {
         let run = run_table1(&RunContext::quick());
         assert!(run.passed(), "failures: {:?}", run.failures());
         assert_eq!(run.metrics.get("rob_entries"), Some(256.0));
+    }
+
+    #[test]
+    fn pool_matrix_passes_quickly() {
+        let run = run_pool_matrix(&RunContext::quick());
+        assert!(run.passed(), "failures: {:?}", run.failures());
+        // Quick mode: 8 shards × 2 secrets, every session forked from its
+        // shard's snapshot.
+        assert_eq!(run.metrics.get("total_units"), Some(16.0));
+        assert_eq!(run.metrics.get("total_leaks"), Some(10.0), "5 leaking shards × 2 secrets");
     }
 }

@@ -8,10 +8,18 @@
 //! plus a one-entry last-page cache: simulated programs overwhelmingly
 //! stream within a page, so the common lookup is one compare, not a SipHash
 //! invocation.
+//!
+//! Pages are reference-counted ([`std::sync::Arc`]), so cloning a store is
+//! copy-on-write: the clone is O(resident pages) pointer copies, every page
+//! stays shared until one side writes to it, and the first write to a
+//! shared page clones just that 4 KiB page (`Arc::make_mut`). This is what
+//! makes forking thousands of sessions from one warmed snapshot cheap —
+//! see `specrun_workloads::pool`.
 
 use core::cell::Cell;
 use core::hash::{BuildHasherDefault, Hasher};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const PAGE_BITS: u32 = 12;
 const PAGE_BYTES: usize = 1 << PAGE_BITS;
@@ -46,7 +54,8 @@ impl Hasher for FxHasher {
 pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// Sparse 64-bit byte-addressable memory, allocated in 4 KiB pages on first
-/// touch. Untouched memory reads as zero.
+/// touch. Untouched memory reads as zero. Clones share pages
+/// copy-on-write; see the module docs.
 ///
 /// ```
 /// use specrun_mem::BackingStore;
@@ -58,7 +67,7 @@ pub(crate) type FxBuildHasher = BuildHasherDefault<FxHasher>;
 /// ```
 #[derive(Debug, Clone)]
 pub struct BackingStore {
-    pages: Vec<Box<[u8; PAGE_BYTES]>>,
+    pages: Vec<Arc<[u8; PAGE_BYTES]>>,
     index: HashMap<u64, u32, FxBuildHasher>,
     /// Last page touched: `(page number, index into pages)`.
     last: Cell<(u64, u32)>,
@@ -99,7 +108,7 @@ impl BackingStore {
                 Some(&idx) => idx,
                 None => {
                     let idx = u32::try_from(self.pages.len()).expect("page count fits in u32");
-                    self.pages.push(Box::new([0; PAGE_BYTES]));
+                    self.pages.push(Arc::new([0; PAGE_BYTES]));
                     self.index.insert(number, idx);
                     idx
                 }
@@ -107,7 +116,10 @@ impl BackingStore {
             self.last.set((number, idx));
             idx
         };
-        &mut self.pages[idx as usize]
+        // Copy-on-write: unshares this one page if a clone still holds it.
+        // The last-page cache maps page numbers to *indices*, which the
+        // unshare does not move, so it stays valid across the clone.
+        Arc::make_mut(&mut self.pages[idx as usize])
     }
 
     /// Reads one byte.
@@ -200,6 +212,14 @@ impl BackingStore {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Number of resident pages still shared with at least one clone —
+    /// a copy-on-write diagnostic: right after a clone this equals
+    /// [`BackingStore::resident_pages`] on both sides, and each first
+    /// write to a shared page decrements it by one.
+    pub fn shared_pages(&self) -> usize {
+        self.pages.iter().filter(|p| Arc::strong_count(p) > 1).count()
+    }
 }
 
 #[cfg(test)]
@@ -272,5 +292,76 @@ mod tests {
     #[should_panic(expected = "invalid access width")]
     fn invalid_width_panics() {
         BackingStore::new().read(0, 3);
+    }
+
+    #[test]
+    fn clone_shares_all_pages_until_written() {
+        let mut m = BackingStore::new();
+        m.write(0x0000, 8, 1);
+        m.write(0x5000, 8, 2);
+        m.write(0xa000, 8, 3);
+        assert_eq!(m.shared_pages(), 0, "an unforked store shares nothing");
+        let c = m.clone();
+        assert_eq!(m.shared_pages(), 3);
+        assert_eq!(c.shared_pages(), 3);
+        // Reads keep pages shared.
+        assert_eq!(c.read(0x5000, 8), 2);
+        assert_eq!(m.shared_pages(), 3);
+    }
+
+    #[test]
+    fn first_write_unshares_exactly_one_page() {
+        let mut m = BackingStore::new();
+        m.write(0x0000, 8, 1);
+        m.write(0x5000, 8, 2);
+        let mut c = m.clone();
+        c.write(0x5000, 8, 99);
+        assert_eq!(c.shared_pages(), 1, "only the written page unshares");
+        assert_eq!(m.shared_pages(), 1);
+        // The parent never sees the fork's write; the untouched page is
+        // still physically shared yet reads identically from both sides.
+        assert_eq!(m.read(0x5000, 8), 2);
+        assert_eq!(c.read(0x5000, 8), 99);
+        assert_eq!(m.read(0x0000, 8), 1);
+        assert_eq!(c.read(0x0000, 8), 1);
+    }
+
+    #[test]
+    fn sibling_forks_do_not_bleed() {
+        let mut m = BackingStore::new();
+        m.write(0x2000, 8, 7);
+        let mut a = m.clone();
+        let mut b = m.clone();
+        a.write(0x2000, 8, 100);
+        b.write(0x2000, 8, 200);
+        assert_eq!(m.read(0x2000, 8), 7);
+        assert_eq!(a.read(0x2000, 8), 100);
+        assert_eq!(b.read(0x2000, 8), 200);
+    }
+
+    #[test]
+    fn fork_write_to_fresh_page_leaves_parent_sparse() {
+        let mut m = BackingStore::new();
+        m.write(0x1000, 8, 5);
+        let mut c = m.clone();
+        c.write(0x8000, 8, 6);
+        assert_eq!(m.resident_pages(), 1, "new pages in the fork stay in the fork");
+        assert_eq!(c.resident_pages(), 2);
+        assert_eq!(m.read(0x8000, 8), 0);
+    }
+
+    #[test]
+    fn last_page_cache_survives_cow_unshare() {
+        let mut m = BackingStore::new();
+        m.write(0x3000, 8, 1);
+        m.write(0x4000, 8, 2);
+        let mut c = m.clone();
+        // Warm the fork's last-page cache on page 3 via a read, then write
+        // through it: the COW unshare must not invalidate the cached index.
+        assert_eq!(c.read(0x3000, 8), 1);
+        c.write(0x3008, 8, 42);
+        assert_eq!(c.read(0x3008, 8), 42);
+        assert_eq!(m.read(0x3008, 8), 0);
+        assert_eq!(c.read(0x4000, 8), 2);
     }
 }

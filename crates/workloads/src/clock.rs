@@ -14,6 +14,15 @@
 //! * **artifact hygiene** — wall-clock readings exist only inside the
 //!   supervisor. Reports record *outcomes* (retries, quarantines, breaker
 //!   state), never durations, so gated artifacts stay byte-stable.
+//!
+//! ```
+//! use specrun_workloads::clock::{ChaosClock, Clock};
+//!
+//! let clock = ChaosClock::new();
+//! clock.sleep_ms(30_000); // a virtual sleep: instant, but time moved
+//! clock.advance_ms(5);
+//! assert_eq!(clock.now_ms(), 30_005);
+//! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};

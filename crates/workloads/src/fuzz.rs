@@ -7,6 +7,18 @@
 //! panics"). Termination is structural: every candidate from
 //! [`Plan::shrink_candidates`] has a strictly smaller [`Plan::weight`], so
 //! the adopt-and-restart loop walks a well-founded order.
+//!
+//! ```
+//! use specrun_workloads::fuzz::shrink_plan;
+//! use specrun_workloads::plan::Plan;
+//!
+//! let mut plan = Plan::generate(0xBAD, 0, true);
+//! plan.victim.nop_slide = 200;
+//! // "Fails" whenever the slide is long; everything else should collapse.
+//! let shrunk = shrink_plan(&plan, |p| p.victim.nop_slide >= 50);
+//! assert!(shrunk.victim.nop_slide >= 50, "shrinking preserves the failure");
+//! assert!(shrunk.weight() < plan.weight(), "and strictly reduces the plan");
+//! ```
 
 use crate::plan::Plan;
 

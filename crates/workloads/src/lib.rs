@@ -23,6 +23,7 @@ pub mod ipc;
 pub mod kernels;
 pub mod metrics;
 pub mod plan;
+pub mod pool;
 pub mod rng;
 pub mod supervisor;
 
@@ -39,6 +40,9 @@ pub use ipc::{
 pub use kernels::Workload;
 pub use metrics::{MetricSet, MetricSource};
 pub use plan::{GadgetKind, KnobSpec, Plan, PlanLayout, PlanPolicy, VictimSpec, WarmStep};
+pub use pool::{
+    CampaignSpec, PoolReport, SessionPool, ShardOutcome, ShardSpec, ShardStats, ShardStatus,
+};
 pub use rng::SplitMix64;
 pub use supervisor::{
     backoff_ms, supervised_map_with, SupervisedReport, SupervisorConfig, UnitCtx, UnitOutcome,

@@ -16,6 +16,14 @@
 //! grammar is the [shrinking order](Plan::shrink_candidates): every
 //! candidate strictly reduces [`Plan::weight`], which is what guarantees
 //! the delta-debugging loop in [`crate::fuzz::shrink_plan`] terminates.
+//!
+//! ```
+//! use specrun_workloads::plan::Plan;
+//!
+//! let plan = Plan::generate(0xC0FFEE, 7, true);
+//! assert_eq!(plan, Plan::generate(0xC0FFEE, 7, true), "pure function of the triple");
+//! assert!(plan.layout.is_valid() && plan.secret != 0);
+//! ```
 
 use specrun_cpu::CpuConfig;
 
@@ -47,6 +55,11 @@ impl GadgetKind {
             GadgetKind::Btb => "Btb",
             GadgetKind::Rsb => "Rsb",
         }
+    }
+
+    /// Inverse of [`GadgetKind::label`] (spec-file decoding).
+    pub fn from_label(label: &str) -> Option<GadgetKind> {
+        [GadgetKind::Pht, GadgetKind::Btb, GadgetKind::Rsb].into_iter().find(|g| g.label() == label)
     }
 }
 
@@ -87,6 +100,21 @@ impl PlanPolicy {
     /// Whether the policy carries one of the §6 defenses.
     pub fn is_defended(self) -> bool {
         matches!(self, PlanPolicy::Secure | PlanPolicy::SkipInv)
+    }
+
+    /// Inverse of [`PlanPolicy::label`] (spec-file decoding).
+    pub fn from_label(label: &str) -> Option<PlanPolicy> {
+        [
+            PlanPolicy::Runahead,
+            PlanPolicy::NoRunahead,
+            PlanPolicy::HeadMissTrigger,
+            PlanPolicy::Precise,
+            PlanPolicy::Vector,
+            PlanPolicy::Secure,
+            PlanPolicy::SkipInv,
+        ]
+        .into_iter()
+        .find(|p| p.label() == label)
     }
 }
 

@@ -32,6 +32,24 @@
 //! deterministically with [`ChaosClock`](crate::clock::ChaosClock) virtual
 //! time. Nothing wall-clock-valued leaves this module: outcomes carry
 //! counts and classifications only, keeping gated artifacts byte-stable.
+//!
+//! ```
+//! use specrun_workloads::clock::WallClock;
+//! use specrun_workloads::harness::RunError;
+//! use specrun_workloads::supervisor::{supervised_map_with, SupervisorConfig, UnitOutcome};
+//!
+//! let items = [10u64, 20, 30];
+//! let report = supervised_map_with(
+//!     &items,
+//!     2,
+//!     &SupervisorConfig::default(),
+//!     &WallClock::new(),
+//!     |_, &x, _| Ok::<u64, RunError>(x + 1),
+//!     |_, _| {},
+//! );
+//! assert!(!report.breaker_tripped);
+//! assert!(matches!(report.outcomes[2], UnitOutcome::Done { result: 31, .. }));
+//! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
