@@ -44,7 +44,7 @@ pub mod window;
 pub use machine::Machine;
 pub use plan::{
     config_for, layout_for, poc_config_for, run_plan, try_run_plan, try_run_plan_governed,
-    PlanOutcome,
+    try_run_plan_recorded, PlanOutcome,
 };
 pub use pool::{run_campaign, run_shard, run_unit_fresh, ShardSnapshot, UnitResult};
 pub use session::{Policy, Session, SessionBuilder};

@@ -8,8 +8,9 @@
 //! the fuzzed knobs — so a Secure plan's fuzzed SL geometry survives), and
 //! driving the right PoC flavour with the ground-truth observers attached.
 
-use specrun_cpu::probe::CountingObserver;
+use specrun_cpu::probe::{CountingObserver, NoopObserver, PipelineEvent, PipelineObserver};
 use specrun_cpu::{CancelToken, CpuConfig, CpuStats, RunExit, RunaheadPolicy};
+use specrun_trace::RecordingObserver;
 use specrun_workloads::harness::RunError;
 use specrun_workloads::plan::{GadgetKind, Plan, PlanPolicy};
 
@@ -131,13 +132,37 @@ pub fn try_run_plan_governed(
     plan: &Plan,
     token: Option<CancelToken>,
 ) -> Result<PlanOutcome, RunError> {
+    run_plan_with(plan, token, NoopObserver).map(|(outcome, _)| outcome)
+}
+
+/// [`try_run_plan`] with a trace recorder riding beside the ground-truth
+/// observers: returns the outcome *and* the full pipeline-event stream the
+/// run emitted, ready for `specrun_trace::encode_events`. This is the
+/// forensic path behind `specrun-lab fuzz --replay … --trace`: the same
+/// deterministic run, now explorable offline.
+pub fn try_run_plan_recorded(plan: &Plan) -> Result<(PlanOutcome, Vec<PipelineEvent>), RunError> {
+    run_plan_with(plan, None, RecordingObserver::new())
+        .map(|(outcome, recorder)| (outcome, recorder.into_events()))
+}
+
+/// The shared plan executor: the ground-truth pair `(CountingObserver,
+/// LeakTraceObserver)` always rides; `extra` composes any further observer
+/// (a `NoopObserver` for plain runs, a `RecordingObserver` for traced
+/// ones) and is handed back alongside the outcome. Observer invisibility
+/// (proptested in `specrun-cpu`) guarantees `extra` never changes the
+/// outcome.
+fn run_plan_with<X: PipelineObserver>(
+    plan: &Plan,
+    token: Option<CancelToken>,
+    extra: X,
+) -> Result<(PlanOutcome, X), RunError> {
     let layout = layout_for(plan);
     let config = config_for(plan);
     let tracer = leak_trace_for(&layout, &config);
     let mut session = Session::builder()
         .config(config)
         .layout(layout)
-        .observer((CountingObserver::default(), tracer))
+        .observer(((CountingObserver::default(), tracer), extra))
         .build();
     session.machine_mut().set_cancel_token(token);
     for w in &plan.warm {
@@ -171,20 +196,23 @@ pub fn try_run_plan_governed(
         }
     }
     let arch_fingerprint = session.machine().core().arch_fingerprint();
-    let (counts, trace) = session.observer().clone();
-    Ok(PlanOutcome {
-        leaked: outcome.leaked,
-        expected: outcome.expected,
-        runahead_entries: outcome.runahead_entries,
-        inv_branches: outcome.inv_branches,
-        ground_truth: trace.ground_truth_byte(&[0]),
-        transient_secret_fills: trace.transient_secret_fills(),
-        secret_reads: trace.secret_reads(),
-        fills_per_entry: trace.fills_per_entry().to_vec(),
-        counts,
-        stats,
-        arch_fingerprint,
-    })
+    let ((counts, trace), extra) = session.observer().clone();
+    Ok((
+        PlanOutcome {
+            leaked: outcome.leaked,
+            expected: outcome.expected,
+            runahead_entries: outcome.runahead_entries,
+            inv_branches: outcome.inv_branches,
+            ground_truth: trace.ground_truth_byte(&[0]),
+            transient_secret_fills: trace.transient_secret_fills(),
+            secret_reads: trace.secret_reads(),
+            fills_per_entry: trace.fills_per_entry().to_vec(),
+            counts,
+            stats,
+            arch_fingerprint,
+        },
+        extra,
+    ))
 }
 
 #[cfg(test)]
@@ -262,6 +290,19 @@ mod tests {
         let caught = std::panic::catch_unwind(|| run_plan(&plan)).expect_err("must panic");
         let message = caught.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(message.contains("cycle budget exceeded"), "{message}");
+    }
+
+    #[test]
+    fn recorded_run_is_outcome_identical_and_replayable() {
+        let mut plan = paper_plan(PlanPolicy::Runahead);
+        plan.victim.nop_slide = 300;
+        let plain = run_plan(&plan);
+        let (outcome, events) = try_run_plan_recorded(&plan).expect("paper plan runs");
+        assert_eq!(plain, outcome, "the riding recorder must be invisible to the outcome");
+        assert!(!events.is_empty());
+        let mut counts = CountingObserver::default();
+        specrun_trace::replay(&events, &mut counts);
+        assert_eq!(counts, outcome.counts, "replay reproduces the live counting observer");
     }
 
     #[test]

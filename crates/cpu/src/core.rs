@@ -146,9 +146,14 @@ pub struct Core<O: PipelineObserver = NoopObserver> {
     pub(crate) strides: HashMap<u64, StrideEntry>,
     pub(crate) ra_backoff_until: u64,
     /// Quiescence-probe throttle: after a failed fast-forward probe the
-    /// next one waits a few cycles, so a busy pipeline (where probes keep
-    /// failing) pays almost nothing for having fast-forward enabled.
+    /// next one waits, so a busy pipeline (where probes keep failing) pays
+    /// almost nothing for having fast-forward enabled.
     ff_probe_at: u64,
+    /// Consecutive failed quiescence probes. The probe backoff doubles
+    /// with the streak (capped), so a pipeline that is *never* quiet —
+    /// always-busy mcf — stops paying for probes entirely, while one
+    /// successful skip resets to eager probing.
+    ff_fail_streak: u32,
     pub(crate) scheduled_flushes: TimerQueue<u64>,
     // Event-driven scheduling: completion events, ready queue, wakeups.
     pub(crate) sched: Scheduler,
@@ -213,6 +218,7 @@ impl<O: PipelineObserver> Core<O> {
             strides: HashMap::new(),
             ra_backoff_until: 0,
             ff_probe_at: 0,
+            ff_fail_streak: 0,
             scheduled_flushes: TimerQueue::new(),
             sched: Scheduler::new(cfg.int_prf, cfg.fp_prf),
             stats: CpuStats::default(),
@@ -494,22 +500,49 @@ impl<O: PipelineObserver> Core<O> {
     /// cycles one at a time: statistics advance only by the skipped cycle
     /// count, all other state is untouched.
     fn fast_forward(&mut self, limit: u64) {
-        // A failed probe throttles the next attempt: quiescence windows are
-        // long compared to this backoff, so little skippable time is lost,
-        // while a busy pipeline stops paying the probe on every cycle.
-        // Purely a host-side heuristic — fast-forward stays stats-invisible
-        // whether a window is entered at its first cycle or a few in.
+        // A failed probe throttles the next attempt, and consecutive
+        // failures double the wait up to a cap: a pipeline that stays busy
+        // (mcf never goes quiet) decays to one probe every couple of
+        // thousand cycles — measurably free — while quiescence windows
+        // (hundreds of cycles of DRAM latency) remain long compared to
+        // even the capped backoff, so little skippable time is lost. One
+        // success resets to eager probing. Purely a host-side heuristic —
+        // fast-forward stays stats-invisible whether a window is entered
+        // at its first cycle or a few in.
         const PROBE_BACKOFF: u64 = 16;
+        const PROBE_BACKOFF_DOUBLINGS: u32 = 7; // cap: 16 << 7 = 2048 cycles
         let Some(event) = self.next_quiet_event() else {
-            self.ff_probe_at = self.cycle + PROBE_BACKOFF;
+            let backoff = PROBE_BACKOFF << self.ff_fail_streak.min(PROBE_BACKOFF_DOUBLINGS);
+            self.ff_fail_streak = self.ff_fail_streak.saturating_add(1);
+            self.ff_probe_at = self.cycle + backoff;
             return;
         };
         debug_assert!(event > self.cycle, "quiet event must lie in the future");
         let target = event.min(limit).saturating_sub(1);
         if target <= self.cycle {
+            // The pipeline is quiet but the next event is one cycle out:
+            // nothing to skip, so the probe paid for itself and saved
+            // nothing. Treat it as a failure for throttling — a stalled
+            // pipeline draining a dense completion stream (runahead mcf)
+            // hits this every probe, and resetting the streak here kept
+            // the probe rate at one per cycle. State cannot change before
+            // `event`, so the next probe is never worth paying sooner.
+            let backoff = PROBE_BACKOFF << self.ff_fail_streak.min(PROBE_BACKOFF_DOUBLINGS);
+            self.ff_fail_streak = self.ff_fail_streak.saturating_add(1);
+            self.ff_probe_at = self.cycle + backoff.max(event - self.cycle);
             return;
         }
         let skipped = target - self.cycle;
+        if skipped >= PROBE_BACKOFF {
+            // A real quiescence window (DRAM-latency scale): back to eager
+            // probing, the next windows are likely just as long. A skip
+            // smaller than one backoff step is still taken — it is free —
+            // but keeps the streak: dense completion streams (runahead
+            // mcf) yield an endless run of few-cycle gaps, and resetting
+            // on each would buy the next gap at the price of a
+            // climb-back's worth of failed probes.
+            self.ff_fail_streak = 0;
+        }
         if self.cfg.ff_check {
             self.verify_fast_forward(skipped);
         }

@@ -42,9 +42,14 @@ USAGE:
     specrun-lab pool run SPEC.json [--threads N] [--out PATH]
     specrun-lab fuzz [--plans N] [--seed N] [--shard-threads N] [--quick]
                      [--fail-dir DIR] [--report PATH] [--invert-invariant NAME]
-                     [--replay FILE] [--list-invariants] [--resume] [--journal PATH]
+                     [--replay FILE [--trace PATH]] [--list-invariants]
+                     [--resume] [--journal PATH]
                      [--deadline-ms N] [--retries N] [--max-failure-rate F]
     specrun-lab chaos [--quick] [--seed N] [--dir DIR] [--drill NAME ...]
+    specrun-lab trace record --out PATH [--policy runahead|secure|no_runahead]
+                             [--metrics PATH]
+    specrun-lab trace replay LOG [--metrics PATH]
+    specrun-lab trace diff A B
 
 COMMANDS:
     list    Print every registered scenario.
@@ -86,7 +91,10 @@ COMMANDS:
             a byte-stable FUZZ_report.json (same bytes for a fixed seed,
             any --shard-threads); each violating plan is shrunk to a
             minimal reproducer and serialized to --fail-dir (default:
-            fuzz-failures/) for `fuzz --replay <file>`. Completed plans
+            fuzz-failures/) for `fuzz --replay <file>`. With --replay,
+            --trace PATH additionally records the replayed plan's
+            pipeline events to a binary log for `trace replay`/`diff`
+            forensics. Completed plans
             are journaled beside the report (--journal overrides the
             path); --resume after a crash skips the journaled passes and
             writes byte-identical artifacts.
@@ -114,6 +122,22 @@ COMMANDS:
             drill recovers, 1 otherwise. --quick shrinks the drill
             campaigns to the CI scale; --drill NAME (repeatable) runs a
             subset of the drills.
+    trace   Forensic pipeline-event logs. `trace record` runs the pinned
+            leak_trace PoC (Fig. 11 shape, secret 127) on the chosen
+            machine policy with the ground-truth observers attached and
+            writes every pipeline event to a delta-encoded binary log
+            (atomic replace, byte-stable across runs and thread counts);
+            `trace replay` re-derives the analysis from the log alone —
+            no simulator — and with --metrics writes a metrics file
+            byte-identical to the live one, the losslessness check the
+            CI trace-repro job enforces. `trace diff` aligns two logs by
+            behavioural content (cycle timings and taint annotations
+            stripped) and reports the first divergent event with commit
+            and runahead-episode anchors — e.g. where the secure machine
+            first suppresses a transient secret fill. Exit 0 on success
+            (diff: identical), 1 when diff finds a divergence, 2 on
+            usage/IO/corrupt-log errors (a torn tail is tolerated with a
+            warning; a digest mismatch is not).
 ";
 
 /// Entry point for the `specrun-lab` binary. Returns the exit code.
@@ -155,6 +179,15 @@ pub fn main() -> i32 {
                 0
             }
             Ok(FuzzCommand::Run(opts)) => fuzz::run(&opts),
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!();
+                eprint!("{USAGE}");
+                2
+            }
+        },
+        Some("trace") => match crate::trace::trace_command(&args[1..]) {
+            Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!();
@@ -298,6 +331,10 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzCommand, String> {
                 let v = it.next().ok_or("--replay needs a file")?;
                 opts.replay = Some(PathBuf::from(v));
             }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a path")?;
+                opts.trace = Some(PathBuf::from(v));
+            }
             "--resume" => opts.resume = true,
             "--journal" => {
                 let v = it.next().ok_or("--journal needs a path")?;
@@ -325,6 +362,9 @@ fn parse_fuzz_args(args: &[String]) -> Result<FuzzCommand, String> {
             }
             other => return Err(format!("unknown fuzz option {other}")),
         }
+    }
+    if opts.trace.is_some() && opts.replay.is_none() {
+        return Err("--trace only applies to --replay (it traces the replayed plan)".into());
     }
     Ok(FuzzCommand::Run(Box::new(opts)))
 }
@@ -988,6 +1028,17 @@ mod tests {
         // `specrun-lab pool run` accepts.
         let printed = CampaignSpec::paper_matrix().to_json(0);
         assert_eq!(crate::pool::parse_spec(&printed).unwrap(), CampaignSpec::paper_matrix());
+    }
+
+    #[test]
+    fn parses_replay_trace() {
+        let cmd = parse_fuzz_args(&strings(&["--replay", "fail_3.json", "--trace", "/tmp/t.bin"]))
+            .unwrap();
+        let FuzzCommand::Run(opts) = cmd else { panic!("expected a run command") };
+        assert_eq!(opts.replay, Some(PathBuf::from("fail_3.json")));
+        assert_eq!(opts.trace, Some(PathBuf::from("/tmp/t.bin")));
+        let err = parse_fuzz_args(&strings(&["--trace", "/tmp/t.bin"])).unwrap_err();
+        assert!(err.contains("--replay"), "trace without replay is rejected: {err}");
     }
 
     #[test]

@@ -343,6 +343,10 @@ pub struct FuzzOptions {
     pub invert: Option<String>,
     /// Replay a failing-plan file instead of running a campaign.
     pub replay: Option<PathBuf>,
+    /// With `--replay`: also record the replayed plan's pipeline events
+    /// to this binary log, so a shrunk reproducer yields a forensic trace
+    /// (`specrun-lab trace replay`/`diff` fodder) in one command.
+    pub trace: Option<PathBuf>,
     /// Resume from the campaign journal: plans it records as passed are
     /// skipped; everything else re-runs. The final report is byte-identical
     /// to an uninterrupted run.
@@ -391,6 +395,7 @@ impl Default for FuzzOptions {
             report_path: PathBuf::from(FUZZ_REPORT_NAME),
             invert: None,
             replay: None,
+            trace: None,
             resume: false,
             journal: None,
             keep_journal: false,
@@ -949,10 +954,17 @@ fn extract_num(body: &str, key: &str) -> Option<u64> {
 
 /// Replays a failing-plan file: regenerates the plan from its recorded
 /// seed/index/mode, re-checks the invariants (honouring a recorded
-/// inversion), re-shrinks and compares digests. Returns the process exit
-/// code: 0 when the plan no longer fails, 1 when it still does, 2 on a
-/// malformed file.
-pub fn replay(path: &std::path::Path) -> i32 {
+/// inversion), re-shrinks and compares digests. With `trace`, the
+/// regenerated plan is additionally run once with a recording observer
+/// and its pipeline events written to the given binary log through
+/// `sink` — a forensic trace of the reproducer in one command. Returns
+/// the process exit code: 0 when the plan no longer fails, 1 when it
+/// still does, 2 on a malformed file or a failed trace write.
+pub fn replay(
+    path: &std::path::Path,
+    trace: Option<&std::path::Path>,
+    sink: &dyn ArtifactSink,
+) -> i32 {
     let body = match std::fs::read_to_string(path) {
         Ok(b) => b,
         Err(e) => {
@@ -977,6 +989,29 @@ pub fn replay(path: &std::path::Path) -> i32 {
         "replaying plan {index} of campaign seed {seed} ({mode} scale){}",
         invert.as_deref().map(|n| format!(", inverted invariant {n}")).unwrap_or_default()
     );
+    if let Some(trace_path) = trace {
+        use specrun_trace::TraceSink as _;
+        match specrun::try_run_plan_recorded(&plan) {
+            Ok((_, events)) => {
+                let bytes = specrun_trace::encode_events(&events);
+                let write = crate::sink::ArtifactTraceSink(sink).write_trace(trace_path, &bytes);
+                if let Err(e) = write {
+                    eprintln!("error: cannot write trace {}: {e}", trace_path.display());
+                    return 2;
+                }
+                println!(
+                    "wrote forensic trace {} ({} event(s), {} bytes)",
+                    trace_path.display(),
+                    events.len(),
+                    bytes.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: cannot trace the replayed plan: {e}");
+                return 2;
+            }
+        }
+    }
     let violations = checked_violations(&plan, invert.as_deref());
     if violations.is_empty() {
         println!("plan no longer violates any invariant");
@@ -1018,7 +1053,7 @@ pub fn run(opts: &FuzzOptions) -> i32 {
 /// any plan failed an invariant, 2 on IO or journal errors.
 pub fn run_with(opts: &FuzzOptions, sink: &dyn ArtifactSink) -> i32 {
     if let Some(path) = &opts.replay {
-        return replay(path);
+        return replay(path, opts.trace.as_deref(), sink);
     }
     let journal_path = opts.journal_path();
     let (result, skipped) = match campaign_with(opts, Some((sink, journal_path.clone()))) {

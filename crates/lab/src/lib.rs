@@ -47,13 +47,14 @@ pub mod registry;
 pub mod report;
 pub mod scenario;
 pub mod sink;
+pub mod trace;
 
 pub use fuzz::{FuzzInvariant, FuzzOptions, Violation, FUZZ_REPORT_NAME, INVARIANTS};
 pub use json::Json;
 pub use pool::{parse_spec, report_json, POOL_REPORT_NAME};
 pub use report::{parse_metrics, BenchReport, LabEntry, LabReport, LAB_REPORT_NAME};
 pub use scenario::{Invariant, RunContext, Scenario, ScenarioRun, DEFAULT_SEED};
-pub use sink::{ArtifactSink, ChaosSink, FsSink};
+pub use sink::{ArtifactSink, ArtifactTraceSink, ChaosSink, FsSink};
 
 /// Commonly used items for examples and tests.
 pub mod prelude {

@@ -24,8 +24,9 @@ use specrun::attack::{run_pht_sweep, SweepConfig};
 use specrun::pool::{run_unit_fresh, ShardSnapshot};
 use specrun_cpu::{Core, CpuConfig};
 use specrun_isa::ProgramBuilder;
+use specrun_trace::RecordingObserver;
 use specrun_workloads::harness;
-use specrun_workloads::ipc::run_workload_timed;
+use specrun_workloads::ipc::{run_workload_observed, run_workload_timed};
 use specrun_workloads::kernels;
 use specrun_workloads::pool::CampaignSpec;
 use specrun_workloads::Workload;
@@ -34,10 +35,14 @@ use crate::report::{parse_metrics, BenchReport};
 
 /// Metrics that the baseline gate must always manage to compare — the
 /// busy-pipeline (non-fast-forward) rates a front-end or scheduler
-/// regression would hit first. A renamed scenario silently dropping one of
-/// these from the comparison must fail CI, not pass it.
-const GATE_REQUIRED: &[&str] =
-    &["mcf_runahead_naive_cycles_per_sec", "pointer_chase_runahead_naive_cycles_per_sec"];
+/// regression would hit first, plus the trace-recording rate guarding the
+/// observer seam. A renamed scenario silently dropping one of these from
+/// the comparison must fail CI, not pass it.
+const GATE_REQUIRED: &[&str] = &[
+    "mcf_runahead_naive_cycles_per_sec",
+    "pointer_chase_runahead_naive_cycles_per_sec",
+    "trace_record_cycles_per_sec",
+];
 
 /// Where the perf gate's baseline report comes from.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -198,6 +203,55 @@ fn measure_kernel(w: &Workload, base: CpuConfig, max_cycles: u64, repeats: u32) 
     best.expect("at least one repeat ran")
 }
 
+struct TraceOverheadResult {
+    cycles: u64,
+    events: u64,
+    noop_secs: f64,
+    record_secs: f64,
+}
+
+/// Times the same commit-heavy kernel with the no-op observer against a
+/// [`RecordingObserver`] buffering the full pipeline-event stream — the
+/// cost a forensic trace adds to a run. The recorder must be
+/// simulation-invisible (identical cycles and commits) and the recorded
+/// event count must not vary across repeats; only the host-side seconds
+/// do, and the best of `repeats` is reported.
+fn measure_trace_overhead(
+    w: &Workload,
+    base: CpuConfig,
+    max_cycles: u64,
+    repeats: u32,
+) -> TraceOverheadResult {
+    let mut best: Option<TraceOverheadResult> = None;
+    for _ in 0..repeats.max(1) {
+        let (plain, noop_secs) = run_workload_timed(w, base.clone(), max_cycles);
+        let (recorded, record_secs, recorder) =
+            run_workload_observed(w, base.clone(), max_cycles, RecordingObserver::new());
+        assert_eq!(
+            (plain.cycles, plain.committed),
+            (recorded.cycles, recorded.committed),
+            "the recording observer must be simulation-invisible on {}",
+            w.name
+        );
+        let events = recorder.len() as u64;
+        let best = best.get_or_insert(TraceOverheadResult {
+            cycles: recorded.cycles,
+            events,
+            noop_secs,
+            record_secs,
+        });
+        assert_eq!(
+            (best.cycles, best.events),
+            (recorded.cycles, events),
+            "repeats of {} must record identical streams",
+            w.name
+        );
+        best.noop_secs = best.noop_secs.min(noop_secs);
+        best.record_secs = best.record_secs.min(record_secs);
+    }
+    best.expect("at least one repeat ran")
+}
+
 struct PoolResult {
     fork_secs: f64,
     fresh_secs: f64,
@@ -346,6 +400,34 @@ pub fn run(opts: &PerfOptions) -> i32 {
         report.metric(format!("{key}_ff_cycles_per_sec"), ff_rate);
         report.metric(format!("{key}_ff_speedup"), speedup);
     }
+
+    // Trace-recording overhead: what `specrun-lab trace record` (or
+    // `Session::trace`) costs on a busy pipeline. mcf is the
+    // commit-heaviest kernel, so its event stream is the densest the
+    // recorder sees — the worst case for buffering overhead. The rate is
+    // gated like the other hot paths (it ends in `_cycles_per_sec`): an
+    // accidental allocation or dispatch cost on the observer seam lands
+    // here first.
+    println!();
+    println!("== trace-recording overhead: RecordingObserver vs noop observer ==");
+    println!("kernel,cycles,events,noop_Mcyc_per_s,record_Mcyc_per_s,Mevents_per_s,slowdown");
+    let t = measure_trace_overhead(&mcf, CpuConfig::default(), 500_000_000, opts.repeats);
+    let noop_rate = t.cycles as f64 / t.noop_secs;
+    let record_rate = t.cycles as f64 / t.record_secs;
+    let event_rate = t.events as f64 / t.record_secs;
+    let slowdown = t.record_secs / t.noop_secs;
+    println!(
+        "mcf/runahead,{},{},{:.2},{:.2},{:.2},{:.3}",
+        t.cycles,
+        t.events,
+        noop_rate / 1e6,
+        record_rate / 1e6,
+        event_rate / 1e6,
+        slowdown
+    );
+    report.metric("trace_record_cycles_per_sec", record_rate);
+    report.metric("trace_record_events_per_sec", event_rate);
+    report.metric("trace_record_slowdown", slowdown);
 
     // Front-end sub-timer: a warmed nop slide has no memory operands, no
     // branches and no scheduler pressure, so its cycles/s isolates the
@@ -515,6 +597,16 @@ mod tests {
     }
 
     #[test]
+    fn trace_overhead_is_measured_on_identical_simulations() {
+        // The recorder must not perturb the run it is measuring: same
+        // cycles with and without it, same event count across repeats.
+        let w = specrun_workloads::kernels::mcf(40);
+        let r = measure_trace_overhead(&w, CpuConfig::default(), 10_000_000, 2);
+        assert!(r.events > 0, "mcf must emit pipeline events");
+        assert!(r.noop_secs > 0.0 && r.record_secs > 0.0);
+    }
+
+    #[test]
     fn pool_forks_beat_fresh_session_builds() {
         // The tentpole perf claim: amortizing one snapshot across
         // copy-on-write forks must out-rate rebuilding a session
@@ -547,10 +639,12 @@ mod tests {
         let mut current = BenchReport::new("step");
         current.metric("mcf_runahead_naive_cycles_per_sec", 100.0);
         current.metric("pointer_chase_runahead_naive_cycles_per_sec", 100.0);
+        current.metric("trace_record_cycles_per_sec", 100.0);
         current.metric("pool_fork_sessions_per_sec", 50.0);
         let baseline = vec![
             ("mcf_runahead_naive_cycles_per_sec".to_string(), 100.0),
             ("pointer_chase_runahead_naive_cycles_per_sec".to_string(), 100.0),
+            ("trace_record_cycles_per_sec".to_string(), 100.0),
             ("pool_fork_sessions_per_sec".to_string(), 100.0),
         ];
         assert_eq!(
@@ -578,9 +672,11 @@ mod tests {
         let mut current = BenchReport::new("step");
         current.metric("mcf_runahead_naive_cycles_per_sec", 60.0);
         current.metric("pointer_chase_runahead_naive_cycles_per_sec", 100.0);
+        current.metric("trace_record_cycles_per_sec", 100.0);
         let baseline = vec![
             ("mcf_runahead_naive_cycles_per_sec".to_string(), 100.0),
             ("pointer_chase_runahead_naive_cycles_per_sec".to_string(), 100.0),
+            ("trace_record_cycles_per_sec".to_string(), 100.0),
         ];
         assert_eq!(check_against_baseline(&current, &baseline, 0.25), 1, "40% drop must fail");
         assert_eq!(check_against_baseline(&current, &baseline, 0.5), 0, "within 50% passes");

@@ -71,6 +71,12 @@ pub fn registry() -> Vec<Scenario> {
             run: run_leak_trace,
         },
         Scenario {
+            name: "trace_repro",
+            title: "Record/replay losslessness and first-divergence forensics",
+            paper_ref: "§5 methodology",
+            run: run_trace_repro,
+        },
+        Scenario {
             name: "bench_step",
             title: "Simulator self-check: fast-forward invisibility and sweep accuracy",
             paper_ref: "methodology",
@@ -406,8 +412,10 @@ fn run_fig10(ctx: &RunContext) -> ScenarioRun {
 // Fig. 11 — beyond the ROB only the runahead machine leaks.
 // ---------------------------------------------------------------------------
 
-/// The Fig. 11 nop slide: longer than the 256-entry ROB.
-const FIG11_SLIDE: usize = 300;
+/// The Fig. 11 nop slide: longer than the 256-entry ROB. Shared with the
+/// trace subsystem, which records the same fixed-geometry PoC so a replay
+/// can rebuild its observers without metadata in the log.
+pub(crate) const FIG11_SLIDE: usize = 300;
 
 fn run_fig11(ctx: &RunContext) -> ScenarioRun {
     let mut run = ScenarioRun::new(&scenario("fig11"), ctx);
@@ -780,6 +788,120 @@ fn run_leak_trace(ctx: &RunContext) -> ScenarioRun {
             attacked_counts.commits,
             attacked_stats.committed
         ),
+    );
+    run
+}
+
+// ---------------------------------------------------------------------------
+// trace_repro — the trace subsystem's paper-facing self-check. A recording
+// observer rides the leak_trace PoC on both the attacked and the defended
+// machine; the binary log must round-trip losslessly, a detached replay
+// must reconcile bit-identically with the live observers (the property
+// that makes offline forensics trustworthy), and the first-divergence
+// aligner must name the exact suppressed transient secret fill.
+// ---------------------------------------------------------------------------
+
+fn run_trace_repro(ctx: &RunContext) -> ScenarioRun {
+    use specrun_trace::{decode_events, encode_events, first_divergence, RecordingObserver};
+
+    let mut run = ScenarioRun::new(&scenario("trace_repro"), ctx);
+    let cfg = PocConfig::fig11(FIG11_SLIDE); // secret 127, slide > ROB
+    run.note("secret", cfg.secret.to_string());
+    run.note("nop_slide", FIG11_SLIDE.to_string());
+    run.note("scale", "fixed (one PoC run per machine; quick = full)");
+    run.digest("runahead", &CpuConfig::default());
+    run.digest("secure", &CpuConfig::secure_runahead());
+
+    let jobs = [("runahead", Policy::Runahead), ("secure_sl_cache", Policy::Secure)];
+    let results = parallel_map(&jobs, worker_threads(ctx), |_, (_, policy)| {
+        let tracer = leak_trace_for(&cfg.layout, &CpuConfig::default());
+        let mut session = Session::builder()
+            .policy(*policy)
+            .observer(((CountingObserver::default(), tracer), RecordingObserver::new()))
+            .build();
+        let outcome = run_pht_poc(&mut session, &cfg);
+        let ((counts, trace), recorder) = session.observer().clone();
+        (outcome, counts, trace, recorder.into_events())
+    });
+
+    run.line("machine,events,trace_bytes,lossless,replay_identical".to_string());
+    let mut replays = Vec::new();
+    for ((name, _), (_, counts, tracer, events)) in jobs.iter().zip(&results) {
+        let bytes = encode_events(events);
+        let decoded = decode_events(&bytes).expect("a freshly encoded log decodes");
+        let lossless = decoded.events == *events && !decoded.torn_tail;
+        let mut fresh =
+            (CountingObserver::default(), leak_trace_for(&cfg.layout, &CpuConfig::default()));
+        specrun_trace::replay(&decoded.events, &mut fresh);
+        let identical = fresh.0 == *counts && fresh.1 == *tracer;
+        run.metrics.push(format!("{name}_events"), events.len() as f64);
+        run.metrics.push(format!("{name}_trace_bytes"), bytes.len() as f64);
+        run.metrics.push(format!("{name}_replay_commits"), fresh.0.commits as f64);
+        run.metrics.push(
+            format!("{name}_replay_transient_secret_fills"),
+            fresh.1.transient_secret_fills() as f64,
+        );
+        run.line(format!("{name},{},{},{lossless},{identical}", events.len(), bytes.len()));
+        replays.push((lossless, identical, fresh.1));
+    }
+
+    run.check(
+        "round_trip_lossless",
+        "encode → decode reproduces both machines' event streams exactly, with no torn tail",
+        replays.iter().all(|(lossless, _, _)| *lossless),
+        format!("{:?}", replays.iter().map(|(l, _, _)| *l).collect::<Vec<_>>()),
+    );
+    run.check(
+        "replay_reconciles_bit_identically",
+        "re-driving fresh observers from the log alone reproduces the live CountingObserver \
+         and LeakTraceObserver bit for bit, on both machines",
+        replays.iter().all(|(_, identical, _)| *identical),
+        format!("{:?}", replays.iter().map(|(_, i, _)| *i).collect::<Vec<_>>()),
+    );
+    let replayed_attacked = &replays[0].2;
+    run.check(
+        "replayed_trace_recovers_secret",
+        format!(
+            "the replayed attacked-machine trace recovers the planted secret ({}) with the \
+             same per-probe fill counts as the live observer",
+            cfg.secret
+        ),
+        replayed_attacked.ground_truth_byte(&[0]) == Some(cfg.secret)
+            && replayed_attacked.fills_per_entry() == results[0].2.fills_per_entry(),
+        format!("{:?}", replayed_attacked.ground_truth_byte(&[0])),
+    );
+    run.check(
+        "replayed_secure_trace_shows_no_fills",
+        "the replayed defended-machine trace has zero transient secret fills",
+        replays[1].2.transient_secret_fills() == 0,
+        replays[1].2.transient_secret_fills(),
+    );
+
+    // The forensic verdict: diffing the two machines' traces must name the
+    // suppressed transient fill of the secret's probe line — not the
+    // timing skew the SL cache also causes.
+    let secret_line = (cfg.layout.probe_base + u64::from(cfg.secret) * cfg.layout.probe_stride)
+        / CpuConfig::default().mem.l1d.line_bytes;
+    let divergence = first_divergence(&results[0].3, &results[1].3);
+    let pinpoints = matches!(
+        divergence.as_ref().map(|d| d.a),
+        Some(Some(specrun_trace::PipelineEvent::CacheFill { line, transient: true, .. }))
+            if line == secret_line
+    );
+    if let Some(d) = &divergence {
+        run.metrics.push("divergence_index", d.index as f64);
+        run.metrics.push("divergence_commit_anchor", d.commit_anchor as f64);
+        run.metrics.push("divergence_runahead_episode", d.runahead_episode as f64);
+        run.line(d.describe());
+    }
+    run.check(
+        "divergence_pinpoints_secret_fill",
+        format!(
+            "the first divergence between the attacked and defended traces is the transient \
+             fill of the secret's probe line ({secret_line:#x})"
+        ),
+        pinpoints,
+        divergence.map_or("<no divergence>".to_string(), |d| d.describe()),
     );
     run
 }

@@ -28,6 +28,21 @@ pub trait ArtifactSink: Sync {
     /// Atomically replaces `path` with `contents` (temp file + rename).
     fn write_atomic(&self, path: &Path, contents: &str) -> io::Result<()>;
 
+    /// Binary twin of [`write_atomic`](ArtifactSink::write_atomic): the
+    /// same temp-file + fsync + rename protocol for non-UTF-8 artifacts
+    /// (trace logs). Default implementation writes straight to the
+    /// filesystem; fault-injecting sinks override it so trace writes are
+    /// chaos-testable like every other artifact.
+    fn write_atomic_bytes(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let tmp = tmp_path(path);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
     /// Appends `line` (a newline is added) to `path`, creating it if
     /// missing. Not fsynced per line; the last line may tear on a crash.
     fn append_line(&self, path: &Path, line: &str) -> io::Result<()>;
@@ -130,6 +145,17 @@ impl ArtifactSink for ChaosSink<'_> {
         self.inner.write_atomic(path, contents)
     }
 
+    fn write_atomic_bytes(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        if self.next_op_fails() {
+            if self.torn {
+                // Simulate dying after the temp write, before the rename.
+                let _ = std::fs::write(tmp_path(path), bytes);
+            }
+            return Err(Self::injected(path));
+        }
+        self.inner.write_atomic_bytes(path, bytes)
+    }
+
     fn append_line(&self, path: &Path, line: &str) -> io::Result<()> {
         if self.next_op_fails() {
             return Err(Self::injected(path));
@@ -139,6 +165,18 @@ impl ArtifactSink for ChaosSink<'_> {
 
     fn remove(&self, path: &Path) -> io::Result<()> {
         self.inner.remove(path)
+    }
+}
+
+/// Adapts an [`ArtifactSink`] to the trace crate's byte-oriented
+/// [`specrun_trace::TraceSink`], so trace logs written by lab commands ride
+/// the same atomic-replace protocol — and the same chaos fault injection —
+/// as every JSON artifact.
+pub struct ArtifactTraceSink<'a>(pub &'a dyn ArtifactSink);
+
+impl specrun_trace::TraceSink for ArtifactTraceSink<'_> {
+    fn write_trace(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.0.write_atomic_bytes(path, bytes)
     }
 }
 
@@ -182,6 +220,34 @@ mod tests {
         FsSink.write_atomic(&path, "x").unwrap();
         FsSink.remove(&path).unwrap();
         assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_bytes_replaces_and_cleans_its_temp() {
+        let dir = scratch("bytes");
+        let path = dir.join("trace.bin");
+        FsSink.write_atomic_bytes(&path, &[0xde, 0xad, 0x00, 0xbe]).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), [0xde, 0xad, 0x00, 0xbe]);
+        FsSink.write_atomic_bytes(&path, &[0x01]).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), [0x01]);
+        assert!(!tmp_path(&path).exists(), "rename consumed the temp file");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_sink_injects_into_the_bytes_path_too() {
+        use specrun_trace::TraceSink as _;
+        let dir = scratch("chaos_bytes");
+        let path = dir.join("t.bin");
+        let chaos = ChaosSink::new(&FsSink, &[0]).torn();
+        let sink = ArtifactTraceSink(&chaos);
+        assert!(sink.write_trace(&path, &[1, 2, 3]).is_err(), "op 0 injected");
+        assert!(!path.exists(), "target untouched");
+        assert_eq!(std::fs::read(tmp_path(&path)).unwrap(), [1, 2, 3], "temp left behind");
+        sink.write_trace(&path, &[4, 5]).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), [4, 5]);
+        assert!(!tmp_path(&path).exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -5,6 +5,7 @@
 use std::path::PathBuf;
 
 use specrun_lab::fuzz::{self, FuzzOptions};
+use specrun_lab::FsSink;
 
 fn quick_opts(plans: u64, threads: usize) -> FuzzOptions {
     FuzzOptions { plans, seed: 0xC0FFEE, threads, quick: true, ..FuzzOptions::default() }
@@ -69,12 +70,25 @@ fn replay_reproduces_a_recorded_failure() {
 
     // The recorded inversion replays with the file, so the same violation
     // (and the same shrunk digest) reproduces from seed + index alone.
-    assert_eq!(fuzz::replay(&path), 1, "the recorded failure still reproduces");
-    assert_eq!(fuzz::replay(&PathBuf::from("/nonexistent/fail.json")), 2, "unreadable file");
+    assert_eq!(fuzz::replay(&path, None, &FsSink), 1, "the recorded failure still reproduces");
+    assert_eq!(
+        fuzz::replay(&PathBuf::from("/nonexistent/fail.json"), None, &FsSink),
+        2,
+        "unreadable file"
+    );
 
     let bogus = dir.join("bogus.json");
     std::fs::write(&bogus, "{\"not\": \"a fail file\"}\n").unwrap();
-    assert_eq!(fuzz::replay(&bogus), 2, "malformed file");
+    assert_eq!(fuzz::replay(&bogus, None, &FsSink), 2, "malformed file");
+
+    // `--trace` on the same replay writes a decodable forensic log of the
+    // shrunk plan's pipeline events alongside the reproduction.
+    let trace = dir.join("fail_trace.bin");
+    assert_eq!(fuzz::replay(&path, Some(&trace), &FsSink), 1, "tracing must not mask the verdict");
+    let bytes = std::fs::read(&trace).expect("replay wrote the forensic trace");
+    let decoded = specrun_trace::decode_events(&bytes).expect("the trace decodes cleanly");
+    assert!(!decoded.events.is_empty(), "the shrunk plan emits pipeline events");
+    assert!(!decoded.torn_tail, "a completed replay never leaves a torn tail");
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -13,9 +13,9 @@ const LEGACY_EXPERIMENTS: [&str; 8] =
     ["fig7", "fig9", "fig10", "fig11", "table1", "variants", "defense", "bench_step"];
 
 /// Scenarios born after the registry (no legacy binary): the ground-truth
-/// observer trace and the COW fork-campaign matrix. Must stay registered
-/// too.
-const OBSERVER_SCENARIOS: [&str; 2] = ["leak_trace", "pool_matrix"];
+/// observer trace, the COW fork-campaign matrix and the trace
+/// record/replay self-check. Must stay registered too.
+const OBSERVER_SCENARIOS: [&str; 3] = ["leak_trace", "pool_matrix", "trace_repro"];
 
 #[test]
 fn every_scenario_quick_mode_is_byte_identical_across_runs() {
@@ -61,10 +61,10 @@ fn quick_campaign_passes_every_paper_claim() {
 fn thread_count_does_not_change_artifacts() {
     // The CI runner and a developer laptop use different thread counts;
     // artifacts must not care. Cover both fan-out paths that consume
-    // ctx.threads: parallel_map over machines (fig11), the seeded
-    // multi-trial sweep (bench_step) and the supervised pool fan-out
-    // (pool_matrix).
-    for name in ["fig11", "bench_step", "leak_trace", "pool_matrix"] {
+    // ctx.threads: parallel_map over machines (fig11, leak_trace,
+    // trace_repro), the seeded multi-trial sweep (bench_step) and the
+    // supervised pool fan-out (pool_matrix).
+    for name in ["fig11", "bench_step", "leak_trace", "pool_matrix", "trace_repro"] {
         let scenario = specrun_lab::registry::find(name).unwrap();
         let one = scenario.execute(&RunContext { threads: 1, ..RunContext::quick() });
         let four = scenario.execute(&RunContext { threads: 4, ..RunContext::quick() });

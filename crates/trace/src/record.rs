@@ -1,0 +1,125 @@
+//! Recording and replaying: the observer that captures an event stream,
+//! and the pass that re-drives any other observer from a captured stream.
+
+use specrun_cpu::probe::{PipelineEvent, PipelineObserver};
+
+/// A [`PipelineObserver`] that records every event it sees, in order.
+///
+/// The recorder buffers in memory and serializes at the end of the run
+/// (see [`crate::encode_events`]) rather than streaming to a file handle.
+/// That is deliberate: the core *clones* its observer wherever it steps a
+/// shadow pipeline (`ff_check` verifies each fast-forward window on a
+/// cloned core and discards it), so a recorder holding a shared writer
+/// would double-record every verified window. A buffering recorder's
+/// clone dies with the shadow core and the recorded stream stays exactly
+/// the live run's — which is also what keeps the resulting log
+/// byte-stable.
+///
+/// Compose it with analysis observers through the tuple impl, e.g.
+/// `((CountingObserver, LeakTraceObserver), RecordingObserver)`: the
+/// analysis pair sees the live run, the recorder captures the same stream
+/// for offline replay, and replaying must then reproduce the pair's state
+/// bit-identically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordingObserver {
+    events: Vec<PipelineEvent>,
+}
+
+impl RecordingObserver {
+    /// An empty recorder.
+    pub fn new() -> RecordingObserver {
+        RecordingObserver::default()
+    }
+
+    /// The events recorded so far, in emission order.
+    pub fn events(&self) -> &[PipelineEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consumes the recorder, returning the recorded stream.
+    pub fn into_events(self) -> Vec<PipelineEvent> {
+        self.events
+    }
+
+    /// Encodes the recorded stream into a trace log (see
+    /// [`crate::encode_events`]).
+    pub fn encode(&self) -> Vec<u8> {
+        crate::encode_events(&self.events)
+    }
+}
+
+impl PipelineObserver for RecordingObserver {
+    fn on_event(&mut self, event: &PipelineEvent) {
+        self.events.push(*event);
+    }
+}
+
+/// Re-drives `observer` from a recorded event stream — the detached
+/// analysis pass. No simulator involved: any observer fed the same events
+/// in the same order reaches the same state as it would have live, so a
+/// replayed `CountingObserver` or `LeakTraceObserver` reproduces the live
+/// run's totals bit for bit.
+pub fn replay<O: PipelineObserver>(events: &[PipelineEvent], observer: &mut O) {
+    for event in events {
+        observer.on_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specrun_cpu::probe::CountingObserver;
+    use specrun_mem::HitLevel;
+
+    #[test]
+    fn recorder_captures_in_order_and_replays() {
+        let stream = vec![
+            PipelineEvent::Commit { cycle: 1, pc: 0x1000 },
+            PipelineEvent::CacheFill { cycle: 2, level: HitLevel::Mem, line: 9, transient: true },
+            PipelineEvent::Squash { cycle: 3, squashed: 4 },
+        ];
+        let mut recorder = RecordingObserver::new();
+        let mut live = CountingObserver::default();
+        for e in &stream {
+            recorder.on_event(e);
+            live.on_event(e);
+        }
+        assert_eq!(recorder.events(), stream.as_slice());
+        assert_eq!(recorder.len(), 3);
+        let mut replayed = CountingObserver::default();
+        replay(recorder.events(), &mut replayed);
+        assert_eq!(replayed, live, "replay reproduces the live observer bit-identically");
+    }
+
+    #[test]
+    fn cloned_recorder_diverges_without_touching_the_original() {
+        // The ff_check discipline: the shadow core's clone absorbs events
+        // and is discarded; the live recorder must be unaffected.
+        let mut recorder = RecordingObserver::new();
+        recorder.on_event(&PipelineEvent::Commit { cycle: 1, pc: 1 });
+        let mut shadow = recorder.clone();
+        shadow.on_event(&PipelineEvent::Commit { cycle: 2, pc: 2 });
+        assert_eq!(recorder.len(), 1);
+        assert_eq!(shadow.len(), 2);
+        drop(shadow);
+        assert_eq!(recorder.len(), 1);
+    }
+
+    #[test]
+    fn empty_recorder_round_trips_through_encode() {
+        let recorder = RecordingObserver::new();
+        assert!(recorder.is_empty());
+        let decoded = crate::decode_events(&recorder.encode()).unwrap();
+        assert!(decoded.events.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the trace subsystem: the codec round-trips
+//! arbitrary event streams, and record→replay through a fresh
+//! `CountingObserver` reconciles bit-identically with the live run's
+//! `CpuStats` — the detached analysis is as good as having watched live.
+
+use proptest::prelude::*;
+use specrun_cpu::probe::{CountingObserver, PipelineEvent};
+use specrun_cpu::{Core, CpuConfig};
+use specrun_isa::{AluOp, IntReg, MemWidth, Program, ProgramBuilder};
+use specrun_mem::HitLevel;
+use specrun_trace::{decode_events, encode_events, replay, RecordingObserver};
+
+fn r(i: u8) -> IntReg {
+    IntReg::new(i).unwrap()
+}
+
+/// One step of a random straight-line program, with occasional flushed
+/// loads to provoke runahead episodes (the event-richest pipeline state).
+#[derive(Debug, Clone)]
+enum Op {
+    Alu(AluOp, u8, u8, u8),
+    Li(u8, i32),
+    Store(u8, u32),
+    Load(u8, u32),
+    FlushedLoad(u8, u32),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let alu = prop_oneof![Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Xor), Just(AluOp::Mul),];
+    prop_oneof![
+        (alu, 1u8..=8, 1u8..=8, 1u8..=8).prop_map(|(op, d, a, b)| Op::Alu(op, d, a, b)),
+        (1u8..=8, any::<i32>()).prop_map(|(d, v)| Op::Li(d, v)),
+        (1u8..=8, 0u32..32).prop_map(|(s, slot)| Op::Store(s, slot)),
+        (1u8..=8, 0u32..32).prop_map(|(d, slot)| Op::Load(d, slot)),
+        (1u8..=8, 0u32..32).prop_map(|(d, slot)| Op::FlushedLoad(d, slot)),
+    ]
+}
+
+fn build(ops: &[Op]) -> Program {
+    const DATA: i32 = 0x20000;
+    let mut b = ProgramBuilder::new(0x1000);
+    b.li(r(9), DATA);
+    for op in ops {
+        match *op {
+            Op::Alu(alu, d, a, bb) => {
+                b.alu(alu, r(d), r(a), r(bb));
+            }
+            Op::Li(d, v) => {
+                b.li(r(d), v);
+            }
+            Op::Store(s, slot) => {
+                b.store(MemWidth::B8, r(s), r(9), slot as i32 * 8);
+            }
+            Op::Load(d, slot) => {
+                b.load(MemWidth::B8, r(d), r(9), slot as i32 * 8);
+            }
+            Op::FlushedLoad(d, slot) => {
+                b.flush(r(9), slot as i32 * 8);
+                b.load(MemWidth::B8, r(d), r(9), slot as i32 * 8);
+                b.nops(40);
+            }
+        }
+    }
+    b.halt();
+    b.build().expect("random program is closed")
+}
+
+fn event() -> impl Strategy<Value = PipelineEvent> {
+    let level = prop_oneof![
+        Just(HitLevel::L1),
+        Just(HitLevel::L2),
+        Just(HitLevel::L3),
+        Just(HitLevel::Mem),
+    ];
+    prop_oneof![
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(cycle, stall_pc)| PipelineEvent::RunaheadEnter { cycle, stall_pc }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(cycle, window)| PipelineEvent::RunaheadExit { cycle, window }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(cycle, squashed)| PipelineEvent::Squash { cycle, squashed }),
+        (any::<u64>(), any::<u64>()).prop_map(|(cycle, pc)| PipelineEvent::Commit { cycle, pc }),
+        (any::<u64>(), any::<u64>(), any::<bool>(), any::<bool>()).prop_map(
+            |(cycle, pc, taken, mispredicted)| PipelineEvent::BranchResolved {
+                cycle,
+                pc,
+                taken,
+                mispredicted
+            }
+        ),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
+            |(cycle, pc, addr, tainted)| PipelineEvent::TransientLoad { cycle, pc, addr, tainted }
+        ),
+        (any::<u64>(), level, any::<u64>(), any::<bool>()).prop_map(
+            |(cycle, level, line, transient)| PipelineEvent::CacheFill {
+                cycle,
+                level,
+                line,
+                transient
+            }
+        ),
+        (any::<u64>(), any::<u64>()).prop_map(|(cycle, line)| PipelineEvent::Flush { cycle, line }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The codec is lossless on arbitrary (even non-monotonic) streams.
+    #[test]
+    fn codec_round_trips_arbitrary_streams(
+        events in proptest::collection::vec(event(), 0..200)
+    ) {
+        let decoded = decode_events(&encode_events(&events)).unwrap();
+        prop_assert_eq!(decoded.events, events);
+        prop_assert!(!decoded.torn_tail);
+    }
+
+    /// Record → encode → decode → replay through a fresh CountingObserver
+    /// reconciles bit-identically with the live run's CpuStats, on
+    /// arbitrary programs across machine variants. This is the lossless
+    /// guarantee: the log alone carries everything the live analysis saw.
+    #[test]
+    fn record_replay_reconciles_with_live_cpu_stats(
+        ops in proptest::collection::vec(op(), 1..40)
+    ) {
+        let program = build(&ops);
+        for base in [CpuConfig::no_runahead(), CpuConfig::default(), CpuConfig::secure_runahead()] {
+            let mut core = Core::with_observer(base, RecordingObserver::new());
+            core.load_program(&program);
+            core.run(5_000_000);
+            let stats = *core.stats();
+            let recorded = core.into_observer();
+            let decoded = decode_events(&recorded.encode()).unwrap();
+            prop_assert_eq!(decoded.events.as_slice(), recorded.events());
+            let mut counts = CountingObserver::default();
+            replay(&decoded.events, &mut counts);
+            prop_assert_eq!(counts.runahead_enters, stats.runahead_entries);
+            prop_assert_eq!(counts.runahead_exits, stats.runahead_exits);
+            prop_assert_eq!(counts.squashed_total, stats.squashed);
+            prop_assert_eq!(counts.commits, stats.committed);
+            prop_assert_eq!(counts.mispredicts, stats.branch_mispredicts);
+        }
+    }
+}

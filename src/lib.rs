@@ -16,6 +16,7 @@ pub use specrun_cpu;
 pub use specrun_isa;
 pub use specrun_lab;
 pub use specrun_mem;
+pub use specrun_trace;
 pub use specrun_workloads;
 
 /// Convenient glob import for examples and integration tests.
